@@ -1,0 +1,36 @@
+//! E4 — the cost of hostile scheduling: the same workload under each
+//! adversary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+fn bench_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversaries");
+    group.sample_size(10);
+    for adversary in [
+        AdversaryKind::RoundRobin,
+        AdversaryKind::RandomAsync,
+        AdversaryKind::CollisionSeeker,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("gather_n5", adversary.name()),
+            &adversary,
+            |b, &adversary| {
+                b.iter(|| {
+                    run(&RunSpec {
+                        shape: Shape::Circle,
+                        adversary,
+                        strategy: StrategyKind::Paper,
+                        max_events: 80_000,
+                        ..RunSpec::new(5, 3)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversaries);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — the paper's algorithm versus the baseline strategies on the same
+//! workload (the baselines plateau, so their runs are bounded by a smaller
+//! event budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for strategy in StrategyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("n6", strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    run(&RunSpec {
+                        shape: Shape::Circle,
+                        adversary: AdversaryKind::RoundRobin,
+                        strategy,
+                        max_events: if strategy == StrategyKind::Paper { 120_000 } else { 10_000 },
+                        ..RunSpec::new(6, 4)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 — the convergence phase: gathering from a configuration that is
+//! already fully visible (robots spread on a circle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+    for &n in &[4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("from_circle", n), &n, |b, &n| {
+            b.iter(|| {
+                run(&RunSpec {
+                    shape: Shape::Circle,
+                    adversary: AdversaryKind::RoundRobin,
+                    strategy: StrategyKind::Paper,
+                    ..RunSpec::new(n, 2)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1 — end-to-end gathering runs as the number of robots grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gathering_scaling");
+    group.sample_size(10);
+    for &n in &[3usize, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("gather", n), &n, |b, &n| {
+            b.iter(|| {
+                run(&RunSpec {
+                    shape: Shape::Circle,
+                    adversary: AdversaryKind::RoundRobin,
+                    strategy: StrategyKind::Paper,
+                    ..RunSpec::new(n, 11)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E2 — the expansion phase: time (events) to reach full visibility from
+//! occlusion-heavy starts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hull_expansion");
+    group.sample_size(10);
+    for shape in [Shape::Line, Shape::Clusters] {
+        group.bench_with_input(
+            BenchmarkId::new("to_full_visibility", shape.name()),
+            &shape,
+            |b, &shape| {
+                b.iter(|| {
+                    run(&RunSpec {
+                        shape,
+                        adversary: AdversaryKind::RoundRobin,
+                        strategy: StrategyKind::Paper,
+                        max_events: 60_000,
+                        ..RunSpec::new(5, 1)
+                    })
+                    .first_fully_visible
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! `report` — regenerate the experiment tables of EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p fatrobots-bench --bin report            # all tables
+//! cargo run --release -p fatrobots-bench --bin report -- --e1    # one table
+//! cargo run --release -p fatrobots-bench --bin report -- --quick # smaller sweeps
+//! ```
+
+use fatrobots_bench::{print_table, QUICK_SEEDS, STANDARD_SEEDS};
+use fatrobots_sim::experiment::{
+    adversary_table, baseline_table, delta_table, expansion_table, scaling_table, shape_table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seeds: &[u64] = if quick { &QUICK_SEEDS } else { &STANDARD_SEEDS };
+    let want = |flag: &str| args.is_empty() || args.iter().all(|a| a == "--quick") || args.iter().any(|a| a == flag);
+
+    if want("--figures") && args.iter().any(|a| a == "--figures") {
+        println!("The figure reproductions (F1–F5) are executable tests:");
+        println!("  cargo test --test figures");
+    }
+
+    if want("--e1") {
+        let ns: &[usize] = if quick { &[3, 5, 8] } else { &[3, 5, 6, 8, 10, 12] };
+        print_table(
+            "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
+            &scaling_table(ns, seeds),
+        );
+    }
+    if want("--e2") || want("--e3") {
+        print_table(
+            "E2/E3 — hull expansion & convergence monotonicity by initial shape (n = 6)",
+            &expansion_table(6, seeds),
+        );
+    }
+    if want("--e4") {
+        print_table(
+            "E4 — behaviour under each adversary (n = 6, random starts)",
+            &adversary_table(6, seeds),
+        );
+    }
+    if want("--e5") {
+        print_table(
+            "E5 — the paper's algorithm vs the baselines (n = 6, random starts)",
+            &baseline_table(6, seeds),
+        );
+    }
+    if want("--e6") {
+        print_table(
+            "E6 — sensitivity to the liveness distance delta (n = 6)",
+            &delta_table(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds),
+        );
+    }
+    if want("--e7") {
+        print_table(
+            "E7 — sensitivity to the initial configuration shape (n = 6)",
+            &shape_table(6, seeds),
+        );
+    }
+}

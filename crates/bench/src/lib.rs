@@ -1,0 +1,47 @@
+//! # fatrobots-bench
+//!
+//! Shared helpers for the Criterion benchmarks and the `report` binary that
+//! regenerates the tables of `EXPERIMENTS.md`. The actual experiment logic
+//! lives in [`fatrobots_sim::experiment`]; this crate only provides small
+//! wrappers so every bench and the report print exactly the same rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fatrobots_sim::experiment::AggregateRow;
+
+/// The seeds used by the standard experiment tables. Keeping them in one
+/// place makes `cargo bench` and `report` reproduce the same numbers.
+pub const STANDARD_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+/// A smaller seed set for the expensive sweeps.
+pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
+
+/// Prints one experiment table with its title.
+pub fn print_table(title: &str, rows: &[AggregateRow]) {
+    println!("\n== {title} ==");
+    println!("{}", AggregateRow::header());
+    for row in rows {
+        println!("{row}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_sim::experiment::{scaling_table, RunSpec};
+
+    #[test]
+    fn seeds_are_distinct() {
+        let unique: std::collections::HashSet<_> = STANDARD_SEEDS.iter().collect();
+        assert_eq!(unique.len(), STANDARD_SEEDS.len());
+    }
+
+    #[test]
+    fn print_table_smoke() {
+        let rows = scaling_table(&[3], &[1]);
+        assert_eq!(rows.len(), 1);
+        print_table("smoke", &rows);
+        let _ = RunSpec::new(3, 1);
+    }
+}

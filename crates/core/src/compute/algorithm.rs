@@ -1,0 +1,240 @@
+//! The assembled local algorithm: dispatch over the seventeen Compute
+//! states (the paper's `LOCAL ALGORITHM`, Section 4.2).
+
+use fatrobots_model::LocalView;
+
+use crate::compute::context::Ctx;
+use crate::compute::state::{ComputeState, Decision, Step};
+use crate::compute::{converge, hull_procedures, interior_procedures};
+use crate::params::AlgorithmParams;
+
+/// The result of one Compute run: the decision plus the sequence of
+/// algorithmic states visited (useful for tests that reproduce Figure 4 and
+/// for execution traces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeOutcome {
+    /// The final output: a target point or ⊥.
+    pub decision: Decision,
+    /// The states visited, starting at [`ComputeState::Start`] and ending at
+    /// the output state that produced the decision.
+    pub trace: Vec<ComputeState>,
+}
+
+/// The local algorithm `A_i` run by every robot while in its Compute phase.
+///
+/// The algorithm is deterministic and memoryless across cycles: each call to
+/// [`LocalAlgorithm::run`] depends only on the provided view (the robots are
+/// history-oblivious).
+///
+/// ```
+/// use fatrobots_core::compute::{Decision, LocalAlgorithm};
+/// use fatrobots_core::AlgorithmParams;
+/// use fatrobots_model::LocalView;
+/// use fatrobots_geometry::Point;
+///
+/// let algo = LocalAlgorithm::new(AlgorithmParams::for_n(4));
+/// // An interior robot of a roomy hull decides to move (not terminate).
+/// let view = LocalView::new(
+///     Point::new(5.0, 5.0),
+///     vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 12.0)],
+///     4,
+/// );
+/// assert!(!algo.run(&view).decision.is_terminate());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalAlgorithm {
+    params: AlgorithmParams,
+}
+
+impl LocalAlgorithm {
+    /// Creates the algorithm for the given parameters.
+    pub fn new(params: AlgorithmParams) -> Self {
+        LocalAlgorithm { params }
+    }
+
+    /// The parameters the algorithm runs with.
+    pub fn params(&self) -> AlgorithmParams {
+        self.params
+    }
+
+    /// Runs the local algorithm on a view: the paper's
+    /// `p = A_i(V_i)`, with ⊥ represented by [`Decision::Terminate`].
+    pub fn run(&self, view: &LocalView) -> ComputeOutcome {
+        let ctx = Ctx::new(view, self.params);
+        let mut state = ComputeState::Start;
+        let mut trace = vec![state];
+        // Figure 4 is a DAG of depth at most five; the bound below is purely
+        // defensive against a procedure bug introducing a cycle.
+        for _ in 0..ComputeState::ALL.len() {
+            let step = dispatch(state, &ctx);
+            match step {
+                Step::Next(next) => {
+                    debug_assert!(
+                        state.successors().contains(&next),
+                        "illegal Compute transition {state} -> {next}"
+                    );
+                    state = next;
+                    trace.push(state);
+                }
+                Step::Done(decision) => {
+                    return ComputeOutcome { decision, trace };
+                }
+            }
+        }
+        unreachable!("the Compute state graph is acyclic; dispatch cannot loop")
+    }
+}
+
+/// Runs the procedure associated with one Compute state.
+fn dispatch(state: ComputeState, ctx: &Ctx) -> Step {
+    use ComputeState::*;
+    match state {
+        Start => hull_procedures::start(ctx),
+        OnConvexHull => hull_procedures::on_convex_hull(ctx),
+        AllOnConvexHull => converge::all_on_convex_hull(ctx),
+        Connected => converge::connected(ctx),
+        NotConnected => converge::not_connected(ctx),
+        NotAllOnConvexHull => hull_procedures::not_all_on_convex_hull(ctx),
+        NotOnStraightLine => hull_procedures::not_on_straight_line(ctx),
+        SpaceForMore => hull_procedures::space_for_more(ctx),
+        NoSpaceForMore => hull_procedures::no_space_for_more(ctx),
+        OnStraightLine => hull_procedures::on_straight_line(ctx),
+        SeeOneRobot => hull_procedures::see_one_robot(ctx),
+        SeeTwoRobot => hull_procedures::see_two_robot(ctx),
+        NotOnConvexHull => interior_procedures::not_on_convex_hull(ctx),
+        IsTouching => interior_procedures::is_touching(ctx),
+        NotTouching => interior_procedures::not_touching(ctx),
+        ToChange => interior_procedures::to_change(ctx),
+        NotChange => interior_procedures::not_change(ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_geometry::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn algo(n: usize) -> LocalAlgorithm {
+        LocalAlgorithm::new(AlgorithmParams::for_n(n))
+    }
+
+    #[test]
+    fn gathered_configuration_terminates() {
+        let centers = [p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
+        for i in 0..3 {
+            let others: Vec<Point> = (0..3).filter(|&j| j != i).map(|j| centers[j]).collect();
+            let out = algo(3).run(&LocalView::new(centers[i], others, 3));
+            assert_eq!(out.decision, Decision::Terminate);
+            assert_eq!(
+                out.trace,
+                vec![
+                    ComputeState::Start,
+                    ComputeState::OnConvexHull,
+                    ComputeState::AllOnConvexHull,
+                    ComputeState::Connected
+                ]
+            );
+        }
+    }
+
+    #[test]
+    fn separated_convex_configuration_converges() {
+        // Three robots far apart in convex position: fully visible but not
+        // connected — each robot must get a (non-terminate) convergence
+        // decision through the NotConnected procedure.
+        let centers = [p(0.0, 0.0), p(20.0, 0.0), p(10.0, 17.0)];
+        for i in 0..3 {
+            let others: Vec<Point> = (0..3).filter(|&j| j != i).map(|j| centers[j]).collect();
+            let out = algo(3).run(&LocalView::new(centers[i], others, 3));
+            assert!(!out.decision.is_terminate());
+            assert!(out.trace.contains(&ComputeState::NotConnected));
+        }
+    }
+
+    #[test]
+    fn interior_robot_heads_for_the_hull() {
+        let me = p(10.0, 10.0);
+        let others = vec![p(0.0, 0.0), p(20.0, 0.0), p(20.0, 20.0), p(0.0, 20.0)];
+        let out = algo(5).run(&LocalView::new(me, others, 5));
+        let target = out.decision.target().expect("interior robots move");
+        assert!(!target.approx_eq(me));
+        assert_eq!(*out.trace.last().unwrap(), ComputeState::NotChange);
+    }
+
+    #[test]
+    fn middle_robot_of_a_collinear_hull_moves_outward() {
+        // Six robots: one interior (so the system is not yet fully visible)
+        // and three hull robots nearly collinear along the bottom edge; the
+        // middle one must go through SeeTwoRobot and step outward.
+        let me = p(5.0, -0.05);
+        let others = vec![
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(6.0, 5.0),
+        ];
+        let out = algo(6).run(&LocalView::new(me, others, 6));
+        assert_eq!(*out.trace.last().unwrap(), ComputeState::SeeTwoRobot);
+        let target = out.decision.target().unwrap();
+        assert!(target.y < me.y, "the middle robot must step outward (downwards)");
+    }
+
+    #[test]
+    fn every_trace_is_a_path_in_figure_4() {
+        // Run the algorithm on a batch of varied views and check every
+        // consecutive pair of trace states is an edge of Figure 4.
+        let views = vec![
+            LocalView::new(p(0.0, 0.0), vec![p(2.0, 0.0), p(1.0, 1.7)], 3),
+            LocalView::new(p(0.0, 0.0), vec![p(20.0, 0.0), p(10.0, 17.0)], 3),
+            LocalView::new(
+                p(10.0, 10.0),
+                vec![p(0.0, 0.0), p(20.0, 0.0), p(20.0, 20.0), p(0.0, 20.0)],
+                5,
+            ),
+            LocalView::new(p(0.0, 0.0), vec![p(10.0, 0.0), p(5.0, 8.0)], 6),
+            LocalView::new(
+                p(5.0, -0.05),
+                vec![
+                    p(0.0, 0.0),
+                    p(10.0, 0.0),
+                    p(10.0, 10.0),
+                    p(0.0, 10.0),
+                    p(6.0, 5.0),
+                ],
+                6,
+            ),
+        ];
+        for view in views {
+            let out = algo(view.n()).run(&view);
+            for w in out.trace.windows(2) {
+                assert!(
+                    w[0].successors().contains(&w[1]),
+                    "trace step {} -> {} is not an edge of Figure 4",
+                    w[0],
+                    w[1]
+                );
+            }
+            assert_eq!(out.trace[0], ComputeState::Start);
+            assert!(out.trace.last().unwrap().is_output_state());
+        }
+    }
+
+    #[test]
+    fn single_robot_terminates_immediately() {
+        let out = algo(1).run(&LocalView::new(p(3.0, 4.0), vec![], 1));
+        assert_eq!(out.decision, Decision::Terminate);
+    }
+
+    #[test]
+    fn two_touching_robots_terminate() {
+        let out = algo(2).run(&LocalView::new(p(0.0, 0.0), vec![p(2.0, 0.0)], 2));
+        assert_eq!(out.decision, Decision::Terminate);
+        let apart = algo(2).run(&LocalView::new(p(0.0, 0.0), vec![p(9.0, 0.0)], 2));
+        assert!(!apart.decision.is_terminate());
+    }
+}

@@ -1,0 +1,316 @@
+//! Shared geometric context for the Compute procedures.
+//!
+//! Each run of the local algorithm computes the robot's view hull once and
+//! carries it (plus the derived `onCH` set) through the state transitions,
+//! exactly as the paper has Procedure `Start` pass `onCH(V_i)` along to the
+//! subsequent procedures.
+
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::{Line, Point, Segment, Vec2, UNIT_RADIUS};
+use fatrobots_model::LocalView;
+
+use crate::params::AlgorithmParams;
+
+/// Gap below which two robots are considered touching by the local
+/// algorithm. Matches the model-layer tolerance.
+pub const TOUCH_TOL: f64 = 1e-6;
+
+/// Precomputed per-run context handed to every procedure.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    params: AlgorithmParams,
+    me: Point,
+    all: Vec<Point>,
+    view_size: usize,
+    hull: ConvexHull,
+    onch: Vec<Point>,
+}
+
+impl Ctx {
+    /// Builds the context for one Compute run.
+    pub fn new(view: &LocalView, params: AlgorithmParams) -> Self {
+        let all = view.all_centers();
+        let hull = ConvexHull::from_points(&all);
+        let onch = hull.boundary();
+        Ctx {
+            params,
+            me: view.me(),
+            view_size: view.size(),
+            all,
+            hull,
+            onch,
+        }
+    }
+
+    /// The algorithm parameters.
+    pub fn params(&self) -> AlgorithmParams {
+        self.params
+    }
+
+    /// The observing robot's own center.
+    pub fn me(&self) -> Point {
+        self.me
+    }
+
+    /// All centers in the view (observer included).
+    pub fn all(&self) -> &[Point] {
+        &self.all
+    }
+
+    /// `|V_i|`: number of robots in the view, observer included.
+    pub fn view_size(&self) -> usize {
+        self.view_size
+    }
+
+    /// The total number of robots `n`.
+    pub fn n(&self) -> usize {
+        self.params.n()
+    }
+
+    /// Convex hull of the view.
+    pub fn hull(&self) -> &ConvexHull {
+        &self.hull
+    }
+
+    /// `onCH(V_i)`: the centers of the view on the hull boundary, in
+    /// counter-clockwise order.
+    pub fn onch(&self) -> &[Point] {
+        &self.onch
+    }
+
+    /// `|onCH(V_i)|`.
+    pub fn onch_len(&self) -> usize {
+        self.onch.len()
+    }
+
+    /// `true` when the observer is on the hull of its view.
+    pub fn me_on_hull(&self) -> bool {
+        self.onch.iter().any(|p| p.approx_eq(self.me))
+    }
+
+    /// A point in the interior of the view hull (the centroid of the hull
+    /// boundary points), used to orient "inside"/"outside" directions.
+    pub fn interior_point(&self) -> Point {
+        Point::centroid(&self.onch)
+    }
+
+    /// Hull neighbours of a boundary point `p`: `(left, right)` where *left*
+    /// is the next boundary point counter-clockwise and *right* the next
+    /// clockwise (the paper's chirality convention).
+    pub fn hull_neighbors_of(&self, p: Point) -> Option<(Point, Point)> {
+        self.hull.neighbors_of(p)
+    }
+
+    /// Unit vector pointing from hull point `p` towards the outside of the
+    /// hull: perpendicular to the chord joining `p`'s hull neighbours, on the
+    /// side away from the hull interior. Falls back to the direction away
+    /// from the interior point (or an arbitrary perpendicular for fully
+    /// degenerate views), mirroring the paper's "if this is not possible to
+    /// determine choose a random direction".
+    pub fn outward_at(&self, p: Point) -> Vec2 {
+        let interior = self.interior_point();
+        let fallback = || {
+            let d = p - interior;
+            if d.is_zero() {
+                Vec2::new(0.0, 1.0)
+            } else {
+                d.normalized()
+            }
+        };
+        match self.hull_neighbors_of(p) {
+            Some((left, right)) if left.distance(right) > f64::EPSILON => {
+                let mut perp = (right - left).normalized().perp_ccw();
+                let away = p - interior;
+                if away.is_zero() {
+                    // Degenerate hull (all points collinear): either
+                    // perpendicular is "outside".
+                    perp
+                } else {
+                    if perp.dot(away) < 0.0 {
+                        perp = -perp;
+                    }
+                    perp
+                }
+            }
+            _ => fallback(),
+        }
+    }
+
+    /// Unit vector pointing from hull point `p` towards the inside of the
+    /// hull (the negation of [`Self::outward_at`]).
+    pub fn inward_at(&self, p: Point) -> Vec2 {
+        -self.outward_at(p)
+    }
+
+    /// `true` when the unit discs at `a` and `b` touch (or interpenetrate,
+    /// which a valid configuration never shows).
+    pub fn touching(&self, a: Point, b: Point) -> bool {
+        a.distance(b) <= 2.0 * UNIT_RADIUS + TOUCH_TOL
+    }
+
+    /// Centers of the robots in the view touching the observer.
+    pub fn touching_me(&self) -> Vec<Point> {
+        self.all
+            .iter()
+            .copied()
+            .filter(|&q| !q.approx_eq(self.me) && self.touching(self.me, q))
+            .collect()
+    }
+
+    /// Consecutive triples `(a, b, c)` of hull boundary points (cyclic) that
+    /// contain the given point. Returns an empty list for hulls with fewer
+    /// than three boundary points.
+    pub fn hull_triples_containing(&self, p: Point) -> Vec<(Point, Point, Point)> {
+        let m = self.onch.len();
+        if m < 3 {
+            return vec![];
+        }
+        (0..m)
+            .map(|i| {
+                (
+                    self.onch[i],
+                    self.onch[(i + 1) % m],
+                    self.onch[(i + 2) % m],
+                )
+            })
+            .filter(|&(a, b, c)| p.approx_eq(a) || p.approx_eq(b) || p.approx_eq(c))
+            .collect()
+    }
+
+    /// Consecutive pairs of hull boundary points (the hull "sides" between
+    /// adjacent robots), cyclic.
+    pub fn hull_adjacent_pairs(&self) -> Vec<(Point, Point)> {
+        let m = self.onch.len();
+        match m {
+            0 | 1 => vec![],
+            2 => vec![(self.onch[0], self.onch[1])],
+            _ => (0..m)
+                .map(|i| (self.onch[i], self.onch[(i + 1) % m]))
+                .collect(),
+        }
+    }
+
+    /// Distance from `p` to the straight line through `a` and `b`
+    /// (`f64::INFINITY` when `a == b`).
+    pub fn distance_to_chord(&self, p: Point, a: Point, b: Point) -> f64 {
+        if a.distance(b) <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            Line::through(a, b).distance_to(p)
+        }
+    }
+
+    /// Intersection of the segment `from → to` with the hull boundary, when
+    /// `from` is inside the hull and `to` outside (or on the far side); used
+    /// by the interior-robot procedures to stop at the hull. Returns the
+    /// crossing point closest to `to`.
+    pub fn boundary_crossing(&self, from: Point, to: Point) -> Option<Point> {
+        let seg = Segment::new(from, to);
+        let mut best: Option<(f64, Point)> = None;
+        for edge in self.hull.edges() {
+            if let Some(x) = seg.intersection(&edge) {
+                let d = x.distance(to);
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    best = Some((d, x));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+
+    /// First exit point of the ray `from → through → ∞` through the hull
+    /// boundary (the paper's construction in Procedure `NotOnStraightLine`
+    /// that projects interior robots onto the hull).
+    pub fn ray_exit_point(&self, from: Point, through: Point) -> Option<Point> {
+        let dir = (through - from).normalized();
+        if dir.is_zero() {
+            return None;
+        }
+        // A segment long enough to cross any hull we will ever see.
+        let span = self.hull.perimeter().max(1.0) * 4.0 + from.distance(through);
+        let far = from + dir * span;
+        let seg = Segment::new(from, far);
+        let mut best: Option<(f64, Point)> = None;
+        for edge in self.hull.edges() {
+            if let Some(x) = seg.intersection(&edge) {
+                let d = x.distance(from);
+                // The exit point is the farthest crossing from the observer.
+                if best.map_or(true, |(bd, _)| d > bd) {
+                    best = Some((d, x));
+                }
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_model::LocalView;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square_ctx() -> Ctx {
+        let me = p(0.0, 0.0);
+        let others = vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(5.0, 5.0)];
+        let view = LocalView::new(me, others, 5);
+        Ctx::new(&view, AlgorithmParams::for_n(5))
+    }
+
+    #[test]
+    fn context_basic_queries() {
+        let ctx = square_ctx();
+        assert_eq!(ctx.view_size(), 5);
+        assert_eq!(ctx.n(), 5);
+        assert_eq!(ctx.onch_len(), 4);
+        assert!(ctx.me_on_hull());
+        assert_eq!(ctx.hull_adjacent_pairs().len(), 4);
+        assert_eq!(ctx.hull_triples_containing(ctx.me()).len(), 3);
+    }
+
+    #[test]
+    fn outward_direction_points_away_from_interior() {
+        let ctx = square_ctx();
+        let out = ctx.outward_at(p(0.0, 0.0));
+        // At the (0,0) corner of the square the outward direction has
+        // negative x and y components.
+        assert!(out.x < 0.0 && out.y < 0.0);
+        let inward = ctx.inward_at(p(0.0, 0.0));
+        assert!(inward.x > 0.0 && inward.y > 0.0);
+        assert!((out.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_queries() {
+        let me = p(0.0, 0.0);
+        let view = LocalView::new(me, vec![p(2.0, 0.0), p(7.0, 0.0), p(3.0, 6.0)], 4);
+        let ctx = Ctx::new(&view, AlgorithmParams::for_n(4));
+        assert!(ctx.touching(me, p(2.0, 0.0)));
+        assert!(!ctx.touching(me, p(7.0, 0.0)));
+        assert_eq!(ctx.touching_me(), vec![p(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn boundary_crossing_and_ray_exit() {
+        let ctx = square_ctx();
+        // From the interior point (5,5) towards a point beyond the right
+        // edge: crossing at x = 10.
+        let x = ctx.boundary_crossing(p(5.0, 5.0), p(15.0, 5.0)).unwrap();
+        assert!((x.x - 10.0).abs() < 1e-9);
+        let exit = ctx.ray_exit_point(p(0.0, 0.0), p(5.0, 5.0)).unwrap();
+        assert!(exit.approx_eq(p(10.0, 10.0)));
+        assert!(ctx.ray_exit_point(p(0.0, 0.0), p(0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn distance_to_degenerate_chord_is_infinite() {
+        let ctx = square_ctx();
+        assert!(ctx
+            .distance_to_chord(p(1.0, 1.0), p(2.0, 2.0), p(2.0, 2.0))
+            .is_infinite());
+        assert!((ctx.distance_to_chord(p(0.0, 5.0), p(0.0, 0.0), p(10.0, 0.0)) - 5.0).abs() < 1e-9);
+    }
+}

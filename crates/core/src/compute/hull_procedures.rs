@@ -1,0 +1,469 @@
+//! Procedures for robots on the convex hull of their view during the first
+//! (expansion / full-visibility) phase: Sections 4.2.1, 4.2.2, 4.2.6–4.2.12.
+
+use fatrobots_geometry::Point;
+
+use crate::compute::context::Ctx;
+use crate::compute::state::{ComputeState, Decision, Step};
+
+/// Procedure `Start` (Section 4.2.1): dispatch on whether the robot's own
+/// center is on the convex hull of its view.
+pub fn start(ctx: &Ctx) -> Step {
+    if ctx.me_on_hull() {
+        Step::Next(ComputeState::OnConvexHull)
+    } else {
+        Step::Next(ComputeState::NotOnConvexHull)
+    }
+}
+
+/// Procedure `OnConvexHull` (Section 4.2.2): move to `AllOnConvexHull` only
+/// when the robot sees all `n` robots, all of them are on the hull, and no
+/// robot lies on a straight line with its two hull neighbours (which, for a
+/// convex position, is the paper's characterisation of full visibility —
+/// Lemma 4).
+pub fn on_convex_hull(ctx: &Ctx) -> Step {
+    if ctx.view_size() == ctx.n() && ctx.onch_len() == ctx.n() {
+        let tol = ctx.params().collinearity_tol();
+        // With fewer than three robots no triple can be collinear; the loop
+        // below would otherwise degenerate (a robot's two hull neighbours
+        // coincide).
+        if ctx.onch_len() >= 3 {
+            for &q in ctx.onch() {
+                if let Some((left, right)) = ctx.hull_neighbors_of(q) {
+                    if crate::functions::in_straight_line_2(left, q, right, tol) {
+                        return Step::Next(ComputeState::NotAllOnConvexHull);
+                    }
+                }
+            }
+        }
+        Step::Next(ComputeState::AllOnConvexHull)
+    } else {
+        Step::Next(ComputeState::NotAllOnConvexHull)
+    }
+}
+
+/// Procedure `NotAllOnConvexHull` (Section 4.2.6): the rectangle-`ABCD` test
+/// of Figure 5 — the robot is "on a straight line" when, for some window of
+/// three consecutive hull robots containing it, the middle robot lies within
+/// the `1/n` band around the chord of the outer two.
+pub fn not_all_on_convex_hull(ctx: &Ctx) -> Step {
+    if in_collinearity_band(ctx, /*only_as_middle=*/ false) {
+        Step::Next(ComputeState::OnStraightLine)
+    } else {
+        Step::Next(ComputeState::NotOnStraightLine)
+    }
+}
+
+/// Procedure `OnStraightLine` (Section 4.2.10): the robot sees two robots on
+/// the line exactly when it is itself the middle robot of a band-collinear
+/// window.
+pub fn on_straight_line(ctx: &Ctx) -> Step {
+    if in_collinearity_band(ctx, /*only_as_middle=*/ true) {
+        Step::Next(ComputeState::SeeTwoRobot)
+    } else {
+        Step::Next(ComputeState::SeeOneRobot)
+    }
+}
+
+/// `true` when some window of three consecutive hull robots containing the
+/// observer has its middle robot within the `1/n` band of the outer chord.
+/// With `only_as_middle` the observer itself must be that middle robot.
+fn in_collinearity_band(ctx: &Ctx, only_as_middle: bool) -> bool {
+    let band = ctx.params().band();
+    ctx.hull_triples_containing(ctx.me())
+        .into_iter()
+        .any(|(a, b, c)| {
+            if only_as_middle && !b.approx_eq(ctx.me()) {
+                return false;
+            }
+            ctx.distance_to_chord(b, a, c) <= band
+        })
+}
+
+/// Procedure `NotOnStraightLine` (Section 4.2.7): decide whether there is
+/// room on the hull for (at least) one more robot.
+///
+/// * If every robot the observer sees is on the hull (`|onCH(V_i)| = n`) no
+///   extra room is needed.
+/// * If the observer sees all robots, room exists iff some pair of
+///   hull-adjacent robots is at least a robot diameter apart.
+/// * Otherwise the observer also reserves room for the robots it sees in the
+///   hull interior by projecting each of them onto the hull boundary along
+///   the ray from itself (the paper's `onCH2` construction) before measuring
+///   the gaps.
+pub fn not_on_straight_line(ctx: &Ctx) -> Step {
+    if ctx.onch_len() == ctx.n() {
+        return Step::Next(ComputeState::SpaceForMore);
+    }
+    let diameter = 2.0;
+    if ctx.view_size() == ctx.n() {
+        let has_room = ctx
+            .hull_adjacent_pairs()
+            .iter()
+            .any(|(a, b)| a.distance(*b) >= diameter);
+        return Step::Next(if has_room {
+            ComputeState::SpaceForMore
+        } else {
+            ComputeState::NoSpaceForMore
+        });
+    }
+    // |V_i| < n: project interior robots onto the hull and measure gaps of
+    // the augmented boundary set.
+    let mut onch2: Vec<Point> = ctx.onch().to_vec();
+    for &q in ctx.all() {
+        if q.approx_eq(ctx.me()) || ctx.onch().iter().any(|h| h.approx_eq(q)) {
+            continue;
+        }
+        if let Some(x) = ctx.ray_exit_point(ctx.me(), q) {
+            onch2.push(x);
+        }
+    }
+    // Order the augmented set along the boundary by angle around the hull
+    // interior and measure consecutive distances.
+    let center = ctx.interior_point();
+    onch2.sort_by(|a, b| {
+        let aa = (*a - center).angle();
+        let ab = (*b - center).angle();
+        aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let m = onch2.len();
+    let has_room = (0..m).any(|i| onch2[i].distance(onch2[(i + 1) % m]) >= diameter);
+    Step::Next(if has_room {
+        ComputeState::SpaceForMore
+    } else {
+        ComputeState::NoSpaceForMore
+    })
+}
+
+/// Procedure `SpaceForMore` (Section 4.2.8): stay put, unless the robot is
+/// tangent to a hull robot that is *not* its hull neighbour (two touching
+/// non-adjacent hull robots can obstruct views), in which case step outward
+/// by `1/2n − ε`.
+///
+/// Extension over the paper: a hull robot that cannot see all `n` robots
+/// *and* is touching another robot also steps outward. The paper assumes
+/// (Lemma 4) that missing robots are hidden in the hull interior and will
+/// come out on their own; with fat robots a *touching hull neighbour* can
+/// equally well be the occluder, in which case nobody inside will ever
+/// appear and the literal algorithm deadlocks. Stepping outward is always
+/// safe in this regime (the hull may only expand while full visibility has
+/// not been reached — Lemma 20) and re-opens the blocked line of sight.
+pub fn space_for_more(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    let neighbors = ctx.hull_neighbors_of(me);
+    let tangent_to_non_adjacent = ctx.onch().iter().any(|&q| {
+        if q.approx_eq(me) || !ctx.touching(me, q) {
+            return false;
+        }
+        match neighbors {
+            Some((l, r)) => !q.approx_eq(l) && !q.approx_eq(r),
+            None => true,
+        }
+    });
+    // Every robot this one can see is already on the hull, yet some robots
+    // are missing from the view: the occluders can only be other hull robots
+    // (there is nobody visible inside who could still come out), so waiting
+    // cannot help and the robot expands instead.
+    let occluded_on_hull = ctx.view_size() < ctx.n() && ctx.onch_len() == ctx.view_size();
+    if tangent_to_non_adjacent || occluded_on_hull {
+        let target = me + ctx.outward_at(me) * ctx.params().step();
+        Step::Done(Decision::MoveTo(target))
+    } else {
+        Step::Done(Decision::MoveTo(me))
+    }
+}
+
+/// Procedure `NoSpaceForMore` (Section 4.2.9): expand — step outward by
+/// `1/2n − ε` perpendicular to the chord of the robot's hull neighbours.
+///
+/// The paper phrases the target via the midpoint of the neighbour chord; the
+/// effective displacement is the same outward step, and Lemma 10 only uses
+/// the fact that the result lies `1/2n − ε` outside the current hull.
+pub fn no_space_for_more(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    let target = me + ctx.outward_at(me) * ctx.params().step();
+    Step::Done(Decision::MoveTo(target))
+}
+
+/// Procedure `SeeOneRobot` (Section 4.2.11): an end robot of a collinear
+/// triple does not move.
+///
+/// Extension over the paper (mirroring [`space_for_more`]): when the robot
+/// cannot see all `n` robots even though everything it *can* see is already
+/// on the hull, waiting for the middle robot of the collinear triple cannot
+/// be relied upon — the occluder may have full visibility itself and
+/// therefore never consider itself "on a straight line". The end robot then
+/// expands outward, which is always safe before full visibility is reached.
+pub fn see_one_robot(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    if ctx.view_size() < ctx.n() && ctx.onch_len() == ctx.view_size() {
+        return Step::Done(Decision::MoveTo(me + ctx.outward_at(me) * ctx.params().step()));
+    }
+    Step::Done(Decision::MoveTo(me))
+}
+
+/// Procedure `SeeTwoRobot` (Section 4.2.12): the middle robot of a collinear
+/// triple steps outward, far enough to leave the `1/n` band but never more
+/// than `1/2n − ε` in one move.
+pub fn see_two_robot(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    let band = ctx.params().band();
+    // Use the tightest band-violating window in which the observer is the
+    // middle robot to determine how far out it needs to go. The exit target
+    // is `band + ε` from the chord (not exactly `band`): stopping exactly on
+    // the band boundary would leave the robot classified as "on a straight
+    // line" forever.
+    let exit_distance = band + ctx.params().eps();
+    let current = ctx
+        .hull_triples_containing(me)
+        .into_iter()
+        .filter(|(_, b, _)| b.approx_eq(me))
+        .map(|(a, _, c)| ctx.distance_to_chord(me, a, c))
+        .fold(f64::INFINITY, f64::min);
+    let step = if current.is_finite() {
+        ctx.params().step().min((exit_distance - current).max(0.0))
+    } else {
+        ctx.params().step()
+    };
+    // A middle robot that is already out of the band (can happen when the
+    // view changed between Look and Compute) simply keeps its position.
+    if step <= f64::EPSILON {
+        return Step::Done(Decision::MoveTo(me));
+    }
+    let target = me + ctx.outward_at(me) * step;
+    Step::Done(Decision::MoveTo(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AlgorithmParams;
+    use fatrobots_model::LocalView;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn ctx_for(me: Point, others: Vec<Point>, n: usize) -> Ctx {
+        Ctx::new(&LocalView::new(me, others, n), AlgorithmParams::for_n(n))
+    }
+
+    #[test]
+    fn start_dispatches_on_hull_membership() {
+        let on = ctx_for(p(0.0, 0.0), vec![p(10.0, 0.0), p(5.0, 10.0)], 3);
+        assert_eq!(start(&on), Step::Next(ComputeState::OnConvexHull));
+        let interior = ctx_for(
+            p(5.0, 3.0),
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)],
+            4,
+        );
+        assert_eq!(start(&interior), Step::Next(ComputeState::NotOnConvexHull));
+    }
+
+    #[test]
+    fn on_convex_hull_requires_full_view_and_no_collinearity() {
+        // Full view, convex position, no collinear triple.
+        let good = ctx_for(
+            p(0.0, 0.0),
+            vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)],
+            4,
+        );
+        assert_eq!(on_convex_hull(&good), Step::Next(ComputeState::AllOnConvexHull));
+
+        // Sees fewer robots than n.
+        let partial = ctx_for(p(0.0, 0.0), vec![p(10.0, 0.0), p(10.0, 10.0)], 4);
+        assert_eq!(
+            on_convex_hull(&partial),
+            Step::Next(ComputeState::NotAllOnConvexHull)
+        );
+
+        // Sees everyone but one robot is interior.
+        let interior = ctx_for(
+            p(0.0, 0.0),
+            vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(6.0, 5.0)],
+            5,
+        );
+        assert_eq!(
+            on_convex_hull(&interior),
+            Step::Next(ComputeState::NotAllOnConvexHull)
+        );
+
+        // Everyone on the hull but three exactly collinear.
+        let collinear = ctx_for(
+            p(0.0, 0.0),
+            vec![p(5.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)],
+            4,
+        );
+        assert_eq!(
+            on_convex_hull(&collinear),
+            Step::Next(ComputeState::NotAllOnConvexHull)
+        );
+    }
+
+    #[test]
+    fn band_test_distinguishes_straight_line_states() {
+        // A triangle plus an extra hull robot bulging only slightly below
+        // the bottom edge: within the 1/n band for n = 4 (band 0.25).
+        let nearly_flat = ctx_for(
+            p(5.0, -0.1),
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)],
+            4,
+        );
+        assert_eq!(
+            not_all_on_convex_hull(&nearly_flat),
+            Step::Next(ComputeState::OnStraightLine)
+        );
+        assert_eq!(
+            on_straight_line(&nearly_flat),
+            Step::Next(ComputeState::SeeTwoRobot)
+        );
+
+        // The end robot of the same nearly-flat window is on the line but
+        // not in the middle.
+        let end = ctx_for(
+            p(0.0, 0.0),
+            vec![p(5.0, -0.1), p(10.0, 0.0), p(5.0, 10.0)],
+            4,
+        );
+        assert_eq!(
+            not_all_on_convex_hull(&end),
+            Step::Next(ComputeState::OnStraightLine)
+        );
+        assert_eq!(on_straight_line(&end), Step::Next(ComputeState::SeeOneRobot));
+
+        // A proper corner robot is not in any band.
+        let corner = ctx_for(
+            p(0.0, 0.0),
+            vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(6.0, 5.0)],
+            5,
+        );
+        assert_eq!(
+            not_all_on_convex_hull(&corner),
+            Step::Next(ComputeState::NotOnStraightLine)
+        );
+    }
+
+    #[test]
+    fn see_two_robot_steps_outward_and_leaves_the_band() {
+        let n = 4;
+        let me = p(5.0, -0.1);
+        let ctx = ctx_for(me, vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)], n);
+        let Step::Done(Decision::MoveTo(target)) = see_two_robot(&ctx) else {
+            panic!("SeeTwoRobot must emit a move");
+        };
+        // Outward at the bottom edge points towards negative y.
+        assert!(target.y < me.y);
+        // The step never exceeds 1/2n − ε.
+        assert!(me.distance(target) <= AlgorithmParams::for_n(n).step() + 1e-12);
+    }
+
+    #[test]
+    fn see_one_robot_stays() {
+        let ctx = ctx_for(p(0.0, 0.0), vec![p(5.0, -0.1), p(10.0, 0.0), p(5.0, 10.0)], 4);
+        assert_eq!(see_one_robot(&ctx), Step::Done(Decision::MoveTo(p(0.0, 0.0))));
+    }
+
+    #[test]
+    fn room_detection_with_full_view() {
+        // |V| = n but one robot interior, wide hull edges: room exists.
+        let roomy = ctx_for(
+            p(0.0, 0.0),
+            vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(6.0, 5.0)],
+            5,
+        );
+        assert_eq!(
+            not_on_straight_line(&roomy),
+            Step::Next(ComputeState::SpaceForMore)
+        );
+
+        // Tight triangle with an interior robot: no hull edge admits a disc.
+        let tight = ctx_for(
+            p(0.0, 0.0),
+            vec![p(1.8, 0.0), p(0.9, 1.6), p(0.9, 0.55)],
+            4,
+        );
+        assert_eq!(
+            not_on_straight_line(&tight),
+            Step::Next(ComputeState::NoSpaceForMore)
+        );
+    }
+
+    #[test]
+    fn room_detection_reserves_space_for_hidden_robots() {
+        // The observer sees 3 of 6 robots; all seen robots are on the hull of
+        // the view, so SpaceForMore is reached through the |onCH| = n check
+        // only if onch == n — here onch < n, so the projection path runs.
+        let ctx = ctx_for(p(0.0, 0.0), vec![p(10.0, 0.0), p(5.0, 8.0), p(5.0, 3.0)], 6);
+        // Regardless of branch, the procedure must resolve to one of the two
+        // successor states.
+        match not_on_straight_line(&ctx) {
+            Step::Next(ComputeState::SpaceForMore) | Step::Next(ComputeState::NoSpaceForMore) => {}
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_robots_on_hull_means_no_extra_room_needed() {
+        // onCH == n == 4: straight to SpaceForMore even though edges are
+        // short.
+        let ctx = ctx_for(
+            p(0.0, 0.0),
+            vec![p(2.2, 0.0), p(2.2, 2.2), p(0.0, 2.2)],
+            4,
+        );
+        assert_eq!(
+            not_on_straight_line(&ctx),
+            Step::Next(ComputeState::SpaceForMore)
+        );
+    }
+
+    #[test]
+    fn space_for_more_moves_only_when_tangent_to_non_adjacent_hull_robot() {
+        // Observer tangent to its hull neighbour: stays.
+        let stay = ctx_for(
+            p(0.0, 0.0),
+            vec![p(2.0, 0.0), p(10.0, 0.0), p(5.0, 10.0), p(4.0, 4.0)],
+            5,
+        );
+        assert_eq!(
+            space_for_more(&stay),
+            Step::Done(Decision::MoveTo(p(0.0, 0.0)))
+        );
+
+        // Observer tangent to a hull robot that is NOT adjacent to it on the
+        // hull of its view: steps outward.
+        let me = p(0.0, 0.0);
+        let blocked = ctx_for(
+            me,
+            vec![
+                p(1.0, 1.9),   // hull neighbour above (not touching)
+                p(1.4, -1.43), // tangent, and not a hull neighbour of me
+                p(10.0, 0.0),
+                p(5.0, 8.0),
+            ],
+            5,
+        );
+        // Only meaningful if the tangent robot is indeed non-adjacent in this
+        // view; if the geometry makes it adjacent the procedure must stay.
+        match space_for_more(&blocked) {
+            Step::Done(Decision::MoveTo(t)) => {
+                assert!(t.approx_eq(me) || me.distance(t) <= AlgorithmParams::for_n(5).step() + 1e-12);
+            }
+            other => panic!("unexpected step {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_space_for_more_expands_outward() {
+        let n = 4;
+        let me = p(0.0, 0.0);
+        let ctx = ctx_for(me, vec![p(1.8, 0.0), p(0.9, 1.6), p(0.9, 0.55)], n);
+        let Step::Done(Decision::MoveTo(target)) = no_space_for_more(&ctx) else {
+            panic!("NoSpaceForMore must emit a move");
+        };
+        assert!((me.distance(target) - AlgorithmParams::for_n(n).step()).abs() < 1e-9);
+        // The move is away from the hull interior.
+        let interior = ctx.interior_point();
+        assert!(target.distance(interior) > me.distance(interior));
+    }
+}

@@ -1,0 +1,351 @@
+//! Procedures for robots strictly inside the convex hull of their view:
+//! Sections 4.2.13–4.2.17.
+
+use fatrobots_geometry::{Point, Segment};
+
+use crate::compute::context::Ctx;
+use crate::compute::state::{ComputeState, Decision, Step};
+use crate::functions::find_points;
+
+/// Distance tolerance used when comparing robot proximities to a target spot
+/// (the paper's ties "have the same distance").
+const PROXIMITY_TOL: f64 = 1e-6;
+
+/// Outcome of the proximity contest among the robots touching the observer
+/// (Section 4.2.14's notion of "highest proximity").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proximity {
+    /// The observer is strictly closest (or nothing touches it): it moves.
+    Closest,
+    /// The observer ties for closest and wins the chirality tie-break: it
+    /// moves.
+    TieWinner,
+    /// Some touching robot has higher proximity: the observer stays.
+    Blocked,
+}
+
+/// Procedure `NotOnConvexHull` (Section 4.2.13): dispatch on tangency.
+pub fn not_on_convex_hull(ctx: &Ctx) -> Step {
+    if ctx.touching_me().is_empty() {
+        Step::Next(ComputeState::NotTouching)
+    } else {
+        Step::Next(ComputeState::IsTouching)
+    }
+}
+
+/// Procedure `IsTouching` (Section 4.2.14): an interior robot that touches
+/// other robots moves towards the hull only if it has the *highest
+/// proximity* among the robots it touches, so that a clump of touching
+/// robots peels off towards the hull one robot at a time (Lemma 16).
+pub fn is_touching(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    let all_touchers = ctx.touching_me();
+    // The proximity contest of the paper decides which robot of a touching
+    // clump gets to claim a hull spot. Only robots that are themselves still
+    // *inside* the hull compete: a touching robot that is already on the
+    // hull never moves towards a Find-Points spot, so treating it as a
+    // competitor would block the interior robot forever.
+    let touchers: Vec<Point> = all_touchers
+        .iter()
+        .copied()
+        .filter(|t| !ctx.onch().iter().any(|h| h.approx_eq(*t)))
+        .collect();
+    // A touching robot can only leave the clump along a direction that does
+    // not immediately press into one of the robots it touches (its very
+    // first infinitesimal step would otherwise be a collision and the move
+    // would never make progress). Restrict the candidate spots accordingly;
+    // the robots on the "free" side of the clump peel off first, exactly the
+    // one-at-a-time behaviour Lemma 16 describes.
+    let escapable = |target: Point| {
+        let dir = target - me;
+        if dir.is_zero() {
+            return false;
+        }
+        let dir = dir.normalized();
+        all_touchers.iter().all(|&t| dir.dot(t - me) <= 1e-9)
+    };
+
+    let candidates: Vec<Point> = find_points(ctx.onch(), ctx.n())
+        .into_iter()
+        .filter(|&p| escapable(p))
+        .collect();
+    if let Some(best) = closest_point(&candidates, me) {
+        return match proximity(ctx, me, &touchers, best) {
+            Proximity::Blocked => Step::Done(Decision::MoveTo(me)),
+            // Aim directly for the Find-Points candidate: by Lemma 1 a disc
+            // placed there joins the hull without pushing anyone off it.
+            Proximity::Closest | Proximity::TieWinner => Step::Done(Decision::MoveTo(best)),
+        };
+    }
+
+    // No reachable Find-Points candidate: aim for the midpoint of the
+    // closest hull side that is wide enough for one robot, if any.
+    match closest_wide_edge(ctx, me) {
+        None => Step::Done(Decision::MoveTo(me)),
+        Some((a, b)) => {
+            let target = a.midpoint(b);
+            if !escapable(target) {
+                return Step::Done(Decision::MoveTo(me));
+            }
+            match proximity(ctx, me, &touchers, target) {
+                Proximity::Blocked => Step::Done(Decision::MoveTo(me)),
+                Proximity::Closest | Proximity::TieWinner => Step::Done(Decision::MoveTo(target)),
+            }
+        }
+    }
+}
+
+/// Procedure `NotTouching` (Section 4.2.15): can the robot reach the hull
+/// without changing it?
+pub fn not_touching(ctx: &Ctx) -> Step {
+    if find_points(ctx.onch(), ctx.n()).is_empty() {
+        Step::Next(ComputeState::ToChange)
+    } else {
+        Step::Next(ComputeState::NotChange)
+    }
+}
+
+/// Procedure `ToChange` (Section 4.2.16): no placement avoids changing the
+/// hull, so head for the midpoint of the closest hull side that is wide
+/// enough; stay put when there is none.
+pub fn to_change(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    match closest_wide_edge(ctx, me) {
+        None => Step::Done(Decision::MoveTo(me)),
+        Some((a, b)) => Step::Done(Decision::MoveTo(a.midpoint(b))),
+    }
+}
+
+/// Procedure `NotChange` (Section 4.2.17): move to the closest `Find-Points`
+/// candidate.
+///
+/// The paper phrases the target as the hull-boundary point on the way to the
+/// candidate; we aim for the candidate itself (the position Lemma 1
+/// guarantees can be occupied without changing the hull). Stopping exactly
+/// on the boundary would leave the robot exactly collinear with the edge's
+/// endpoints, needlessly triggering the `SeeTwoRobot` recovery on the next
+/// cycle.
+pub fn not_change(ctx: &Ctx) -> Step {
+    let me = ctx.me();
+    let candidates = find_points(ctx.onch(), ctx.n());
+    match closest_point(&candidates, me) {
+        None => Step::Done(Decision::MoveTo(me)),
+        Some(best) => Step::Done(Decision::MoveTo(best)),
+    }
+}
+
+fn closest_point(points: &[Point], to: Point) -> Option<Point> {
+    points.iter().copied().min_by(|a, b| {
+        a.distance(to)
+            .partial_cmp(&b.distance(to))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    })
+}
+
+/// The hull side (pair of hull-adjacent robots) at least a diameter wide that
+/// is closest to `from`, if any.
+fn closest_wide_edge(ctx: &Ctx, from: Point) -> Option<(Point, Point)> {
+    ctx.hull_adjacent_pairs()
+        .into_iter()
+        .filter(|(a, b)| a.distance(*b) >= 2.0)
+        .min_by(|&(a1, b1), &(a2, b2)| {
+            let d1 = Segment::new(a1, b1).distance_to(from);
+            let d2 = Segment::new(a2, b2).distance_to(from);
+            d1.partial_cmp(&d2).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+/// Decide whether the observer has the highest proximity to `target` among
+/// itself and the robots touching it.
+///
+/// Ties are broken with chirality, as in the paper: facing the outside of the
+/// hull at the target point, the *rightmost* tied robot wins. We realise
+/// "rightmost" as the largest component along the clockwise perpendicular of
+/// the outward direction; exact ties fall back to lexicographic order of the
+/// coordinates, which is still a common, deterministic rule for all robots.
+fn proximity(ctx: &Ctx, me: Point, touchers: &[Point], target: Point) -> Proximity {
+    let my_d = me.distance(target);
+    if touchers
+        .iter()
+        .any(|t| t.distance(target) < my_d - PROXIMITY_TOL)
+    {
+        return Proximity::Blocked;
+    }
+    let tied: Vec<Point> = touchers
+        .iter()
+        .copied()
+        .filter(|t| (t.distance(target) - my_d).abs() <= PROXIMITY_TOL)
+        .collect();
+    if tied.is_empty() {
+        return Proximity::Closest;
+    }
+    let outward = {
+        let d = target - ctx.interior_point();
+        if d.is_zero() {
+            fatrobots_geometry::Vec2::new(0.0, 1.0)
+        } else {
+            d.normalized()
+        }
+    };
+    let rightward = outward.perp_cw();
+    let score = |q: Point| {
+        let v = q - target;
+        (v.dot(rightward), q.x, q.y)
+    };
+    let mine = score(me);
+    let i_win = tied.iter().all(|&t| {
+        let other = score(t);
+        mine > other
+    });
+    if i_win {
+        Proximity::TieWinner
+    } else {
+        Proximity::Blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AlgorithmParams;
+    use fatrobots_model::LocalView;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn ctx_for(me: Point, others: Vec<Point>, n: usize) -> Ctx {
+        Ctx::new(&LocalView::new(me, others, n), AlgorithmParams::for_n(n))
+    }
+
+    /// A big square hull with the observer strictly inside.
+    fn interior_ctx(me: Point, extra: Vec<Point>, n: usize) -> Ctx {
+        let mut others = vec![p(0.0, 0.0), p(20.0, 0.0), p(20.0, 20.0), p(0.0, 20.0)];
+        others.extend(extra);
+        ctx_for(me, others, n)
+    }
+
+    #[test]
+    fn dispatch_on_touching() {
+        let lonely = interior_ctx(p(10.0, 10.0), vec![], 5);
+        assert_eq!(not_on_convex_hull(&lonely), Step::Next(ComputeState::NotTouching));
+        let touching = interior_ctx(p(10.0, 10.0), vec![p(12.0, 10.0)], 6);
+        assert_eq!(not_on_convex_hull(&touching), Step::Next(ComputeState::IsTouching));
+    }
+
+    #[test]
+    fn not_touching_dispatches_on_find_points() {
+        // Roomy hull: candidates exist.
+        let roomy = interior_ctx(p(10.0, 10.0), vec![], 5);
+        assert_eq!(not_touching(&roomy), Step::Next(ComputeState::NotChange));
+        // Tight triangle: no candidate.
+        let tight = ctx_for(p(0.9, 0.55), vec![p(0.0, 0.0), p(1.8, 0.0), p(0.9, 1.6)], 4);
+        assert_eq!(not_touching(&tight), Step::Next(ComputeState::ToChange));
+    }
+
+    #[test]
+    fn not_change_moves_to_a_find_points_candidate() {
+        let me = p(10.0, 10.0);
+        let ctx = interior_ctx(me, vec![], 5);
+        let Step::Done(Decision::MoveTo(target)) = not_change(&ctx) else {
+            panic!("NotChange must emit a move");
+        };
+        assert!(!target.approx_eq(me));
+        // The candidate sits 1/n outside the hull boundary, never inside it.
+        assert!(
+            !ctx.hull().contains_strict(target),
+            "target {target} must not be strictly inside the hull"
+        );
+        // Placing a disc there keeps every current hull robot on the hull
+        // (Lemma 1).
+        let mut extended = ctx.all().to_vec();
+        extended.push(target);
+        let hull2 = fatrobots_geometry::hull::ConvexHull::from_points(&extended);
+        for q in ctx.onch() {
+            assert!(hull2.point_on_boundary(*q));
+        }
+    }
+
+    #[test]
+    fn to_change_targets_the_closest_wide_edge_midpoint() {
+        let me = p(10.0, 2.0); // closest to the bottom edge
+        let ctx = interior_ctx(me, vec![], 5);
+        let Step::Done(Decision::MoveTo(target)) = to_change(&ctx) else {
+            panic!("ToChange must emit a move");
+        };
+        assert!(target.approx_eq(p(10.0, 0.0)));
+    }
+
+    #[test]
+    fn to_change_stays_when_no_edge_is_wide_enough() {
+        let me = p(0.9, 0.55);
+        let ctx = ctx_for(me, vec![p(0.0, 0.0), p(1.8, 0.0), p(0.9, 1.6)], 4);
+        assert_eq!(to_change(&ctx), Step::Done(Decision::MoveTo(me)));
+    }
+
+    #[test]
+    fn touching_robots_peel_away_from_each_other() {
+        // Two touching interior robots: each may only pick an escape spot
+        // whose direction does not press into the other, so any moves they
+        // make separate them instead of grinding into a zero-length step.
+        let near = p(10.0, 5.0);
+        let far = p(10.0, 7.0);
+        let ctx_near = interior_ctx(near, vec![far], 6);
+        let ctx_far = interior_ctx(far, vec![near], 6);
+
+        let Step::Done(Decision::MoveTo(t_near)) = is_touching(&ctx_near) else {
+            panic!("expected a decision");
+        };
+        let Step::Done(Decision::MoveTo(t_far)) = is_touching(&ctx_far) else {
+            panic!("expected a decision");
+        };
+        assert!(!t_near.approx_eq(near), "the lower robot has a free escape and must move");
+        // Neither target presses into the other robot's current disc.
+        assert!(t_near.distance(far) >= 2.0 - 1e-6);
+        assert!(t_far.distance(near) >= 2.0 - 1e-6);
+        // The escape directions point away from the partner (non-positive
+        // component towards it).
+        if !t_near.approx_eq(near) {
+            assert!((t_near - near).normalized().dot(far - near) <= 1e-9);
+        }
+        if !t_far.approx_eq(far) {
+            assert!((t_far - far).normalized().dot(near - far) <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn proximity_tie_break_is_asymmetric() {
+        // Two robots exactly equidistant from a contested spot cannot both
+        // win the proximity contest: chirality breaks the tie.
+        let a = p(9.0, 5.0);
+        let b = p(11.0, 5.0);
+        let target = p(10.0, -1.0 / 6.0);
+        let ctx_a = interior_ctx(a, vec![b], 6);
+        let ctx_b = interior_ctx(b, vec![a], 6);
+        let a_wins = proximity(&ctx_a, a, &[b], target) != Proximity::Blocked;
+        let b_wins = proximity(&ctx_b, b, &[a], target) != Proximity::Blocked;
+        assert!(
+            a_wins != b_wins,
+            "exactly one of two tied robots may claim the spot (a: {a_wins}, b: {b_wins})"
+        );
+    }
+
+    #[test]
+    fn is_touching_stays_when_hull_has_no_room() {
+        // A regular 12-gon whose sides are all shorter than a robot diameter:
+        // Find-Points returns nothing and no hull side is wide enough, so a
+        // touching interior robot stays where it is.
+        let radius = 3.7;
+        let hull: Vec<Point> = (0..12)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
+                p(radius * a.cos(), radius * a.sin())
+            })
+            .collect();
+        let me = p(-1.0, 0.0);
+        let mut others = hull;
+        others.push(p(1.0, 0.0)); // touching the observer
+        let ctx = ctx_for(me, others, 14);
+        assert_eq!(is_touching(&ctx), Step::Done(Decision::MoveTo(me)));
+    }
+}

@@ -1,0 +1,31 @@
+//! The local Compute algorithm of Section 4: seventeen algorithmic states
+//! (Figure 4) and one procedure per state.
+//!
+//! [`LocalAlgorithm::run`] takes a robot's [`LocalView`](fatrobots_model::LocalView)
+//! (the output of its Look phase) and walks the state graph starting from
+//! `Compute.Start` until a terminal procedure produces a [`Decision`]:
+//! either a target point for the Move phase or ⊥ (terminate).
+//!
+//! The module layout mirrors the paper's two conceptual phases plus the
+//! interior-robot logic:
+//!
+//! * [`hull_procedures`] — procedures for robots that are on the convex hull
+//!   of their view but the system is not yet fully visible (Start,
+//!   OnConvexHull, NotAllOnConvexHull, NotOnStraightLine, SpaceForMore,
+//!   NoSpaceForMore, OnStraightLine, SeeOneRobot, SeeTwoRobot);
+//! * [`interior_procedures`] — procedures for robots strictly inside the
+//!   hull of their view (NotOnConvexHull, IsTouching, NotTouching, ToChange,
+//!   NotChange);
+//! * [`converge`] — the second phase (AllOnConvexHull, Connected,
+//!   NotConnected), entered once the robot sees all `n` robots on the hull
+//!   with full visibility.
+
+pub mod algorithm;
+pub mod context;
+pub mod converge;
+pub mod hull_procedures;
+pub mod interior_procedures;
+pub mod state;
+
+pub use algorithm::{ComputeOutcome, LocalAlgorithm};
+pub use state::{ComputeState, Decision, Step};

@@ -1,0 +1,210 @@
+//! The seventeen algorithmic states of the Compute phase (Figure 4).
+
+use std::fmt;
+
+use fatrobots_geometry::Point;
+
+/// Algorithmic state within the Compute phase (the paper writes
+/// `Compute.⟨name⟩`). The numbering in the documentation of each variant is
+/// the paper's (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComputeState {
+    /// 1 — initial state of the local algorithm.
+    Start,
+    /// 2 — the robot is on the convex hull of its local view.
+    OnConvexHull,
+    /// 3 — on the hull, sees all robots, all robots on the hull with full
+    /// visibility.
+    AllOnConvexHull,
+    /// 4 — as state 3, and the configuration is connected.
+    Connected,
+    /// 5 — as state 3, and the configuration is not connected.
+    NotConnected,
+    /// 6 — on the hull, but not everyone is (or someone lacks visibility).
+    NotAllOnConvexHull,
+    /// 7 — as state 6, not collinear with two other hull robots.
+    NotOnStraightLine,
+    /// 8 — as state 7, there is room on the hull for another robot.
+    SpaceForMore,
+    /// 9 — as state 7, no room on the hull for another robot.
+    NoSpaceForMore,
+    /// 10 — as state 6, collinear with two other hull robots.
+    OnStraightLine,
+    /// 11 — as state 10, sees only one robot on the line (it is an end).
+    SeeOneRobot,
+    /// 12 — as state 10, sees two robots on the line (it is in the middle).
+    SeeTwoRobot,
+    /// 13 — enclosed strictly inside the hull of its view.
+    NotOnConvexHull,
+    /// 14 — as state 13, touching another robot.
+    IsTouching,
+    /// 15 — as state 13, not touching any robot.
+    NotTouching,
+    /// 16 — as state 15, any move onto the hull would change the hull.
+    ToChange,
+    /// 17 — as state 15, it can move onto the hull without changing it.
+    NotChange,
+}
+
+impl ComputeState {
+    /// All seventeen states, in the paper's order.
+    pub const ALL: [ComputeState; 17] = [
+        ComputeState::Start,
+        ComputeState::OnConvexHull,
+        ComputeState::AllOnConvexHull,
+        ComputeState::Connected,
+        ComputeState::NotConnected,
+        ComputeState::NotAllOnConvexHull,
+        ComputeState::NotOnStraightLine,
+        ComputeState::SpaceForMore,
+        ComputeState::NoSpaceForMore,
+        ComputeState::OnStraightLine,
+        ComputeState::SeeOneRobot,
+        ComputeState::SeeTwoRobot,
+        ComputeState::NotOnConvexHull,
+        ComputeState::IsTouching,
+        ComputeState::NotTouching,
+        ComputeState::ToChange,
+        ComputeState::NotChange,
+    ];
+
+    /// `true` for states whose procedure produces an output (a target point
+    /// or ⊥) rather than a transition to another state — the states of
+    /// Figure 4 with no outgoing edge.
+    pub fn is_output_state(self) -> bool {
+        matches!(
+            self,
+            ComputeState::Connected
+                | ComputeState::NotConnected
+                | ComputeState::SpaceForMore
+                | ComputeState::NoSpaceForMore
+                | ComputeState::SeeOneRobot
+                | ComputeState::SeeTwoRobot
+                | ComputeState::IsTouching
+                | ComputeState::ToChange
+                | ComputeState::NotChange
+        )
+    }
+
+    /// The states a procedure may legally transition to (Figure 4); empty
+    /// for output states.
+    pub fn successors(self) -> &'static [ComputeState] {
+        use ComputeState::*;
+        match self {
+            Start => &[OnConvexHull, NotOnConvexHull],
+            OnConvexHull => &[AllOnConvexHull, NotAllOnConvexHull],
+            AllOnConvexHull => &[Connected, NotConnected],
+            NotAllOnConvexHull => &[OnStraightLine, NotOnStraightLine],
+            NotOnStraightLine => &[SpaceForMore, NoSpaceForMore],
+            OnStraightLine => &[SeeOneRobot, SeeTwoRobot],
+            NotOnConvexHull => &[IsTouching, NotTouching],
+            NotTouching => &[ToChange, NotChange],
+            Connected | NotConnected | SpaceForMore | NoSpaceForMore | SeeOneRobot
+            | SeeTwoRobot | IsTouching | ToChange | NotChange => &[],
+        }
+    }
+}
+
+impl fmt::Display for ComputeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Compute.{self:?}")
+    }
+}
+
+/// The output of the local algorithm: where to move next, or ⊥.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Move the robot's center to the given point (possibly its current
+    /// position, meaning "do not move").
+    MoveTo(Point),
+    /// The special point ⊥: the robot terminates.
+    Terminate,
+}
+
+impl Decision {
+    /// The target point, if the decision is a move.
+    pub fn target(&self) -> Option<Point> {
+        match self {
+            Decision::MoveTo(p) => Some(*p),
+            Decision::Terminate => None,
+        }
+    }
+
+    /// `true` when the decision is ⊥.
+    pub fn is_terminate(&self) -> bool {
+        matches!(self, Decision::Terminate)
+    }
+}
+
+/// Result of running one procedure: either a transition to the next
+/// algorithmic state or the algorithm's final output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// Transition to another Compute state.
+    Next(ComputeState),
+    /// Emit the final decision and leave the Compute phase.
+    Done(Decision),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_states() {
+        assert_eq!(ComputeState::ALL.len(), 17);
+    }
+
+    #[test]
+    fn output_states_have_no_successors() {
+        for s in ComputeState::ALL {
+            assert_eq!(s.is_output_state(), s.successors().is_empty(), "{s}");
+        }
+    }
+
+    #[test]
+    fn figure_4_transition_structure() {
+        use ComputeState::*;
+        assert_eq!(Start.successors(), &[OnConvexHull, NotOnConvexHull]);
+        assert!(OnConvexHull.successors().contains(&AllOnConvexHull));
+        assert!(AllOnConvexHull.successors().contains(&Connected));
+        assert!(NotAllOnConvexHull.successors().contains(&OnStraightLine));
+        assert!(NotTouching.successors().contains(&ToChange));
+        assert!(Connected.successors().is_empty());
+    }
+
+    #[test]
+    fn every_non_output_state_reaches_an_output_state() {
+        // Breadth-first over the successor graph: from every state some
+        // output state must be reachable (Figure 4 has no dead cycles).
+        for start in ComputeState::ALL {
+            let mut frontier = vec![start];
+            let mut seen = std::collections::HashSet::new();
+            let mut found = false;
+            while let Some(s) = frontier.pop() {
+                if s.is_output_state() {
+                    found = true;
+                    break;
+                }
+                if seen.insert(s) {
+                    frontier.extend_from_slice(s.successors());
+                }
+            }
+            assert!(found, "no output state reachable from {start}");
+        }
+    }
+
+    #[test]
+    fn decision_accessors() {
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(Decision::MoveTo(p).target(), Some(p));
+        assert!(Decision::Terminate.target().is_none());
+        assert!(Decision::Terminate.is_terminate());
+        assert!(!Decision::MoveTo(p).is_terminate());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(format!("{}", ComputeState::SeeTwoRobot), "Compute.SeeTwoRobot");
+    }
+}

@@ -1,0 +1,449 @@
+//! Functions `Connected-Components`, `How-Much-Distance`,
+//! `In-Largest-Component` and `In-Smallest-Component` (Sections 3.4–3.7).
+//!
+//! These functions are called by a robot that sees all `n` robots and finds
+//! every center on the convex hull (the convergence phase). The robots on the
+//! hull are grouped into *components*: maximal runs of hull-adjacent robots
+//! whose boundary gap is at most `1/2m` (the paper's threshold). The paper's
+//! §3.4 spells this grouping out as a four-level nested case analysis that
+//! walks left and right from the caller; the formulation here — order the
+//! robots along the hull, cut the cyclic sequence at every gap larger than
+//! the threshold — produces the same partition and the same
+//! `⟨(c_l, c_r), k⟩` summaries, which is all the downstream functions use.
+//!
+//! ## Orientation
+//!
+//! Chirality lets all robots agree on clockwise. Hulls are stored
+//! counter-clockwise; the *right* neighbour of a hull robot is the next robot
+//! clockwise (the paper's "straight direction is the inside of the hull"
+//! convention), so a component's **rightmost** member is the one whose
+//! clockwise neighbour lies in a different component.
+
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::{Point, UNIT_RADIUS};
+
+/// A connected component of hull robots: a maximal run of hull-adjacent
+/// robots with boundary gaps at most the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HullComponent {
+    /// Members in counter-clockwise order along the hull; the first entry is
+    /// the rightmost (clockwise-most) member, the last is the leftmost.
+    members_ccw: Vec<Point>,
+}
+
+impl HullComponent {
+    /// Number of robots in the component (the paper's `k`).
+    pub fn len(&self) -> usize {
+        self.members_ccw.len()
+    }
+
+    /// `true` when the component has no members (never produced by
+    /// [`connected_components`]; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members_ccw.is_empty()
+    }
+
+    /// Members in counter-clockwise order along the hull.
+    pub fn members(&self) -> &[Point] {
+        &self.members_ccw
+    }
+
+    /// The rightmost member: the one whose clockwise hull neighbour belongs
+    /// to a different component (the paper's `c_r`).
+    pub fn rightmost(&self) -> Point {
+        self.members_ccw[0]
+    }
+
+    /// The leftmost member (the paper's `c_l`).
+    pub fn leftmost(&self) -> Point {
+        *self.members_ccw.last().expect("components are non-empty")
+    }
+
+    /// `true` when `p` is one of the members.
+    pub fn contains(&self, p: Point) -> bool {
+        self.members_ccw.iter().any(|q| q.approx_eq(p))
+    }
+}
+
+/// The partition of the hull robots into components, in counter-clockwise
+/// order around the hull.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentPartition {
+    components: Vec<HullComponent>,
+    single_cycle: bool,
+}
+
+impl ComponentPartition {
+    /// The components, in counter-clockwise order around the hull.
+    pub fn components(&self) -> &[HullComponent] {
+        &self.components
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the partition is empty (no robots).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// `true` when every hull gap is at most the threshold, so all robots
+    /// form one cyclic component. In that case
+    /// [`HullComponent::rightmost`]/[`HullComponent::leftmost`] are an
+    /// arbitrary (but deterministic) cut of the cycle.
+    pub fn is_single(&self) -> bool {
+        self.single_cycle || self.components.len() <= 1
+    }
+
+    /// Index of the component containing `p`, if any.
+    pub fn component_of(&self, p: Point) -> Option<usize> {
+        self.components.iter().position(|c| c.contains(p))
+    }
+
+    /// Index of the component clockwise-adjacent to component `i` (its
+    /// *right neighbour*). With a single component this is `i` itself.
+    pub fn right_neighbor(&self, i: usize) -> usize {
+        let k = self.components.len();
+        (i + k - 1) % k
+    }
+
+    /// Boundary gap (center distance minus 2) between component `i`'s
+    /// rightmost robot and its right-neighbour component's leftmost robot.
+    pub fn right_gap(&self, i: usize) -> f64 {
+        let j = self.right_neighbor(i);
+        self.components[i]
+            .rightmost()
+            .distance(self.components[j].leftmost())
+            - 2.0 * UNIT_RADIUS
+    }
+
+    /// Sizes of all components, in the same order as [`Self::components`].
+    pub fn sizes(&self) -> Vec<usize> {
+        self.components.iter().map(HullComponent::len).collect()
+    }
+}
+
+/// Answer of the component-membership functions of Sections 3.5–3.7, kept in
+/// the paper's 1/2/3 form. The meaning of each variant depends on the
+/// function; see [`how_much_distance`], [`in_largest_component`] and
+/// [`in_smallest_component`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentAnswer {
+    /// The paper's answer "1".
+    One,
+    /// The paper's answer "2".
+    Two,
+    /// The paper's answer "3".
+    Three,
+}
+
+/// Function `Connected-Components`: group the given robot centers (all of
+/// which must lie on their common convex hull) into components using the gap
+/// threshold (the paper uses `1/2m`).
+///
+/// Centers that do not lie on the hull boundary are ignored; the local
+/// algorithm only calls this in configurations where every robot is on the
+/// hull.
+pub fn connected_components(centers: &[Point], gap_threshold: f64) -> ComponentPartition {
+    if centers.is_empty() {
+        return ComponentPartition {
+            components: vec![],
+            single_cycle: false,
+        };
+    }
+    let hull = ConvexHull::from_points(centers);
+    let ordered = hull.boundary();
+    let m = ordered.len();
+    if m == 1 {
+        return ComponentPartition {
+            components: vec![HullComponent {
+                members_ccw: ordered,
+            }],
+            single_cycle: true,
+        };
+    }
+
+    // Break the cyclic CCW sequence at every gap larger than the threshold.
+    let gap = |i: usize| ordered[i].distance(ordered[(i + 1) % m]) - 2.0 * UNIT_RADIUS;
+    let breaks: Vec<usize> = (0..m).filter(|&i| gap(i) > gap_threshold).collect();
+    if breaks.is_empty() {
+        return ComponentPartition {
+            components: vec![HullComponent {
+                members_ccw: ordered,
+            }],
+            single_cycle: true,
+        };
+    }
+
+    let mut components = Vec::with_capacity(breaks.len());
+    for w in 0..breaks.len() {
+        // A component starts right after one break and ends at the next.
+        let start = (breaks[(w + breaks.len() - 1) % breaks.len()] + 1) % m;
+        let end = breaks[w]; // inclusive
+        let mut members = Vec::new();
+        let mut idx = start;
+        loop {
+            members.push(ordered[idx]);
+            if idx == end {
+                break;
+            }
+            idx = (idx + 1) % m;
+        }
+        components.push(HullComponent {
+            members_ccw: members,
+        });
+    }
+    // Order components counter-clockwise by their starting index for a
+    // deterministic layout.
+    components.sort_by_key(|c| {
+        ordered
+            .iter()
+            .position(|q| q.approx_eq(c.rightmost()))
+            .unwrap_or(usize::MAX)
+    });
+    ComponentPartition {
+        components,
+        single_cycle: false,
+    }
+}
+
+/// Function `How-Much-Distance` (Section 3.5).
+///
+/// * [`ComponentAnswer::Two`] — all inter-component gaps are (approximately)
+///   equal, or there are fewer than two components;
+/// * [`ComponentAnswer::One`] — gaps differ and `c` is the **rightmost**
+///   robot of a component whose right-gap is the minimum;
+/// * [`ComponentAnswer::Three`] — otherwise.
+pub fn how_much_distance(partition: &ComponentPartition, c: Point, tol: f64) -> ComponentAnswer {
+    if partition.is_single() || partition.len() < 2 {
+        return ComponentAnswer::Two;
+    }
+    let gaps: Vec<f64> = (0..partition.len()).map(|i| partition.right_gap(i)).collect();
+    let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max - min <= tol {
+        return ComponentAnswer::Two;
+    }
+    match partition.component_of(c) {
+        Some(i) if gaps[i] <= min + tol && partition.components()[i].rightmost().approx_eq(c) => {
+            ComponentAnswer::One
+        }
+        _ => ComponentAnswer::Three,
+    }
+}
+
+/// Function `In-Largest-Component` (Section 3.6).
+///
+/// * [`ComponentAnswer::One`] — `c`'s component is among the largest and a
+///   strictly smaller component exists (so `c` should stay put and wait);
+/// * [`ComponentAnswer::Two`] — every other component is strictly larger
+///   than `c`'s (so `c`'s component should merge into a neighbour);
+/// * [`ComponentAnswer::Three`] — otherwise (including the all-equal case,
+///   which the algorithm resolves with `How-Much-Distance`).
+pub fn in_largest_component(partition: &ComponentPartition, c: Point) -> ComponentAnswer {
+    membership_answer(partition, c, true)
+}
+
+/// Function `In-Smallest-Component` (Section 3.7).
+///
+/// * [`ComponentAnswer::One`] — `c`'s component is among the smallest and a
+///   strictly larger component exists;
+/// * [`ComponentAnswer::Two`] — all components have the same size;
+/// * [`ComponentAnswer::Three`] — otherwise.
+pub fn in_smallest_component(partition: &ComponentPartition, c: Point) -> ComponentAnswer {
+    if partition.is_single() || partition.len() < 2 {
+        return ComponentAnswer::Two;
+    }
+    let sizes = partition.sizes();
+    let min = *sizes.iter().min().expect("non-empty partition");
+    let max = *sizes.iter().max().expect("non-empty partition");
+    if min == max {
+        return ComponentAnswer::Two;
+    }
+    match partition.component_of(c) {
+        Some(i) if sizes[i] == min => ComponentAnswer::One,
+        _ => ComponentAnswer::Three,
+    }
+}
+
+fn membership_answer(partition: &ComponentPartition, c: Point, largest: bool) -> ComponentAnswer {
+    if partition.is_single() || partition.len() < 2 {
+        return ComponentAnswer::One;
+    }
+    let sizes = partition.sizes();
+    let min = *sizes.iter().min().expect("non-empty partition");
+    let max = *sizes.iter().max().expect("non-empty partition");
+    if min == max {
+        return ComponentAnswer::Three;
+    }
+    let mine = match partition.component_of(c) {
+        Some(i) => sizes[i],
+        None => return ComponentAnswer::Three,
+    };
+    if largest {
+        if mine == max {
+            ComponentAnswer::One
+        } else if mine == min && sizes.iter().filter(|&&s| s <= mine).count() == 1 {
+            // Every other component is strictly larger.
+            ComponentAnswer::Two
+        } else {
+            ComponentAnswer::Three
+        }
+    } else {
+        unreachable!("smallest-component queries use in_smallest_component")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Robots on a circle of radius `r`, grouped: each group is a list of
+    /// touching robots (adjacent chord distance exactly 2), groups are
+    /// separated by the given angular gaps.
+    fn circle_groups(r: f64, group_sizes: &[usize], start_angles: &[f64]) -> Vec<Point> {
+        assert_eq!(group_sizes.len(), start_angles.len());
+        let step = 2.0 * (1.0 / r).asin(); // chord of exactly 2
+        let mut pts = Vec::new();
+        for (&size, &start) in group_sizes.iter().zip(start_angles) {
+            for k in 0..size {
+                let a = start + k as f64 * step;
+                pts.push(Point::new(r * a.cos(), r * a.sin()));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn grouping_by_gap_threshold() {
+        let n = 6;
+        let centers = circle_groups(60.0, &[3, 2, 1], &[0.0, 2.0, 4.0]);
+        let part = connected_components(&centers, 1.0 / (2.0 * n as f64));
+        assert_eq!(part.len(), 3);
+        assert!(!part.is_single());
+        let mut sizes = part.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn all_touching_is_a_single_component() {
+        let centers = circle_groups(60.0, &[6], &[0.0]);
+        let part = connected_components(&centers, 0.05);
+        assert!(part.is_single());
+        assert_eq!(part.len(), 1);
+        assert_eq!(part.components()[0].len(), 6);
+    }
+
+    #[test]
+    fn rightmost_and_leftmost_follow_clockwise_convention() {
+        // One group of three robots on the circle at increasing angle
+        // (counter-clockwise), plus a far-away singleton so the partition is
+        // not a single cycle.
+        let centers = circle_groups(60.0, &[3, 1], &[0.0, 3.0]);
+        let part = connected_components(&centers, 0.05);
+        assert_eq!(part.len(), 2);
+        let big = part
+            .components()
+            .iter()
+            .find(|c| c.len() == 3)
+            .expect("group of three exists");
+        // CCW order = increasing angle, so the rightmost (clockwise-most)
+        // member is the one at the smallest angle (y closest to 0 from
+        // above), and the leftmost is at the largest angle.
+        assert!(big.rightmost().y < big.leftmost().y);
+        assert!(big.rightmost().approx_eq(centers[0]));
+        assert!(big.leftmost().approx_eq(centers[2]));
+    }
+
+    #[test]
+    fn right_gap_measures_distance_to_clockwise_neighbour() {
+        // Two singletons at angles 0 and π/2 on a circle of radius 10.
+        let centers = circle_groups(10.0, &[1, 1], &[0.0, std::f64::consts::FRAC_PI_2]);
+        let part = connected_components(&centers, 0.05);
+        assert_eq!(part.len(), 2);
+        let i0 = part.component_of(centers[0]).unwrap();
+        // The clockwise neighbour of the robot at angle 0 is the robot at
+        // angle π/2 (going clockwise wraps around the short way below the
+        // x-axis? No: with only two robots the hull is a segment; both gaps
+        // are the same distance).
+        let expected_gap = centers[0].distance(centers[1]) - 2.0;
+        assert!((part.right_gap(i0) - expected_gap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn how_much_distance_identifies_the_min_gap_component() {
+        // Three singletons with unequal gaps: at angles 0, 0.5 and 3.0.
+        let centers = circle_groups(40.0, &[1, 1, 1], &[0.0, 0.5, 3.0]);
+        let part = connected_components(&centers, 1.0 / 6.0);
+        assert_eq!(part.len(), 3);
+        let tol = 1e-6;
+        // The robot at angle 0.5 has its clockwise neighbour at angle 0.0 at
+        // the smallest gap, so it answers One; the others answer Three.
+        assert_eq!(how_much_distance(&part, centers[1], tol), ComponentAnswer::One);
+        assert_eq!(how_much_distance(&part, centers[0], tol), ComponentAnswer::Three);
+        assert_eq!(how_much_distance(&part, centers[2], tol), ComponentAnswer::Three);
+    }
+
+    #[test]
+    fn how_much_distance_all_equal_gaps() {
+        // Three singletons equally spaced: all gaps equal.
+        let third = 2.0 * std::f64::consts::PI / 3.0;
+        let centers = circle_groups(40.0, &[1, 1, 1], &[0.0, third, 2.0 * third]);
+        let part = connected_components(&centers, 1.0 / 6.0);
+        for &c in &centers {
+            assert_eq!(how_much_distance(&part, c, 1e-6), ComponentAnswer::Two);
+        }
+    }
+
+    #[test]
+    fn largest_and_smallest_membership() {
+        let n = 6;
+        let centers = circle_groups(60.0, &[3, 2, 1], &[0.0, 2.0, 4.0]);
+        let part = connected_components(&centers, 1.0 / (2.0 * n as f64));
+        // centers[0..3] form the size-3 group, centers[3..5] the size-2
+        // group, centers[5] the singleton.
+        assert_eq!(in_largest_component(&part, centers[0]), ComponentAnswer::One);
+        assert_eq!(in_largest_component(&part, centers[3]), ComponentAnswer::Three);
+        assert_eq!(in_largest_component(&part, centers[5]), ComponentAnswer::Two);
+
+        assert_eq!(in_smallest_component(&part, centers[5]), ComponentAnswer::One);
+        assert_eq!(in_smallest_component(&part, centers[3]), ComponentAnswer::Three);
+        assert_eq!(in_smallest_component(&part, centers[0]), ComponentAnswer::Three);
+    }
+
+    #[test]
+    fn equal_sizes_fall_through_to_distance_based_resolution() {
+        // Two singletons: sizes all equal.
+        let centers = circle_groups(40.0, &[1, 1], &[0.0, 2.0]);
+        let part = connected_components(&centers, 1.0 / 4.0);
+        assert_eq!(in_largest_component(&part, centers[0]), ComponentAnswer::Three);
+        assert_eq!(in_smallest_component(&part, centers[0]), ComponentAnswer::Two);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty = connected_components(&[], 0.1);
+        assert!(empty.is_empty());
+        let single = connected_components(&[Point::new(0.0, 0.0)], 0.1);
+        assert!(single.is_single());
+        assert_eq!(single.components()[0].len(), 1);
+        assert_eq!(
+            how_much_distance(&single, Point::new(0.0, 0.0), 1e-6),
+            ComponentAnswer::Two
+        );
+    }
+
+    #[test]
+    fn partition_covers_every_robot_exactly_once() {
+        let centers = circle_groups(60.0, &[4, 3, 2, 1], &[0.0, 1.5, 3.0, 4.5]);
+        let part = connected_components(&centers, 1.0 / 20.0);
+        let total: usize = part.sizes().iter().sum();
+        assert_eq!(total, centers.len());
+        for &c in &centers {
+            assert!(part.component_of(c).is_some());
+        }
+    }
+}

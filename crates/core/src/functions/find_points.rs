@@ -1,0 +1,250 @@
+//! Function `Find-Points` (Section 3.3, Figure 3) and the safe distance of
+//! Lemma 2.
+
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::{Line, Point, UNIT_RADIUS};
+
+/// Function `Find-Points`: given the points `onCH` that are on the convex
+/// hull (in counter-clockwise order along the boundary) and the total number
+/// of robots `n`, return every point `p` at which a unit disc could be placed
+/// *on* the hull without making any current hull point fall off the hull
+/// (Lemma 1) and without blocking the view between the edge's endpoints.
+///
+/// For every pair of neighbouring hull points `(c_l, c_r)` whose distance is
+/// at least 2 (room for one more unit disc):
+///
+/// * let `µ` be the midpoint of `c_l c_r` and `p = µ + (1/n)·n̂` where `n̂` is
+///   the outward normal of the edge — the `1/n` outward offset keeps `c_l`
+///   and `c_r` able to see each other past the newcomer;
+/// * `p` is accepted when it stays at distance at least `1/n` on the inner
+///   side of the supporting lines of both *adjacent* hull edges, so that
+///   placing a disc at `p` does not push `c_l` or `c_r` off the hull
+///   (this is the rectangle test of Figure 3 / the wedge condition of
+///   Lemma 2).
+///
+/// Degenerate hulls with fewer than three boundary points skip the wedge
+/// condition (there are no adjacent edges to violate).
+///
+/// ```
+/// use fatrobots_core::functions::find_points;
+/// use fatrobots_geometry::Point;
+///
+/// // A large square hull: every edge has room.
+/// let hull = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 10.0),
+///     Point::new(0.0, 10.0),
+/// ];
+/// let pts = find_points(&hull, 5);
+/// assert_eq!(pts.len(), 4);
+/// ```
+pub fn find_points(onch_ccw: &[Point], n: usize) -> Vec<Point> {
+    assert!(n > 0, "the robot count n must be positive");
+    let m = onch_ccw.len();
+    let margin = 1.0 / n as f64;
+    let mut out = Vec::new();
+    if m < 2 {
+        return out;
+    }
+    if m == 2 {
+        let (a, b) = (onch_ccw[0], onch_ccw[1]);
+        if a.distance(b) >= 2.0 * UNIT_RADIUS {
+            let normal = (b - a).normalized().perp_cw();
+            out.push(a.midpoint(b) + normal * margin);
+        }
+        return out;
+    }
+    for i in 0..m {
+        let prev = onch_ccw[(i + m - 1) % m];
+        let a = onch_ccw[i];
+        let b = onch_ccw[(i + 1) % m];
+        let next = onch_ccw[(i + 2) % m];
+        if a.distance(b) < 2.0 * UNIT_RADIUS {
+            continue;
+        }
+        let outward = ConvexHull::outward_normal(a, b);
+        let p = a.midpoint(b) + outward * margin;
+
+        // Wedge condition: p must stay at least `margin` on the interior
+        // (left) side of the supporting lines of the adjacent boundary edges
+        // prev→a and b→next. Skip a degenerate adjacent edge (coincident
+        // neighbours can occur only in malformed inputs).
+        let ok_prev = if prev.distance(a) <= f64::EPSILON {
+            true
+        } else {
+            Line::through(prev, a).signed_distance_to(p) >= margin
+        };
+        let ok_next = if b.distance(next) <= f64::EPSILON {
+            true
+        } else {
+            Line::through(b, next).signed_distance_to(p) >= margin
+        };
+        if ok_prev && ok_next {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The per-side quantity of Lemma 2: the minimum half-edge length
+/// `1/(n·tan θ) + 1/(n·sin θ)` required so that a robot placed `1/n` outside
+/// the edge midpoint keeps a `1/n` clearance from the adjacent supporting
+/// line meeting the edge at (interior) angle `θ`.
+///
+/// # Panics
+/// Panics if `θ` is not in `(0, π)` or `n == 0`.
+pub fn safe_distance_for_angle(theta: f64, n: usize) -> f64 {
+    assert!(n > 0, "the robot count n must be positive");
+    assert!(
+        theta > 0.0 && theta < std::f64::consts::PI,
+        "the turn angle must be strictly between 0 and π"
+    );
+    let nf = n as f64;
+    1.0 / (nf * theta.tan()) + 1.0 / (nf * theta.sin())
+}
+
+/// The safe distance of Lemma 2 for a hull edge whose endpoints meet the
+/// adjacent edges at angles `theta_l` and `theta_r`: twice the larger of the
+/// two per-side requirements. Any two adjacent hull robots at least this far
+/// apart admit a `Find-Points` candidate between them.
+pub fn safe_distance(theta_l: f64, theta_r: f64, n: usize) -> f64 {
+    2.0 * safe_distance_for_angle(theta_l, n).max(safe_distance_for_angle(theta_r, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(side: f64) -> Vec<Point> {
+        vec![
+            p(0.0, 0.0),
+            p(side, 0.0),
+            p(side, side),
+            p(0.0, side),
+        ]
+    }
+
+    #[test]
+    fn wide_edges_admit_candidates() {
+        let pts = find_points(&square(10.0), 5);
+        assert_eq!(pts.len(), 4);
+        // Each candidate is 1/n outside its edge midpoint.
+        assert!(pts.iter().any(|q| q.approx_eq(p(5.0, -0.2))));
+        assert!(pts.iter().any(|q| q.approx_eq(p(10.2, 5.0))));
+    }
+
+    #[test]
+    fn short_edges_admit_no_candidates() {
+        // Unit square: every edge is shorter than a robot diameter.
+        let pts = find_points(&square(1.5), 5);
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn candidates_lie_outside_the_hull() {
+        let hull_pts = square(10.0);
+        let hull = fatrobots_geometry::hull::ConvexHull::from_points(&hull_pts);
+        for q in find_points(&hull_pts, 8) {
+            assert!(!hull.contains_strict(q));
+        }
+    }
+
+    #[test]
+    fn lemma_1_adding_a_disc_at_a_candidate_keeps_hull_points_on_hull() {
+        let hull_pts = square(10.0);
+        for q in find_points(&hull_pts, 5) {
+            let mut extended = hull_pts.clone();
+            extended.push(q);
+            let hull2 = fatrobots_geometry::hull::ConvexHull::from_points(&extended);
+            // Every original hull point is still on the hull boundary.
+            for orig in &hull_pts {
+                assert!(
+                    hull2.point_on_boundary(*orig),
+                    "candidate {q} pushed {orig} off the hull"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_3_flat_corner_rejects_candidate() {
+        // The situation of Figure 3: the bottom-middle edge (0,0)-(2.05,0) is
+        // just long enough (≥ 2), but its corners are almost flat (the
+        // adjacent edges continue at a very shallow angle), so the candidate
+        // 1/n below the midpoint pokes past the adjacent supporting lines and
+        // placing a disc there would push (0,0) and (2.05,0) off the hull.
+        let hull_ccw = vec![
+            p(-5.0, 0.3),
+            p(0.0, 0.0),
+            p(2.05, 0.0),
+            p(7.0, 0.3),
+            p(1.0, 5.0),
+        ];
+        let n = 10;
+        let pts = find_points(&hull_ccw, n);
+        let rejected_candidate = p(1.025, -0.1);
+        assert!(
+            !pts.iter().any(|q| q.approx_eq(rejected_candidate)),
+            "the flat-corner candidate must be rejected"
+        );
+        // Check the rejection is justified: adding it would push (0,0) off
+        // the hull.
+        let mut extended = hull_ccw.clone();
+        extended.push(rejected_candidate);
+        let hull2 = fatrobots_geometry::hull::ConvexHull::from_points(&extended);
+        assert!(!hull2.point_on_boundary(p(0.0, 0.0)));
+        // The long upper edges, far from the flat corners, still admit their
+        // candidates (Find-Points is not empty for this hull).
+        assert!(!pts.is_empty());
+    }
+
+    #[test]
+    fn two_point_hull_gets_a_candidate_when_wide_enough() {
+        let pts = find_points(&[p(0.0, 0.0), p(6.0, 0.0)], 4);
+        assert_eq!(pts.len(), 1);
+        let none = find_points(&[p(0.0, 0.0), p(1.0, 0.0)], 4);
+        assert!(none.is_empty());
+        assert!(find_points(&[p(0.0, 0.0)], 4).is_empty());
+    }
+
+    #[test]
+    fn safe_distance_shrinks_with_n_and_flat_angles() {
+        let d_small_n = safe_distance_for_angle(std::f64::consts::FRAC_PI_2, 5);
+        let d_large_n = safe_distance_for_angle(std::f64::consts::FRAC_PI_2, 50);
+        assert!(d_large_n < d_small_n);
+        // Flatter interior angle (closer to π) needs less distance than a
+        // sharp one.
+        let sharp = safe_distance_for_angle(0.3, 10);
+        let flat = safe_distance_for_angle(2.5, 10);
+        assert!(flat < sharp);
+        assert!(safe_distance(1.0, 2.0, 10) >= 2.0 * safe_distance_for_angle(2.0, 10));
+    }
+
+    #[test]
+    fn edges_at_least_safe_distance_admit_candidates_on_regular_polygons() {
+        // Regular octagon scaled so edges exceed the Lemma-2 safe distance.
+        let n = 8usize;
+        let interior_angle = std::f64::consts::PI * (n as f64 - 2.0) / n as f64;
+        let needed = safe_distance(interior_angle, interior_angle, n).max(2.0);
+        let radius = needed / (2.0 * (std::f64::consts::PI / n as f64).sin()) * 1.2;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                p(radius * a.cos(), radius * a.sin())
+            })
+            .collect();
+        let found = find_points(&pts, n);
+        assert_eq!(found.len(), n, "every edge of the scaled octagon has room");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_n_is_rejected() {
+        let _ = find_points(&[p(0.0, 0.0), p(6.0, 0.0)], 0);
+    }
+}

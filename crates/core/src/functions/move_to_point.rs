@@ -1,0 +1,147 @@
+//! Function `Move-to-Point` (Section 3.2, Figure 2).
+
+use fatrobots_geometry::{Circle, Point, Segment, Vec2, UNIT_RADIUS};
+
+/// Result of [`move_to_point`]: the construction of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveToPoint {
+    /// The paper's point `c`: on the perpendicular through `c2`, at the given
+    /// offset from `c2`, towards the inside of the hull.
+    pub offset_point: Point,
+    /// The paper's point `µ`: where the segment `c1 → c` crosses the boundary
+    /// of the unit disc centred at `c2`. The two discs will be tangent at
+    /// this point after the move.
+    pub mu: Point,
+    /// The center the moving robot must travel to so that its disc becomes
+    /// tangent to the disc at `c2` exactly at `µ` (i.e. the point at distance
+    /// 2 from `c2` in the direction of `µ`).
+    pub target: Point,
+}
+
+/// Function `Move-to-Point`: robot at `c1` wants to touch the robot at `c2`.
+///
+/// The construction (Figure 2): take the perpendicular to `c1c2` at `c2`
+/// pointing towards the inside of the convex hull, mark the point `c` at
+/// distance `offset` from `c2` on it (the paper uses `offset = 1/2m − ε`),
+/// and let `µ` be the intersection of the segment `c1 → c` with the unit
+/// circle around `c2`. The moving robot aims for the center position that
+/// makes its disc tangent to `c2`'s disc at `µ`. The inward offset keeps the
+/// mover from ending up exactly "behind" `c2` as seen from the rest of the
+/// hull, which is what preserves its visibility (see the paper's Insight).
+///
+/// `interior_hint` is any point on the inside of the hull (the hull centroid
+/// works); it only selects which of the two perpendicular directions is
+/// "towards the inside". If the hint is collinear with `c1c2` the
+/// counter-clockwise perpendicular is used.
+///
+/// # Panics
+/// Panics if `c1` and `c2` coincide, or if `offset` is not in `[0, 1)`
+/// (the point `c` must stay strictly inside the unit disc at `c2`).
+pub fn move_to_point(c1: Point, c2: Point, offset: f64, interior_hint: Point) -> MoveToPoint {
+    assert!(
+        c1.distance(c2) > f64::EPSILON,
+        "Move-to-Point needs two distinct centers"
+    );
+    assert!(
+        (0.0..UNIT_RADIUS).contains(&offset),
+        "offset must lie in [0, 1) so that point c stays inside the target disc"
+    );
+    let dir = (c2 - c1).normalized();
+    let mut perp = dir.perp_ccw();
+    let to_inside = interior_hint - c2;
+    if perp.dot(to_inside) < 0.0 {
+        perp = -perp;
+    }
+    let offset_point = c2 + perp * offset;
+
+    // µ = intersection of segment c1 → c with the unit circle around c2.
+    // c lies strictly inside the disc and c1 lies outside (robots never
+    // overlap), so there is exactly one crossing; numerically we take the
+    // intersection closest to c1.
+    let circle = Circle::unit(c2);
+    let seg = Segment::new(c1, offset_point);
+    let crossings = circle.intersect_segment(&seg);
+    let mu = crossings
+        .into_iter()
+        .min_by(|a, b| {
+            a.distance(c1)
+                .partial_cmp(&b.distance(c1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or_else(|| circle.boundary_point_towards(c1));
+
+    let radial: Vec2 = (mu - c2).normalized();
+    let target = c2 + radial * (2.0 * UNIT_RADIUS);
+    MoveToPoint {
+        offset_point,
+        mu,
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn target_is_tangent_to_destination_disc() {
+        let r = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.05, p(0.0, 5.0));
+        assert!((r.target.distance(p(0.0, 0.0)) - 2.0).abs() < 1e-9);
+        // µ is on the unit circle around c2 and on the segment c1 → c.
+        assert!((r.mu.distance(p(0.0, 0.0)) - 1.0).abs() < 1e-9);
+        // The tangency point is the midpoint of the two centers after the move.
+        assert!(r.mu.approx_eq(r.target.midpoint(p(0.0, 0.0))));
+    }
+
+    #[test]
+    fn inward_offset_biases_towards_the_interior() {
+        // Interior above the x-axis: µ and the target are nudged upward.
+        let up = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.1, p(0.0, 5.0));
+        assert!(up.mu.y > 0.0);
+        assert!(up.target.y > 0.0);
+        // Interior below: nudged downward.
+        let down = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.1, p(0.0, -5.0));
+        assert!(down.mu.y < 0.0);
+        assert!(down.target.y < 0.0);
+    }
+
+    #[test]
+    fn zero_offset_is_the_straight_approach() {
+        let r = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.0, p(0.0, 5.0));
+        assert!(r.mu.approx_eq(p(-1.0, 0.0)));
+        assert!(r.target.approx_eq(p(-2.0, 0.0)));
+    }
+
+    #[test]
+    fn target_is_closer_to_mover_side() {
+        // The target must be on the same side of c2 as the mover (we approach,
+        // we do not orbit to the far side).
+        let c1 = p(10.0, 3.0);
+        let c2 = p(2.0, 1.0);
+        let r = move_to_point(c1, c2, 0.08, p(0.0, 0.0));
+        assert!(r.target.distance(c1) < c2.distance(c1));
+    }
+
+    #[test]
+    fn larger_offset_gives_larger_sideways_displacement() {
+        let small = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.02, p(0.0, 5.0));
+        let large = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 0.4, p(0.0, 5.0));
+        assert!(large.target.y > small.target.y);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coincident_centers_are_rejected() {
+        let _ = move_to_point(p(1.0, 1.0), p(1.0, 1.0), 0.1, p(0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn offset_of_a_full_radius_is_rejected() {
+        let _ = move_to_point(p(-6.0, 0.0), p(0.0, 0.0), 1.0, p(0.0, 5.0));
+    }
+}

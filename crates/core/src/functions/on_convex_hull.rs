@@ -1,0 +1,109 @@
+//! Function `On-Convex-Hull` (Section 3.1).
+
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::Point;
+
+/// Result of [`on_convex_hull`]: the YES/NO answer plus the full `onCH` set,
+/// which the paper's function also returns and which the local algorithm
+/// carries through the rest of its Compute states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnConvexHullResult {
+    /// `true` when the queried point lies on the convex hull boundary.
+    pub on_hull: bool,
+    /// The points of the input that lie on the convex hull boundary
+    /// (`onCH(c_1, …, c_m)`), in counter-clockwise order along the boundary.
+    pub on_ch: Vec<Point>,
+    /// The hull itself, for further geometric queries.
+    pub hull: ConvexHull,
+}
+
+/// Function `On-Convex-Hull`: given the `m` points of a robot's local view
+/// and the robot's own center `c`, decide whether `c ∈ onCH(c_1, …, c_m)` and
+/// return the `onCH` set.
+///
+/// "On the convex hull" includes points lying in the interior of a hull edge
+/// (collinear boundary points): the paper's type-2 bad configurations have
+/// four hull robots on a common line, so edge-interior points must count.
+///
+/// The query point `c` is expected to be one of `points` (a robot always sees
+/// itself); if it is not, it is treated as an extra input point.
+///
+/// ```
+/// use fatrobots_core::functions::on_convex_hull;
+/// use fatrobots_geometry::Point;
+///
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(10.0, 10.0),
+///     Point::new(0.0, 10.0),
+///     Point::new(5.0, 5.0), // interior
+/// ];
+/// assert!(on_convex_hull(&pts, pts[0]).on_hull);
+/// assert!(!on_convex_hull(&pts, pts[4]).on_hull);
+/// ```
+pub fn on_convex_hull(points: &[Point], c: Point) -> OnConvexHullResult {
+    let mut input: Vec<Point> = points.to_vec();
+    if !input.iter().any(|p| p.approx_eq(c)) {
+        input.push(c);
+    }
+    let hull = ConvexHull::from_points(&input);
+    let on_ch = hull.boundary();
+    let on_hull = on_ch.iter().any(|p| p.approx_eq(c));
+    OnConvexHullResult {
+        on_hull,
+        on_ch,
+        hull,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn interior_point_is_not_on_hull() {
+        let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(4.0, 5.0)];
+        let r = on_convex_hull(&pts, p(4.0, 5.0));
+        assert!(!r.on_hull);
+        assert_eq!(r.on_ch.len(), 4);
+    }
+
+    #[test]
+    fn corner_and_edge_points_are_on_hull() {
+        let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(5.0, 0.0)];
+        assert!(on_convex_hull(&pts, p(0.0, 0.0)).on_hull);
+        // Edge-interior point counts as on the hull, per the paper's usage.
+        assert!(on_convex_hull(&pts, p(5.0, 0.0)).on_hull);
+        assert_eq!(on_convex_hull(&pts, p(5.0, 0.0)).on_ch.len(), 5);
+    }
+
+    #[test]
+    fn query_point_missing_from_input_is_added() {
+        let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)];
+        let r = on_convex_hull(&pts, p(5.0, 3.0));
+        assert!(!r.on_hull);
+        let r2 = on_convex_hull(&pts, p(5.0, 20.0));
+        assert!(r2.on_hull);
+    }
+
+    #[test]
+    fn collinear_configuration_everyone_on_hull() {
+        let pts = vec![p(0.0, 0.0), p(2.0, 0.0), p(4.0, 0.0), p(6.0, 0.0)];
+        for &q in &pts {
+            assert!(on_convex_hull(&pts, q).on_hull);
+        }
+        assert_eq!(on_convex_hull(&pts, pts[1]).on_ch.len(), 4);
+    }
+
+    #[test]
+    fn two_robots_both_on_hull() {
+        let pts = vec![p(0.0, 0.0), p(5.0, 0.0)];
+        assert!(on_convex_hull(&pts, pts[0]).on_hull);
+        assert!(on_convex_hull(&pts, pts[1]).on_hull);
+    }
+}

@@ -1,0 +1,63 @@
+//! Function `In-Straight-Line-2` (Section 3.8).
+
+use fatrobots_geometry::predicates::{orientation_tol, Orientation};
+use fatrobots_geometry::Point;
+
+/// Function `In-Straight-Line-2`: `YES` iff the three points lie on a common
+/// straight line (within the numerical tolerance `tol` on the doubled
+/// triangle area).
+///
+/// The local algorithm calls this with the robot's own collinearity
+/// tolerance; the *algorithmic* `1/n` band of Procedure
+/// `NotAllOnConvexHull` is a different, coarser test implemented in the
+/// compute layer.
+///
+/// ```
+/// use fatrobots_core::functions::in_straight_line_2;
+/// use fatrobots_geometry::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(1.0, 0.0);
+/// assert!(in_straight_line_2(a, b, Point::new(5.0, 0.0), 1e-9));
+/// assert!(!in_straight_line_2(a, b, Point::new(5.0, 1.0), 1e-9));
+/// ```
+pub fn in_straight_line_2(cl: Point, cm: Point, cr: Point, tol: f64) -> bool {
+    orientation_tol(cl, cm, cr, tol) == Orientation::Collinear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn collinear_triples() {
+        assert!(in_straight_line_2(p(0.0, 0.0), p(3.0, 3.0), p(7.0, 7.0), 1e-9));
+        assert!(in_straight_line_2(p(0.0, 5.0), p(0.0, 1.0), p(0.0, -4.0), 1e-9));
+    }
+
+    #[test]
+    fn non_collinear_triples() {
+        assert!(!in_straight_line_2(p(0.0, 0.0), p(3.0, 3.1), p(7.0, 7.0), 1e-9));
+    }
+
+    #[test]
+    fn tolerance_is_respected() {
+        // Doubled triangle area of this triple is 0.5: collinear only for a
+        // generous tolerance.
+        let (a, b, c) = (p(0.0, 0.0), p(1.0, 0.25), p(2.0, 0.0));
+        assert!(!in_straight_line_2(a, b, c, 1e-9));
+        assert!(in_straight_line_2(a, b, c, 1.0));
+    }
+
+    #[test]
+    fn order_of_arguments_is_irrelevant() {
+        let (a, b, c) = (p(0.0, 0.0), p(2.0, 2.0), p(5.0, 5.0));
+        assert!(in_straight_line_2(a, b, c, 1e-9));
+        assert!(in_straight_line_2(c, a, b, 1e-9));
+        assert!(in_straight_line_2(b, c, a, 1e-9));
+    }
+}

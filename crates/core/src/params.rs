@@ -1,0 +1,115 @@
+//! Algorithm parameters derived from the number of robots `n`.
+
+/// The quantities the paper derives from `n` and the common unit of distance
+/// (the disc radius): every step size and tolerance of the algorithm.
+///
+/// * the *collinearity band* `1/n` used by Procedure `NotAllOnConvexHull`
+///   (the rectangle `ABCD` of Figure 5) and by the sag precondition of
+///   Procedure `NotConnected`;
+/// * the *gap threshold* `1/2n` that groups hull robots into connected
+///   components (Function `Connected-Components`);
+/// * the *step length* `1/2n − ε` used by every expansion/convergence move,
+///   where `ε` is any constant in `(0, 1/2n)` — the paper leaves it free, we
+///   fix `ε = 1/(10 n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgorithmParams {
+    n: usize,
+    eps: f64,
+}
+
+impl AlgorithmParams {
+    /// Parameters for a system of `n` robots, with the default
+    /// `ε = 1/(10 n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn for_n(n: usize) -> Self {
+        assert!(n > 0, "a system needs at least one robot");
+        AlgorithmParams {
+            n,
+            eps: 1.0 / (10.0 * n as f64),
+        }
+    }
+
+    /// Parameters with an explicit `ε`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `ε` is not in `(0, 1/2n)`.
+    pub fn with_eps(n: usize, eps: f64) -> Self {
+        assert!(n > 0, "a system needs at least one robot");
+        assert!(
+            eps > 0.0 && eps < 1.0 / (2.0 * n as f64),
+            "epsilon must lie in (0, 1/2n)"
+        );
+        AlgorithmParams { n, eps }
+    }
+
+    /// Number of robots in the system (known to every robot).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The paper's `ε`.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The collinearity band `1/n` (Procedure `NotAllOnConvexHull`,
+    /// Figure 5).
+    pub fn band(&self) -> f64 {
+        1.0 / self.n as f64
+    }
+
+    /// The gap threshold `1/2n` below which two hull-adjacent robots belong
+    /// to the same connected component (Function `Connected-Components`).
+    pub fn gap_threshold(&self) -> f64 {
+        1.0 / (2.0 * self.n as f64)
+    }
+
+    /// The step length `1/2n − ε` used by the outward-expansion and inward
+    /// convergence moves.
+    pub fn step(&self) -> f64 {
+        self.gap_threshold() - self.eps
+    }
+
+    /// Tolerance (on the doubled triangle area) used for exact collinearity
+    /// tests such as Function `In-Straight-Line-2`. This is a numerical
+    /// tolerance, far below the algorithmic band [`Self::band`].
+    pub fn collinearity_tol(&self) -> f64 {
+        1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let p = AlgorithmParams::for_n(10);
+        assert_eq!(p.n(), 10);
+        assert!((p.band() - 0.1).abs() < 1e-12);
+        assert!((p.gap_threshold() - 0.05).abs() < 1e-12);
+        assert!(p.step() > 0.0 && p.step() < p.gap_threshold());
+        assert!(p.eps() > 0.0 && p.eps() < p.gap_threshold());
+    }
+
+    #[test]
+    fn custom_eps() {
+        let p = AlgorithmParams::with_eps(4, 0.01);
+        assert_eq!(p.eps(), 0.01);
+        assert!((p.step() - (0.125 - 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_robots_rejected() {
+        let _ = AlgorithmParams::for_n(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_eps_rejected() {
+        let _ = AlgorithmParams::with_eps(4, 0.2);
+    }
+}

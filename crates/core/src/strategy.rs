@@ -1,0 +1,48 @@
+//! A common interface for local decision rules, so the simulation engine can
+//! run the paper's algorithm and the baseline strategies interchangeably.
+
+use fatrobots_model::LocalView;
+
+use crate::compute::{Decision, LocalAlgorithm};
+
+/// A local gathering strategy: a deterministic, memoryless map from a
+/// robot's snapshot to a decision, exactly the shape of the paper's local
+/// algorithm `A_i`. Baseline strategies implement the same trait so that the
+/// simulator and the experiment harness can swap them in.
+pub trait Strategy {
+    /// Decide what the robot should do given its current view.
+    fn decide(&self, view: &LocalView) -> Decision;
+
+    /// A short name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+impl Strategy for LocalAlgorithm {
+    fn decide(&self, view: &LocalView) -> Decision {
+        self.run(view).decision
+    }
+
+    fn name(&self) -> &'static str {
+        "agm-gathering"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::AlgorithmParams;
+    use fatrobots_geometry::Point;
+
+    #[test]
+    fn local_algorithm_implements_strategy() {
+        let algo = LocalAlgorithm::new(AlgorithmParams::for_n(3));
+        let strategy: &dyn Strategy = &algo;
+        let view = LocalView::new(
+            Point::new(0.0, 0.0),
+            vec![Point::new(2.0, 0.0), Point::new(1.0, 3.0_f64.sqrt())],
+            3,
+        );
+        assert_eq!(strategy.decide(&view), Decision::Terminate);
+        assert_eq!(strategy.name(), "agm-gathering");
+    }
+}

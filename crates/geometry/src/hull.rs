@@ -1,0 +1,457 @@
+//! Convex hulls of planar point sets.
+//!
+//! The paper computes `onCH(c_1, …, c_m)` — the subset of the input points
+//! that lie **on** the convex hull (Section 3.1) — with Graham's scan. We use
+//! Andrew's monotone chain, which computes the same hull. One subtlety
+//! matters for faithfulness: the paper treats points that lie on a hull
+//! *edge* (collinear boundary points) as being "on the convex hull" — its
+//! type-2 bad configurations explicitly have four hull robots on a common
+//! line. [`ConvexHull`] therefore distinguishes
+//!
+//! * the **corner vertices** ([`ConvexHull::vertices`]) — the minimal vertex
+//!   set, no three collinear, in counter-clockwise order; and
+//! * the **boundary points** ([`ConvexHull::boundary`]) — every input point
+//!   lying on the hull boundary (corners *and* points interior to an edge),
+//!   in counter-clockwise order along the boundary.
+//!
+//! The gathering algorithm's `onCH(V_i)` is the boundary-point set.
+
+use crate::point::Point;
+use crate::predicates::{cross_of_triple, EPS};
+use crate::segment::Segment;
+
+/// Convex hull of a point set, retaining the relationship to the input
+/// points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvexHull {
+    input: Vec<Point>,
+    vertices: Vec<Point>,
+    boundary_indices: Vec<usize>,
+}
+
+/// Corner vertices of the convex hull of `points`, in counter-clockwise
+/// order, with collinear boundary points removed.
+///
+/// Degenerate inputs are handled: fewer than three distinct points, or all
+/// points collinear, yield the (at most two) extreme points.
+///
+/// ```
+/// use fatrobots_geometry::{Point, hull::convex_hull};
+/// let pts = [
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 0.0),   // on an edge: not a corner
+///     Point::new(1.0, 2.0),
+///     Point::new(1.0, 0.5),   // interior
+/// ];
+/// assert_eq!(convex_hull(&pts).len(), 3);
+/// ```
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    if hull.len() < 2 {
+        // All points collinear: return the two extremes.
+        return vec![pts[0], pts[n - 1]];
+    }
+    hull
+}
+
+impl ConvexHull {
+    /// Builds the convex hull of `points`, remembering which input points are
+    /// on the boundary.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn from_points(points: &[Point]) -> Self {
+        assert!(!points.is_empty(), "convex hull of an empty point set");
+        let vertices = convex_hull(points);
+        let boundary_indices = Self::order_boundary(points, &vertices);
+        ConvexHull {
+            input: points.to_vec(),
+            vertices,
+            boundary_indices,
+        }
+    }
+
+    /// Orders all input points lying on the hull boundary counter-clockwise
+    /// along the boundary (corners and edge-interior points alike).
+    fn order_boundary(points: &[Point], vertices: &[Point]) -> Vec<usize> {
+        if vertices.len() == 1 {
+            return points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.approx_eq(vertices[0]))
+                .map(|(i, _)| i)
+                .collect();
+        }
+        // For each boundary input point find (edge index, parameter along edge).
+        let nv = vertices.len();
+        let mut tagged: Vec<(usize, f64, usize)> = Vec::new(); // (edge, t, input index)
+        let edge_count = if nv == 2 { 1 } else { nv };
+        for (idx, &p) in points.iter().enumerate() {
+            let mut best: Option<(usize, f64, f64)> = None; // (edge, t, dist)
+            for e in 0..edge_count {
+                let a = vertices[e];
+                let b = vertices[(e + 1) % nv];
+                let seg = Segment::new(a, b);
+                let d = seg.distance_to(p);
+                if d <= 1e-7 {
+                    let t = if seg.length() <= f64::EPSILON {
+                        0.0
+                    } else {
+                        (p - a).dot(seg.direction()) / seg.direction().norm_sq()
+                    };
+                    match best {
+                        Some((_, _, bd)) if bd <= d => {}
+                        _ => best = Some((e, t.clamp(0.0, 1.0), d)),
+                    }
+                }
+            }
+            if let Some((e, t, _)) = best {
+                // Avoid double-counting a corner as the end of one edge and
+                // the start of the next: snap t≈1 to the next edge at t=0.
+                let (e, t) = if t >= 1.0 - 1e-9 && edge_count > 1 {
+                    ((e + 1) % edge_count, 0.0)
+                } else {
+                    (e, t)
+                };
+                tagged.push((e, t, idx));
+            }
+        }
+        tagged.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        tagged.into_iter().map(|(_, _, i)| i).collect()
+    }
+
+    /// The corner vertices in counter-clockwise order (no three collinear).
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Indices (into the input slice) of all points on the hull boundary, in
+    /// counter-clockwise order along the boundary.
+    pub fn boundary_indices(&self) -> &[usize] {
+        &self.boundary_indices
+    }
+
+    /// All input points on the hull boundary, in counter-clockwise order.
+    pub fn boundary(&self) -> Vec<Point> {
+        self.boundary_indices.iter().map(|&i| self.input[i]).collect()
+    }
+
+    /// Number of input points on the hull boundary (the paper's `|onCH(·)|`).
+    pub fn boundary_len(&self) -> usize {
+        self.boundary_indices.len()
+    }
+
+    /// The input points this hull was built from.
+    pub fn input(&self) -> &[Point] {
+        &self.input
+    }
+
+    /// `true` when input point `index` lies on the hull boundary.
+    pub fn index_on_hull(&self, index: usize) -> bool {
+        self.boundary_indices.contains(&index)
+    }
+
+    /// `true` when `p` lies on the hull boundary (within tolerance), whether
+    /// or not it is one of the input points.
+    pub fn point_on_boundary(&self, p: Point) -> bool {
+        let nv = self.vertices.len();
+        match nv {
+            1 => self.vertices[0].approx_eq(p),
+            2 => Segment::new(self.vertices[0], self.vertices[1]).distance_to(p) <= 1e-7,
+            _ => (0..nv).any(|e| {
+                Segment::new(self.vertices[e], self.vertices[(e + 1) % nv]).distance_to(p) <= 1e-7
+            }),
+        }
+    }
+
+    /// `true` when `p` is a corner vertex of the hull.
+    pub fn is_vertex(&self, p: Point) -> bool {
+        self.vertices.iter().any(|v| v.approx_eq(p))
+    }
+
+    /// `true` when `p` lies inside the hull or on its boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        let nv = self.vertices.len();
+        match nv {
+            1 => self.vertices[0].approx_eq(p),
+            2 => Segment::new(self.vertices[0], self.vertices[1]).distance_to(p) <= 1e-7,
+            _ => (0..nv).all(|e| {
+                cross_of_triple(self.vertices[e], self.vertices[(e + 1) % nv], p) >= -1e-7
+            }),
+        }
+    }
+
+    /// `true` when `p` lies strictly inside the hull (not on the boundary).
+    pub fn contains_strict(&self, p: Point) -> bool {
+        self.contains(p) && !self.point_on_boundary(p)
+    }
+
+    /// Neighbours of boundary point `p` along the boundary ordering:
+    /// `(left, right)` where *left* is the next boundary point
+    /// counter-clockwise and *right* is the next boundary point clockwise.
+    ///
+    /// Matches the paper's convention under chirality: looking from a hull
+    /// robot towards the inside of the hull, its *right* neighbour is the next
+    /// robot clockwise along the hull.
+    ///
+    /// Returns `None` when `p` is not a boundary point or the hull has fewer
+    /// than two boundary points.
+    pub fn neighbors_of(&self, p: Point) -> Option<(Point, Point)> {
+        let m = self.boundary_indices.len();
+        if m < 2 {
+            return None;
+        }
+        let pos = self
+            .boundary_indices
+            .iter()
+            .position(|&i| self.input[i].approx_eq(p))?;
+        let left = self.input[self.boundary_indices[(pos + 1) % m]];
+        let right = self.input[self.boundary_indices[(pos + m - 1) % m]];
+        Some((left, right))
+    }
+
+    /// Edges of the corner-vertex polygon as segments, counter-clockwise.
+    pub fn edges(&self) -> Vec<Segment> {
+        let nv = self.vertices.len();
+        match nv {
+            0 | 1 => vec![],
+            2 => vec![Segment::new(self.vertices[0], self.vertices[1])],
+            _ => (0..nv)
+                .map(|e| Segment::new(self.vertices[e], self.vertices[(e + 1) % nv]))
+                .collect(),
+        }
+    }
+
+    /// Consecutive pairs of *boundary points* (the paper's "neighbouring
+    /// points on the convex hull"), counter-clockwise.
+    pub fn boundary_edges(&self) -> Vec<Segment> {
+        let b = self.boundary();
+        let m = b.len();
+        match m {
+            0 | 1 => vec![],
+            2 => vec![Segment::new(b[0], b[1])],
+            _ => (0..m).map(|i| Segment::new(b[i], b[(i + 1) % m])).collect(),
+        }
+    }
+
+    /// Area of the hull polygon (0 for degenerate hulls).
+    pub fn area(&self) -> f64 {
+        let nv = self.vertices.len();
+        if nv < 3 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..nv {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % nv];
+            sum += a.x * b.y - b.x * a.y;
+        }
+        sum.abs() / 2.0
+    }
+
+    /// Perimeter of the hull polygon.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().iter().map(Segment::length).sum()
+    }
+
+    /// Outward unit normal of the boundary at the edge from `a` to `b`, where
+    /// `a`, `b` are consecutive boundary points in counter-clockwise order.
+    ///
+    /// For a CCW polygon the outward normal of edge `a → b` is the clockwise
+    /// perpendicular of the edge direction.
+    pub fn outward_normal(a: Point, b: Point) -> crate::point::Vec2 {
+        (b - a).normalized().perp_cw()
+    }
+
+    /// `true` when every input point lies on the hull boundary
+    /// (the paper's condition `|onCH(G)| = n`).
+    pub fn all_on_hull(&self) -> bool {
+        self.boundary_indices.len() == self.input.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square_with_extras() -> Vec<Point> {
+        vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 0.0), // on bottom edge
+            p(2.0, 2.0), // interior
+        ]
+    }
+
+    #[test]
+    fn hull_of_square() {
+        let h = convex_hull(&square_with_extras());
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn boundary_includes_edge_points_but_not_interior() {
+        let pts = square_with_extras();
+        let hull = ConvexHull::from_points(&pts);
+        assert_eq!(hull.vertices().len(), 4);
+        assert_eq!(hull.boundary_len(), 5);
+        assert!(hull.index_on_hull(4));
+        assert!(!hull.index_on_hull(5));
+        assert!(!hull.all_on_hull());
+    }
+
+    #[test]
+    fn boundary_order_is_cyclic_and_consistent() {
+        let pts = square_with_extras();
+        let hull = ConvexHull::from_points(&pts);
+        let b = hull.boundary();
+        assert_eq!(b.len(), 5);
+        // Each consecutive pair must lie on a common hull edge.
+        for w in 0..b.len() {
+            let a = b[w];
+            let c = b[(w + 1) % b.len()];
+            assert!(a.distance(c) > 0.0);
+        }
+        // The edge point (2,0) must be between (0,0) and (4,0) in the cyclic order.
+        let pos = |q: Point| b.iter().position(|x| x.approx_eq(q)).unwrap();
+        let i00 = pos(p(0.0, 0.0));
+        let i20 = pos(p(2.0, 0.0));
+        let i40 = pos(p(4.0, 0.0));
+        let m = b.len();
+        assert!((i00 + 1) % m == i20 && (i20 + 1) % m == i40
+            || (i40 + 1) % m == i20 && (i20 + 1) % m == i00);
+    }
+
+    #[test]
+    fn neighbors_on_square() {
+        let pts = vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)];
+        let hull = ConvexHull::from_points(&pts);
+        let (left, right) = hull.neighbors_of(p(0.0, 0.0)).unwrap();
+        // CCW order of the square is (0,0),(4,0),(4,4),(0,4).
+        assert!(left.approx_eq(p(4.0, 0.0)));
+        assert!(right.approx_eq(p(0.0, 4.0)));
+        assert!(hull.neighbors_of(p(9.0, 9.0)).is_none());
+    }
+
+    #[test]
+    fn containment_queries() {
+        let hull = ConvexHull::from_points(&square_with_extras());
+        assert!(hull.contains(p(2.0, 2.0)));
+        assert!(hull.contains_strict(p(2.0, 2.0)));
+        assert!(hull.contains(p(2.0, 0.0)));
+        assert!(!hull.contains_strict(p(2.0, 0.0)));
+        assert!(!hull.contains(p(5.0, 5.0)));
+        assert!(hull.point_on_boundary(p(4.0, 2.0)));
+        assert!(!hull.point_on_boundary(p(2.0, 2.0)));
+    }
+
+    #[test]
+    fn area_and_perimeter() {
+        let hull = ConvexHull::from_points(&square_with_extras());
+        assert!((hull.area() - 16.0).abs() < 1e-9);
+        assert!((hull.perimeter() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_collinear_input() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0)];
+        let hull = ConvexHull::from_points(&pts);
+        assert_eq!(hull.vertices().len(), 2);
+        assert_eq!(hull.boundary_len(), 4);
+        assert!(hull.all_on_hull());
+        assert_eq!(hull.area(), 0.0);
+        assert!(hull.contains(p(1.5, 0.0)));
+        assert!(!hull.contains(p(1.5, 1.0)));
+    }
+
+    #[test]
+    fn degenerate_small_inputs() {
+        let one = ConvexHull::from_points(&[p(1.0, 1.0)]);
+        assert_eq!(one.vertices().len(), 1);
+        assert_eq!(one.boundary_len(), 1);
+        assert!(one.contains(p(1.0, 1.0)));
+        assert!(!one.contains(p(2.0, 1.0)));
+
+        let two = ConvexHull::from_points(&[p(0.0, 0.0), p(2.0, 0.0)]);
+        assert_eq!(two.vertices().len(), 2);
+        assert_eq!(two.boundary_len(), 2);
+        assert_eq!(two.edges().len(), 1);
+    }
+
+    #[test]
+    fn vertices_are_counter_clockwise() {
+        let pts = vec![p(0.0, 0.0), p(3.0, 1.0), p(4.0, 4.0), p(1.0, 3.0), p(2.0, 2.0)];
+        let hull = ConvexHull::from_points(&pts);
+        let v = hull.vertices();
+        let mut area2 = 0.0;
+        for i in 0..v.len() {
+            let a = v[i];
+            let b = v[(i + 1) % v.len()];
+            area2 += a.x * b.y - b.x * a.y;
+        }
+        assert!(area2 > 0.0, "vertices must be in CCW order");
+    }
+
+    #[test]
+    fn outward_normal_points_out() {
+        let pts = vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)];
+        let hull = ConvexHull::from_points(&pts);
+        // Bottom edge (0,0)->(4,0): outward normal should point to -y.
+        let n = ConvexHull::outward_normal(p(0.0, 0.0), p(4.0, 0.0));
+        assert!(n.y < 0.0);
+        let inside = p(2.0, 2.0);
+        assert!(hull.contains(inside));
+        assert!(!hull.contains(inside + n * 10.0));
+    }
+
+    #[test]
+    fn all_on_hull_detects_convex_position() {
+        let pts = vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)];
+        assert!(ConvexHull::from_points(&pts).all_on_hull());
+        let mut with_interior = pts.clone();
+        with_interior.push(p(2.0, 2.0));
+        assert!(!ConvexHull::from_points(&with_interior).all_on_hull());
+    }
+}

@@ -1,0 +1,433 @@
+//! Visibility between unit discs among unit-disc obstacles.
+//!
+//! Section 2 of the paper defines visibility as follows: a point `p` is
+//! visible to robot `r_i` when there is a point `p_i` on the bounding circle
+//! of `r_i` such that the open segment `(p_i, p)` contains no point of any
+//! *other* robot; `r_i` sees robot `r_j` when at least one point of `r_j`'s
+//! bounding circle is visible to `r_i`.
+//!
+//! Deciding this exactly requires an arrangement of tangent lines. We use a
+//! two-tier approach:
+//!
+//! 1. **Exact test in convex position** — when all centers in question lie on
+//!    their common convex hull and no three are collinear, every robot sees
+//!    every other robot (this is the equivalence the paper's Lemma 4 relies
+//!    on). [`fully_visible_in_convex_position`] decides this case exactly.
+//! 2. **Conservative sampling test for arbitrary configurations** —
+//!    [`disc_sees_disc`] tries the center segment, the two outer tangent
+//!    segments and a configurable grid of boundary-point pairs; a segment
+//!    counts as a sight line when it does not pass through the **interior** of
+//!    any other disc. This test never reports visibility that does not exist
+//!    (each witness segment is a genuine sight line); it can miss sight lines
+//!    that only exist through very thin gaps, which makes the simulated robots
+//!    strictly *more* conservative than the paper's idealised robots — they
+//!    act on less information, never on wrong information.
+
+use crate::circle::{Circle, UNIT_RADIUS};
+use crate::hull::ConvexHull;
+use crate::line::Line;
+use crate::point::Point;
+use crate::predicates::{collinear, orientation_tol, Orientation};
+use crate::segment::Segment;
+
+/// Tuning parameters for the sampling-based visibility test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisibilityConfig {
+    /// Number of boundary sample points per disc (per side of the sight
+    /// corridor). Higher values find thinner sight lines at higher cost.
+    pub samples: usize,
+    /// Obstacle tolerance: a segment is blocked when it comes within
+    /// `radius + shrink` of an obstacle center. Robots are closed discs, so
+    /// grazing an obstacle boundary blocks the sight line (this is why three
+    /// collinear hull robots break full visibility).
+    pub shrink: f64,
+}
+
+impl Default for VisibilityConfig {
+    fn default() -> Self {
+        VisibilityConfig {
+            samples: 12,
+            shrink: 1e-9,
+        }
+    }
+}
+
+/// `true` when the segment avoids the interior of every obstacle disc.
+pub fn segment_clear(seg: &Segment, obstacles: &[Circle], cfg: &VisibilityConfig) -> bool {
+    obstacles.iter().all(|c| !c.blocks_segment(seg, cfg.shrink))
+}
+
+/// `true` when the unit disc centred at `centers[i]` can see the unit disc
+/// centred at `centers[j]`, treating every other disc in `centers` as an
+/// opaque obstacle.
+///
+/// The test searches for a *witness sight segment* from the boundary of disc
+/// `i` to the boundary of disc `j` that stays strictly clear of every other
+/// (closed) disc, in two stages:
+///
+/// 1. **Parallel family** — segments at a common perpendicular offset
+///    `o ∈ [−1, 1]` from the center-to-center chord. The candidate offsets
+///    are the corridor edges plus the edges of every obstacle's blocked
+///    interval.
+/// 2. **Slanted family** — when no parallel witness exists, segments whose
+///    perpendicular offsets at the two endpoints differ (`o₁ ≠ o₂`), with
+///    both endpoints drawn from the same critical-offset set. This covers
+///    the thin diagonal sight lines that appear when touching robots sit
+///    near the line of sight at different depths.
+///
+/// Every candidate is verified with an exact segment-versus-disc distance
+/// test, so a `true` answer always corresponds to a genuine sight line.
+/// A `false` answer can in principle miss exotic witnesses that are tangent
+/// to two obstacles while aligned with neither endpoint's critical offsets,
+/// but such configurations do not arise from the gathering dynamics (and the
+/// test errs on the conservative side: the robot acts as if it saw less, not
+/// more).
+///
+/// # Panics
+/// Panics if `i == j` or either index is out of bounds.
+pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityConfig) -> bool {
+    assert!(i != j, "a robot trivially sees itself");
+    let ci = centers[i];
+    let cj = centers[j];
+    let axis = cj - ci;
+    let span = axis.norm();
+    if span <= f64::EPSILON {
+        return true;
+    }
+    let dir = axis / span;
+    let perp = dir.perp_ccw();
+
+    // Obstacles that can possibly obstruct: those whose centers project
+    // strictly between the two endpoints and whose perpendicular offset is
+    // within one diameter of the corridor.
+    let obstacles: Vec<Circle> = centers
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != i && k != j)
+        .filter(|&(_, &ck)| {
+            let w = ck - ci;
+            let along = w.dot(dir);
+            along > 0.0 && along < span && w.dot(perp).abs() < 3.0 * UNIT_RADIUS
+        })
+        .map(|(_, &ck)| Circle::unit(ck))
+        .collect();
+    if obstacles.is_empty() {
+        return true;
+    }
+
+    // Critical perpendicular offsets: the corridor edges and both edges of
+    // every obstacle's shadow.
+    let clearance = cfg.shrink.max(1e-9);
+    let mut offsets = vec![-UNIT_RADIUS, UNIT_RADIUS];
+    for c in &obstacles {
+        let o = (c.center - ci).dot(perp);
+        offsets.push(o - UNIT_RADIUS - clearance);
+        offsets.push(o + UNIT_RADIUS + clearance);
+    }
+    offsets.retain(|o| o.abs() <= UNIT_RADIUS);
+
+    // Endpoint on the boundary of the disc at `center`, at perpendicular
+    // offset `o`, on the side facing the other disc (`sign` = +1 towards j,
+    // −1 towards i).
+    let endpoint = |center: Point, o: f64, sign: f64| {
+        let along = (UNIT_RADIUS * UNIT_RADIUS - o * o).max(0.0).sqrt();
+        center + perp * o + dir * (along * sign)
+    };
+    // Candidate verification runs against *every* other disc (not just the
+    // corridor obstacles used to enumerate offsets): a disc hovering just
+    // behind one of the endpoints can still clip a slanted candidate.
+    let clear = |seg: &Segment| {
+        centers.iter().enumerate().all(|(k, &ck)| {
+            k == i || k == j || seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0
+        })
+    };
+
+    // Stage 1: parallel witnesses.
+    for &o in &offsets {
+        let seg = Segment::new(endpoint(ci, o, 1.0), endpoint(cj, o, -1.0));
+        if clear(&seg) {
+            return true;
+        }
+    }
+    // Stage 2: slanted witnesses whose endpoint offsets are both critical.
+    for &o1 in &offsets {
+        for &o2 in &offsets {
+            if (o1 - o2).abs() <= f64::EPSILON {
+                continue;
+            }
+            let seg = Segment::new(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0));
+            if clear(&seg) {
+                return true;
+            }
+        }
+    }
+    // Stage 3: witnesses tangent to two of the circles involved. If any free
+    // sight segment exists it can be translated/rotated until it touches two
+    // of the discs (possibly the endpoints' own discs), so enumerating the
+    // common tangent lines of every pair — pushed out by the clearance so
+    // the witness is strictly free — is a complete search up to that
+    // clearance.
+    let mut relevant: Vec<Point> = obstacles.iter().map(|c| c.center).collect();
+    relevant.push(ci);
+    relevant.push(cj);
+    for a in 0..relevant.len() {
+        for b in (a + 1)..relevant.len() {
+            for line in tangent_candidate_lines(relevant[a], relevant[b], UNIT_RADIUS + clearance) {
+                if let Some(seg) = chord_between_discs(&line, ci, cj) {
+                    if clear(&seg) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The candidate sight lines tangent (at distance `r`) to the two unit discs
+/// centred at `a` and `b`: up to four lines, each described by a unit normal
+/// `ν` and offset `c` with `ν·x + c = 0`.
+fn tangent_candidate_lines(a: Point, b: Point, r: f64) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let w = a - b;
+    let d = w.norm();
+    if d <= f64::EPSILON {
+        return lines;
+    }
+    for (s1, s2) in [(1.0, 1.0), (-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0)] {
+        // Find unit normals ν with ν·a + c = s1·r and ν·b + c = s2·r, i.e.
+        // ν·w = (s1 − s2)·r.
+        let q = (s1 - s2) * r;
+        if q.abs() > d {
+            continue; // the discs are too close for this tangent family
+        }
+        let along = q / d; // component of ν along w
+        let perp_mag = (1.0 - along * along).max(0.0).sqrt();
+        let u = w / d;
+        for sign in [1.0, -1.0] {
+            let nu = u * along + u.perp_ccw() * (perp_mag * sign);
+            let c = s1 * r - nu.dot(a.to_vec());
+            // Represent the line through its foot point with direction ⟂ ν.
+            let foot = Point::ORIGIN + nu * (-c);
+            lines.push(Line::from_point_dir(foot, nu.perp_ccw()));
+            if perp_mag <= f64::EPSILON {
+                break; // the two mirror solutions coincide
+            }
+        }
+    }
+    lines
+}
+
+/// The portion of `line` that runs from the boundary of the unit disc at
+/// `ci` to the boundary of the unit disc at `cj`, or `None` when the line
+/// misses either disc.
+fn chord_between_discs(line: &Line, ci: Point, cj: Point) -> Option<Segment> {
+    if line.distance_to(ci) > UNIT_RADIUS || line.distance_to(cj) > UNIT_RADIUS {
+        return None;
+    }
+    let pi = line.project(ci);
+    let pj = line.project(cj);
+    if pi.distance(pj) <= f64::EPSILON {
+        return None;
+    }
+    // Pull each endpoint back onto its own disc boundary (towards the other
+    // disc) so the segment spans exactly the gap between the discs.
+    let dir = (pj - pi).normalized();
+    let off_i = (UNIT_RADIUS * UNIT_RADIUS - line.distance_to(ci).powi(2))
+        .max(0.0)
+        .sqrt();
+    let off_j = (UNIT_RADIUS * UNIT_RADIUS - line.distance_to(cj).powi(2))
+        .max(0.0)
+        .sqrt();
+    Some(Segment::new(pi + dir * off_i, pj - dir * off_j))
+}
+
+/// Indices of all robots visible to robot `i` in the configuration `centers`
+/// (excluding `i` itself), using the sampling test.
+pub fn visible_set(i: usize, centers: &[Point], cfg: &VisibilityConfig) -> Vec<usize> {
+    (0..centers.len())
+        .filter(|&j| j != i && disc_sees_disc(i, j, centers, cfg))
+        .collect()
+}
+
+/// Exact full-visibility test for configurations in convex position.
+///
+/// Returns `true` when every center lies on the common convex hull **and** no
+/// three centers are collinear — which, for unit discs whose centers are in
+/// convex position, is equivalent to every robot seeing every other robot
+/// (the equivalence used throughout Section 4 of the paper).
+///
+/// `collinearity_tol` is the tolerance on the doubled triangle area used for
+/// the collinearity test; the gathering algorithm passes its own `1/n`-scaled
+/// band here.
+pub fn fully_visible_in_convex_position(centers: &[Point], collinearity_tol: f64) -> bool {
+    if centers.len() <= 2 {
+        return true;
+    }
+    let hull = ConvexHull::from_points(centers);
+    if !hull.all_on_hull() {
+        return false;
+    }
+    no_three_collinear(centers, collinearity_tol)
+}
+
+/// `true` when no three of the given points are collinear within `tol`
+/// (tolerance on the doubled triangle area).
+pub fn no_three_collinear(points: &[Point], tol: f64) -> bool {
+    let n = points.len();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for c in (b + 1)..n {
+                if orientation_tol(points[a], points[b], points[c], tol) == Orientation::Collinear
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// `true` when the three points are exactly collinear within the default
+/// predicate tolerance. Convenience re-export used by the algorithm crate.
+pub fn three_collinear(a: Point, b: Point, c: Point) -> bool {
+    collinear(a, b, c)
+}
+
+/// Minimum gap (boundary-to-boundary distance) over all pairs of unit discs,
+/// or `None` for fewer than two discs. Negative values indicate overlap.
+pub fn min_pairwise_gap(centers: &[Point]) -> Option<f64> {
+    let n = centers.len();
+    if n < 2 {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let gap = centers[i].distance(centers[j]) - 2.0 * UNIT_RADIUS;
+            if gap < best {
+                best = gap;
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn cfg() -> VisibilityConfig {
+        VisibilityConfig::default()
+    }
+
+    #[test]
+    fn two_discs_always_see_each_other() {
+        let centers = vec![p(0.0, 0.0), p(10.0, 0.0)];
+        assert!(disc_sees_disc(0, 1, &centers, &cfg()));
+        assert!(disc_sees_disc(1, 0, &centers, &cfg()));
+    }
+
+    #[test]
+    fn blocking_disc_in_the_middle_hides_far_disc() {
+        // Three collinear discs spaced far apart: the middle one blocks the
+        // center line but NOT the tangent lines... unless the corridor is
+        // fully covered. With equal radii and perfect collinearity the middle
+        // disc exactly fills the corridor, so the outer robots cannot see
+        // each other.
+        let centers = vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)];
+        assert!(!disc_sees_disc(0, 2, &centers, &cfg()));
+        assert!(disc_sees_disc(0, 1, &centers, &cfg()));
+        assert!(disc_sees_disc(1, 2, &centers, &cfg()));
+    }
+
+    #[test]
+    fn offset_disc_does_not_block() {
+        // The "blocking" disc is displaced well off the corridor.
+        let centers = vec![p(0.0, 0.0), p(10.0, 5.0), p(20.0, 0.0)];
+        assert!(disc_sees_disc(0, 2, &centers, &cfg()));
+    }
+
+    #[test]
+    fn slightly_offset_disc_leaves_a_thin_sight_line() {
+        // Middle disc displaced by more than a radius from the corridor
+        // center line frees one tangent side.
+        let centers = vec![p(0.0, 0.0), p(10.0, 2.5), p(20.0, 0.0)];
+        assert!(disc_sees_disc(0, 2, &centers, &cfg()));
+    }
+
+    #[test]
+    fn visibility_is_symmetric_on_random_like_configs() {
+        let centers = vec![
+            p(0.0, 0.0),
+            p(3.0, 0.5),
+            p(6.0, -0.5),
+            p(2.0, 4.0),
+            p(5.0, 3.0),
+        ];
+        for i in 0..centers.len() {
+            for j in 0..centers.len() {
+                if i != j {
+                    assert_eq!(
+                        disc_sees_disc(i, j, &centers, &cfg()),
+                        disc_sees_disc(j, i, &centers, &cfg()),
+                        "asymmetric visibility between {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visible_set_excludes_self() {
+        let centers = vec![p(0.0, 0.0), p(4.0, 0.0), p(8.0, 0.0)];
+        let v = visible_set(1, &centers, &cfg());
+        assert_eq!(v, vec![0, 2]);
+        let v0 = visible_set(0, &centers, &cfg());
+        assert_eq!(v0, vec![1]);
+    }
+
+    #[test]
+    fn convex_position_full_visibility() {
+        // Square: all on hull, no three collinear.
+        let square = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)];
+        assert!(fully_visible_in_convex_position(&square, 1e-9));
+        // Add an interior point: no longer all on hull.
+        let mut with_interior = square.clone();
+        with_interior.push(p(5.0, 5.0));
+        assert!(!fully_visible_in_convex_position(&with_interior, 1e-9));
+        // Three collinear on the hull boundary.
+        let collinear_cfg = vec![p(0.0, 0.0), p(5.0, 0.0), p(10.0, 0.0), p(5.0, 10.0)];
+        assert!(!fully_visible_in_convex_position(&collinear_cfg, 1e-9));
+    }
+
+    #[test]
+    fn no_three_collinear_tolerance_band() {
+        let pts = vec![p(0.0, 0.0), p(5.0, 0.05), p(10.0, 0.0), p(5.0, 10.0)];
+        // Tiny tolerance: the small bump is NOT collinear.
+        assert!(no_three_collinear(&pts, 1e-9));
+        // Large tolerance (the paper's 1/n band scaled): it IS collinear.
+        assert!(!no_three_collinear(&pts, 1.0));
+    }
+
+    #[test]
+    fn min_gap_reports_touching_and_overlap() {
+        assert_eq!(min_pairwise_gap(&[p(0.0, 0.0)]), None);
+        let touching = vec![p(0.0, 0.0), p(2.0, 0.0)];
+        assert!(min_pairwise_gap(&touching).unwrap().abs() < 1e-12);
+        let apart = vec![p(0.0, 0.0), p(5.0, 0.0)];
+        assert!((min_pairwise_gap(&apart).unwrap() - 3.0).abs() < 1e-12);
+        let overlap = vec![p(0.0, 0.0), p(1.0, 0.0)];
+        assert!(min_pairwise_gap(&overlap).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn three_collinear_helper() {
+        assert!(three_collinear(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)));
+        assert!(!three_collinear(p(0.0, 0.0), p(1.0, 0.0), p(2.0, 1.0)));
+    }
+}

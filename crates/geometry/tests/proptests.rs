@@ -1,0 +1,173 @@
+//! Property-based tests for the geometry substrate.
+
+use fatrobots_geometry::hull::{convex_hull, ConvexHull};
+use fatrobots_geometry::visibility::{disc_sees_disc, min_pairwise_gap, VisibilityConfig};
+use fatrobots_geometry::{Circle, Point, Segment, Vec2};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    -100.0f64..100.0
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (coord(), coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn point_vec(min: usize, max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(point(), min..=max)
+}
+
+/// Points spaced far enough apart to be valid disc centers (pairwise distance > 2).
+fn disc_centers(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((0i32..20, 0i32..20), n..=n).prop_map(|cells| {
+        let mut seen = std::collections::HashSet::new();
+        cells
+            .into_iter()
+            .filter(|c| seen.insert(*c))
+            .map(|(i, j)| Point::new(i as f64 * 3.0, j as f64 * 3.0))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn hull_contains_all_input_points(pts in point_vec(1, 40)) {
+        let hull = ConvexHull::from_points(&pts);
+        for p in &pts {
+            prop_assert!(hull.contains(*p), "hull must contain every input point {p}");
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent(pts in point_vec(3, 40)) {
+        let h1 = convex_hull(&pts);
+        let h2 = convex_hull(&h1);
+        prop_assert_eq!(h1.len(), h2.len());
+    }
+
+    #[test]
+    fn hull_vertices_are_input_points(pts in point_vec(1, 40)) {
+        let h = convex_hull(&pts);
+        for v in &h {
+            prop_assert!(pts.iter().any(|p| p.approx_eq(*v)));
+        }
+    }
+
+    #[test]
+    fn hull_vertices_are_ccw(pts in point_vec(3, 40)) {
+        let hull = ConvexHull::from_points(&pts);
+        let v = hull.vertices();
+        if v.len() >= 3 {
+            let mut area2 = 0.0;
+            for i in 0..v.len() {
+                let a = v[i];
+                let b = v[(i + 1) % v.len()];
+                area2 += a.x * b.y - b.x * a.y;
+            }
+            prop_assert!(area2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn hull_area_not_larger_than_bounding_box(pts in point_vec(1, 40)) {
+        let hull = ConvexHull::from_points(&pts);
+        let min_x = pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let max_x = pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+        let max_y = pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+        let bbox = (max_x - min_x) * (max_y - min_y);
+        prop_assert!(hull.area() <= bbox + 1e-6);
+    }
+
+    #[test]
+    fn adding_interior_point_does_not_change_hull_area(pts in point_vec(3, 20)) {
+        let hull = ConvexHull::from_points(&pts);
+        if hull.vertices().len() >= 3 {
+            let centroid = Point::centroid(hull.vertices());
+            let mut extended = pts.clone();
+            extended.push(centroid);
+            let hull2 = ConvexHull::from_points(&extended);
+            prop_assert!((hull.area() - hull2.area()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn segment_distance_symmetric(a in point(), b in point(), c in point(), d in point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let d1 = s1.distance_to_segment(&s2);
+        let d2 = s2.distance_to_segment(&s1);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!(d1 >= 0.0);
+    }
+
+    #[test]
+    fn closest_point_is_on_segment_and_closest_among_samples(a in point(), b in point(), q in point()) {
+        let s = Segment::new(a, b);
+        let cp = s.closest_point_to(q);
+        prop_assert!(s.distance_to(cp) < 1e-7);
+        for k in 0..=10 {
+            let t = k as f64 / 10.0;
+            prop_assert!(q.distance(cp) <= q.distance(s.point_at(t)) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn circle_segment_intersections_lie_on_both(center in point(), r in 0.1f64..10.0, a in point(), b in point()) {
+        let c = Circle::new(center, r);
+        let seg = Segment::new(a, b);
+        for p in c.intersect_segment(&seg) {
+            prop_assert!((p.distance(center) - r).abs() < 1e-6);
+            prop_assert!(seg.distance_to(p) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn visibility_is_symmetric(centers in disc_centers(6)) {
+        prop_assume!(centers.len() >= 3);
+        if let Some(gap) = min_pairwise_gap(&centers) {
+            prop_assume!(gap > 0.0);
+        }
+        let cfg = VisibilityConfig::default();
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                prop_assert_eq!(
+                    disc_sees_disc(i, j, &centers, &cfg),
+                    disc_sees_disc(j, i, &centers, &cfg)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_discs_always_see_each_other(centers in disc_centers(5)) {
+        prop_assume!(centers.len() >= 2);
+        // The pair at minimum distance has nothing between them.
+        let cfg = VisibilityConfig::default();
+        let mut best = (0, 1, f64::INFINITY);
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                let d = centers[i].distance(centers[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        prop_assert!(disc_sees_disc(best.0, best.1, &centers, &cfg));
+    }
+
+    #[test]
+    fn vector_rotation_preserves_norm(x in coord(), y in coord(), theta in -6.3f64..6.3) {
+        let v = Vec2::new(x, y);
+        prop_assert!((v.rotated(theta).norm() - v.norm()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perp_is_orthogonal(x in coord(), y in coord()) {
+        let v = Vec2::new(x, y);
+        prop_assert!(v.dot(v.perp_ccw()).abs() < 1e-9);
+        prop_assert!(v.dot(v.perp_cw()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,46 @@
+//! # fatrobots-model
+//!
+//! The robot and configuration model of Section 2 of
+//! *A Distributed Algorithm for Gathering Many Fat Mobile Robots in the
+//! Plane* (Agathangelou, Georgiou & Mavronicolas, PODC 2013).
+//!
+//! The crate defines:
+//!
+//! * [`Robot`] and [`RobotId`] — fat robots are closed unit discs identified
+//!   only for bookkeeping (the algorithm itself is anonymous);
+//! * [`Phase`] — the five-state Look–Compute–Move machine of Figure 1
+//!   (`Wait`, `Look`, `Compute`, `Move`, `Terminate`);
+//! * [`GeometricConfig`] — a geometric configuration `G = (c_1, …, c_n)`
+//!   with validity (no two discs overlap), connectivity of the disc union,
+//!   convex-hull queries and the full-visibility predicate;
+//! * [`RobotConfig`] — a robot configuration `R = (⟨s_1, c_1⟩, …)` combining
+//!   phases with positions;
+//! * [`LocalView`] — the snapshot `V_i ⊆ G` a robot obtains in its Look
+//!   phase, which is the only input of the local Compute algorithm.
+//!
+//! ```
+//! use fatrobots_model::GeometricConfig;
+//! use fatrobots_geometry::Point;
+//!
+//! // Three unit discs in a row, each touching the next: connected.
+//! let g = GeometricConfig::new(vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(2.0, 0.0),
+//!     Point::new(4.0, 0.0),
+//! ]);
+//! assert!(g.is_valid());
+//! assert!(g.is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod phase;
+pub mod robot;
+pub mod view;
+
+pub use config::{GeometricConfig, RobotConfig};
+pub use phase::Phase;
+pub use robot::{Robot, RobotId};
+pub use view::LocalView;

@@ -1,0 +1,97 @@
+//! The five-phase Look–Compute–Move cycle of Figure 1.
+
+use std::fmt;
+
+/// Phase of a robot in its Look–Compute–Move cycle (the paper's "states" of
+/// the robot state machine, Figure 1).
+///
+/// The transitions realised by the scheduler events are:
+///
+/// ```text
+/// Wait --Look--> Look --Compute--> Compute --Move--> Move --Arrive/Stop/Collide--> Wait
+///                                      \--Done--> Terminate
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Phase {
+    /// Idling; the robot has no memory of previous cycles (history
+    /// obliviousness). This is the initial phase.
+    #[default]
+    Wait,
+    /// Taking a snapshot of the plane (producing the local view `V_i`).
+    Look,
+    /// Running the local algorithm `A_i` on the snapshot.
+    Compute,
+    /// Moving on a straight line towards the computed target point.
+    Move,
+    /// Terminal phase: the local algorithm returned ⊥; no further steps.
+    Terminate,
+}
+
+impl Phase {
+    /// `true` for the terminal phase.
+    pub fn is_terminal(self) -> bool {
+        self == Phase::Terminate
+    }
+
+    /// The phases a robot may legally transition to from `self`, per
+    /// Figure 1 of the paper.
+    pub fn successors(self) -> &'static [Phase] {
+        match self {
+            Phase::Wait => &[Phase::Look],
+            Phase::Look => &[Phase::Compute],
+            Phase::Compute => &[Phase::Move, Phase::Terminate],
+            Phase::Move => &[Phase::Wait],
+            Phase::Terminate => &[],
+        }
+    }
+
+    /// `true` when a transition from `self` to `next` is allowed by the
+    /// cycle of Figure 1.
+    pub fn can_transition_to(self, next: Phase) -> bool {
+        self.successors().contains(&next)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Wait => "Wait",
+            Phase::Look => "Look",
+            Phase::Compute => "Compute",
+            Phase::Move => "Move",
+            Phase::Terminate => "Terminate",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_wait() {
+        assert_eq!(Phase::default(), Phase::Wait);
+    }
+
+    #[test]
+    fn figure_1_transitions() {
+        assert!(Phase::Wait.can_transition_to(Phase::Look));
+        assert!(Phase::Look.can_transition_to(Phase::Compute));
+        assert!(Phase::Compute.can_transition_to(Phase::Move));
+        assert!(Phase::Compute.can_transition_to(Phase::Terminate));
+        assert!(Phase::Move.can_transition_to(Phase::Wait));
+
+        assert!(!Phase::Wait.can_transition_to(Phase::Compute));
+        assert!(!Phase::Move.can_transition_to(Phase::Look));
+        assert!(!Phase::Terminate.can_transition_to(Phase::Wait));
+        assert!(Phase::Terminate.successors().is_empty());
+    }
+
+    #[test]
+    fn terminal_detection_and_display() {
+        assert!(Phase::Terminate.is_terminal());
+        assert!(!Phase::Move.is_terminal());
+        assert_eq!(format!("{}", Phase::Compute), "Compute");
+    }
+}

@@ -1,0 +1,168 @@
+//! Local views (`V_i`): the snapshot a robot obtains in its Look phase.
+
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::visibility::{visible_set, VisibilityConfig};
+use fatrobots_geometry::Point;
+
+use crate::config::GeometricConfig;
+
+/// The local view `V_i ⊆ G` of a robot: its own center plus the centers of
+/// all robots visible to it at the moment of the snapshot, together with the
+/// globally-known number of robots `n`.
+///
+/// Per the paper, `V_i` is the *only* input of the local Compute algorithm;
+/// the robot additionally knows `n` and the common unit of distance (the
+/// disc radius), both of which are part of the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalView {
+    me: Point,
+    others: Vec<Point>,
+    n: usize,
+}
+
+impl LocalView {
+    /// Creates a view for a robot at `me` that sees `others`, in a system of
+    /// `n` robots.
+    ///
+    /// # Panics
+    /// Panics if `others` holds `n` or more centers (a robot can see at most
+    /// `n − 1` other robots).
+    pub fn new(me: Point, others: Vec<Point>, n: usize) -> Self {
+        assert!(
+            others.len() < n,
+            "a robot sees at most n-1 other robots (saw {} of n={})",
+            others.len(),
+            n
+        );
+        LocalView { me, others, n }
+    }
+
+    /// Takes the snapshot of robot `i` in configuration `g`, using the
+    /// sampling-based visibility oracle: the Look phase of the paper.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn snapshot(g: &GeometricConfig, i: usize, vis: &VisibilityConfig) -> Self {
+        let centers = g.centers();
+        let visible = visible_set(i, centers, vis);
+        LocalView {
+            me: centers[i],
+            others: visible.into_iter().map(|j| centers[j]).collect(),
+            n: g.len(),
+        }
+    }
+
+    /// Takes a snapshot assuming full visibility (every other robot is seen).
+    /// Useful once the configuration is in convex position, where visibility
+    /// is decided exactly by the no-three-collinear predicate and the
+    /// sampling oracle is unnecessary.
+    pub fn full_snapshot(g: &GeometricConfig, i: usize) -> Self {
+        let centers = g.centers();
+        LocalView {
+            me: centers[i],
+            others: centers
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &c)| c)
+                .collect(),
+            n: g.len(),
+        }
+    }
+
+    /// The observing robot's own center (`c_i`).
+    pub fn me(&self) -> Point {
+        self.me
+    }
+
+    /// Centers of the *other* visible robots.
+    pub fn others(&self) -> &[Point] {
+        &self.others
+    }
+
+    /// All centers in the view: the observer first, then the others.
+    pub fn all_centers(&self) -> Vec<Point> {
+        let mut v = Vec::with_capacity(self.others.len() + 1);
+        v.push(self.me);
+        v.extend_from_slice(&self.others);
+        v
+    }
+
+    /// Number of robots in the view (`|V_i|`, observer included).
+    pub fn size(&self) -> usize {
+        self.others.len() + 1
+    }
+
+    /// The total number of robots `n` in the system (known to every robot).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the robot sees all `n − 1` other robots (`|V_i| = n`).
+    pub fn sees_all(&self) -> bool {
+        self.size() == self.n
+    }
+
+    /// Convex hull of all centers in the view.
+    pub fn hull(&self) -> ConvexHull {
+        ConvexHull::from_points(&self.all_centers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn snapshot_reflects_occlusion() {
+        // Three collinear robots: the middle one hides the far one.
+        let g = GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)]);
+        let vis = VisibilityConfig::default();
+        let v0 = LocalView::snapshot(&g, 0, &vis);
+        assert_eq!(v0.size(), 2);
+        assert!(!v0.sees_all());
+        let v1 = LocalView::snapshot(&g, 1, &vis);
+        assert_eq!(v1.size(), 3);
+        assert!(v1.sees_all());
+    }
+
+    #[test]
+    fn full_snapshot_sees_everyone() {
+        let g = GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)]);
+        let v = LocalView::full_snapshot(&g, 0);
+        assert!(v.sees_all());
+        assert_eq!(v.me(), p(0.0, 0.0));
+        assert_eq!(v.others().len(), 2);
+    }
+
+    #[test]
+    fn all_centers_starts_with_observer() {
+        let v = LocalView::new(p(1.0, 1.0), vec![p(5.0, 5.0)], 3);
+        let all = v.all_centers();
+        assert_eq!(all[0], p(1.0, 1.0));
+        assert_eq!(all.len(), 2);
+        assert_eq!(v.n(), 3);
+        assert!(!v.sees_all());
+    }
+
+    #[test]
+    fn hull_of_view() {
+        let v = LocalView::new(
+            p(0.0, 0.0),
+            vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)],
+            4,
+        );
+        assert_eq!(v.hull().vertices().len(), 4);
+        assert!(v.sees_all());
+    }
+
+    #[test]
+    #[should_panic]
+    fn view_cannot_exceed_n() {
+        let _ = LocalView::new(p(0.0, 0.0), vec![p(3.0, 0.0), p(6.0, 0.0)], 2);
+    }
+}

@@ -1,0 +1,430 @@
+//! Adversary strategies: who acts next, and how far movers get.
+
+use fatrobots_geometry::Point;
+use fatrobots_model::{Phase, RobotId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A read-only snapshot of the system handed to the adversary before every
+/// step. The adversary is omniscient: it sees phases, positions and even the
+/// movers' target points.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemSnapshot<'a> {
+    /// Phase of each robot.
+    pub phases: &'a [Phase],
+    /// Current center of each robot.
+    pub centers: &'a [Point],
+    /// Target point of each robot currently in its Move phase.
+    pub targets: &'a [Option<Point>],
+    /// The liveness distance δ in force (the adversary knows it; the robots
+    /// do not).
+    pub delta: f64,
+}
+
+impl SystemSnapshot<'_> {
+    /// Number of robots.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// `true` when the system holds no robots.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Indices of robots that have not terminated.
+    pub fn active(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.phases[i] != Phase::Terminate)
+            .collect()
+    }
+
+    /// Remaining distance to the target for a robot in its Move phase.
+    pub fn remaining(&self, i: usize) -> f64 {
+        match self.targets[i] {
+            Some(t) => self.centers[i].distance(t),
+            None => 0.0,
+        }
+    }
+}
+
+/// How far the scheduled robot may travel if it is currently moving. Ignored
+/// for robots in any other phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MotionControl {
+    /// Let the robot reach its target (unless it hits another robot first).
+    Full,
+    /// Let the robot advance by the given distance (the engine clamps it to
+    /// `[min(δ, remaining), remaining]` per the liveness conditions) and then
+    /// stop it.
+    Distance(f64),
+    /// Let the robot advance exactly the liveness minimum and then stop it —
+    /// the most obstructive schedule the adversary may impose.
+    StopAfterDelta,
+}
+
+/// One adversary decision: which robot acts, and its motion allowance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Directive {
+    /// The robot that takes the next step.
+    pub robot: RobotId,
+    /// Motion allowance if that robot is in its Move phase.
+    pub motion: MotionControl,
+}
+
+/// An adversary strategy.
+///
+/// Implementations must satisfy liveness condition 1: as long as some robot
+/// has not terminated, [`Adversary::next`] keeps scheduling every active
+/// robot infinitely often. All strategies below do so by construction
+/// (round-robin or uniform random over the active robots).
+pub trait Adversary {
+    /// Choose the next step, or `None` when every robot has terminated.
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive>;
+
+    /// A short human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The friendliest schedule: robots take steps in round-robin order and every
+/// move runs to completion. Close to a fully synchronous execution.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates the round-robin adversary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let active = system.active();
+        if active.is_empty() {
+            return None;
+        }
+        let pick = active[self.cursor % active.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(Directive {
+            robot: RobotId(pick),
+            motion: MotionControl::Full,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// A seeded random asynchronous schedule: a uniformly random active robot
+/// acts next; movers advance by a uniformly random fraction of their
+/// remaining distance (possibly stopping short).
+#[derive(Debug, Clone)]
+pub struct RandomAsync {
+    rng: StdRng,
+}
+
+impl RandomAsync {
+    /// Creates the adversary with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAsync {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomAsync {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let active = system.active();
+        if active.is_empty() {
+            return None;
+        }
+        let pick = active[self.rng.gen_range(0..active.len())];
+        let motion = if self.rng.gen_bool(0.5) {
+            MotionControl::Full
+        } else {
+            let remaining = system.remaining(pick).max(system.delta);
+            MotionControl::Distance(self.rng.gen_range(0.0..=remaining))
+        };
+        Some(Directive {
+            robot: RobotId(pick),
+            motion,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "random-async"
+    }
+}
+
+/// The maximally obstructive mover schedule: robots act round-robin but every
+/// move is stopped after the liveness minimum δ, producing the longest
+/// possible executions the liveness conditions allow.
+#[derive(Debug, Clone, Default)]
+pub struct StopHappy {
+    cursor: usize,
+}
+
+impl StopHappy {
+    /// Creates the stop-happy adversary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for StopHappy {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let active = system.active();
+        if active.is_empty() {
+            return None;
+        }
+        let pick = active[self.cursor % active.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(Directive {
+            robot: RobotId(pick),
+            motion: MotionControl::StopAfterDelta,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "stop-happy"
+    }
+}
+
+/// The schedule behind the paper's *type-1/type-2 bad configurations*: one
+/// designated victim robot is always dragged out at δ-speed while every other
+/// robot runs at full speed, so the victim keeps acting on stale views long
+/// after the rest of the system has moved on.
+#[derive(Debug, Clone)]
+pub struct SlowRobot {
+    victim: usize,
+    cursor: usize,
+}
+
+impl SlowRobot {
+    /// Creates the adversary with the given victim robot index.
+    pub fn new(victim: usize) -> Self {
+        SlowRobot { victim, cursor: 0 }
+    }
+}
+
+impl Adversary for SlowRobot {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let active = system.active();
+        if active.is_empty() {
+            return None;
+        }
+        let pick = active[self.cursor % active.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        let motion = if pick == self.victim {
+            MotionControl::StopAfterDelta
+        } else {
+            MotionControl::Full
+        };
+        Some(Directive {
+            robot: RobotId(pick),
+            motion,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "slow-robot"
+    }
+}
+
+/// A schedule that tries to make moving robots meet: whenever at least two
+/// robots are in their Move phase, it schedules the pair whose current
+/// positions are closest (full speed, so they run into each other if their
+/// trajectories intersect); otherwise it behaves like round-robin.
+#[derive(Debug, Clone, Default)]
+pub struct CollisionSeeker {
+    cursor: usize,
+}
+
+impl CollisionSeeker {
+    /// Creates the collision-seeking adversary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for CollisionSeeker {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let active = system.active();
+        if active.is_empty() {
+            return None;
+        }
+        let movers: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| system.phases[i] == Phase::Move)
+            .collect();
+        if movers.len() >= 2 {
+            // Schedule the mover closest to another mover.
+            let mut best = (movers[0], f64::INFINITY);
+            for &i in &movers {
+                for &j in &movers {
+                    if i != j {
+                        let d = system.centers[i].distance(system.centers[j]);
+                        if d < best.1 {
+                            best = (i, d);
+                        }
+                    }
+                }
+            }
+            return Some(Directive {
+                robot: RobotId(best.0),
+                motion: MotionControl::Full,
+            });
+        }
+        let pick = active[self.cursor % active.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(Directive {
+            robot: RobotId(pick),
+            motion: MotionControl::Full,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "collision-seeker"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot<'a>(
+        phases: &'a [Phase],
+        centers: &'a [Point],
+        targets: &'a [Option<Point>],
+    ) -> SystemSnapshot<'a> {
+        SystemSnapshot {
+            phases,
+            centers,
+            targets,
+            delta: 0.01,
+        }
+    }
+
+    fn three_waiting() -> (Vec<Phase>, Vec<Point>, Vec<Option<Point>>) {
+        (
+            vec![Phase::Wait; 3],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                Point::new(10.0, 0.0),
+            ],
+            vec![None; 3],
+        )
+    }
+
+    #[test]
+    fn round_robin_cycles_over_active_robots() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = RoundRobin::new();
+        let picks: Vec<usize> = (0..6).map(|_| adv.next(&snap).unwrap().robot.0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn terminated_robots_are_never_scheduled() {
+        let (mut phases, centers, targets) = three_waiting();
+        phases[1] = Phase::Terminate;
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = RoundRobin::new();
+        for _ in 0..10 {
+            assert_ne!(adv.next(&snap).unwrap().robot.0, 1);
+        }
+    }
+
+    #[test]
+    fn all_terminated_yields_none() {
+        let phases = vec![Phase::Terminate; 2];
+        let centers = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let targets = vec![None, None];
+        let snap = snapshot(&phases, &centers, &targets);
+        assert!(RoundRobin::new().next(&snap).is_none());
+        assert!(RandomAsync::new(7).next(&snap).is_none());
+        assert!(StopHappy::new().next(&snap).is_none());
+        assert!(SlowRobot::new(0).next(&snap).is_none());
+        assert!(CollisionSeeker::new().next(&snap).is_none());
+    }
+
+    #[test]
+    fn random_async_is_deterministic_per_seed_and_fair() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut adv = RandomAsync::new(seed);
+            (0..50).map(|_| adv.next(&snap).unwrap().robot.0).collect()
+        };
+        assert_eq!(picks(42), picks(42));
+        let p = picks(42);
+        for i in 0..3 {
+            assert!(p.contains(&i), "robot {i} must be scheduled eventually");
+        }
+    }
+
+    #[test]
+    fn stop_happy_always_limits_motion() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = StopHappy::new();
+        for _ in 0..5 {
+            assert_eq!(adv.next(&snap).unwrap().motion, MotionControl::StopAfterDelta);
+        }
+    }
+
+    #[test]
+    fn slow_robot_only_slows_the_victim() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = SlowRobot::new(2);
+        for _ in 0..9 {
+            let d = adv.next(&snap).unwrap();
+            if d.robot.0 == 2 {
+                assert_eq!(d.motion, MotionControl::StopAfterDelta);
+            } else {
+                assert_eq!(d.motion, MotionControl::Full);
+            }
+        }
+    }
+
+    #[test]
+    fn collision_seeker_prefers_the_closest_pair_of_movers() {
+        let phases = vec![Phase::Move, Phase::Move, Phase::Move, Phase::Wait];
+        let centers = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(50.0, 0.0),
+            Point::new(100.0, 0.0),
+        ];
+        let targets = vec![
+            Some(Point::new(1.0, 0.0)),
+            Some(Point::new(2.0, 0.0)),
+            Some(Point::new(40.0, 0.0)),
+            None,
+        ];
+        let snap = snapshot(&phases, &centers, &targets);
+        let pick = CollisionSeeker::new().next(&snap).unwrap().robot.0;
+        assert!(pick == 0 || pick == 1, "one of the closest movers is chosen");
+    }
+
+    #[test]
+    fn snapshot_helpers() {
+        let phases = vec![Phase::Move, Phase::Terminate];
+        let centers = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let targets = vec![Some(Point::new(3.0, 4.0)), None];
+        let snap = snapshot(&phases, &centers, &targets);
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.active(), vec![0]);
+        assert!((snap.remaining(0) - 5.0).abs() < 1e-12);
+        assert_eq!(snap.remaining(1), 0.0);
+    }
+}

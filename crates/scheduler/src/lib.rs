@@ -1,0 +1,43 @@
+//! # fatrobots-scheduler
+//!
+//! Asynchrony as an adversary: the event model of Section 2 of the paper.
+//!
+//! The paper models asynchrony as an *online, omniscient adversary* that
+//! chooses which robot takes the next step, controls the speed of moving
+//! robots, may stop them mid-flight and may cause collisions, subject to two
+//! liveness conditions (every robot takes infinitely many steps; every move
+//! covers at least an unknown distance δ unless the target is closer).
+//!
+//! This crate provides:
+//!
+//! * [`Event`] — the seven event kinds of the paper (`Look`, `Compute`,
+//!   `Done`, `Move`, `Stop`, `Collide`, `Arrive`), used for execution traces;
+//! * [`Adversary`] — the strategy interface: given a snapshot of the system
+//!   the adversary picks which robot acts next and how far it may travel if
+//!   it is moving;
+//! * concrete adversaries ([`adversary::RoundRobin`],
+//!   [`adversary::RandomAsync`], [`adversary::StopHappy`],
+//!   [`adversary::SlowRobot`], [`adversary::CollisionSeeker`]) covering the
+//!   spectrum from friendly to hostile scheduling, including the schedules
+//!   that drive the paper's type-1/type-2 *bad configurations*;
+//! * [`liveness::Liveness`] — the δ parameter and the clamping rule the
+//!   engine uses to enforce liveness condition 2.
+//!
+//! The actual execution of the chosen steps (snapshotting, running the local
+//! algorithm, integrating motion, detecting contacts) lives in
+//! `fatrobots-sim`; this crate deliberately knows nothing about the gathering
+//! algorithm, only about scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod event;
+pub mod liveness;
+
+pub use adversary::{
+    Adversary, CollisionSeeker, Directive, MotionControl, RandomAsync, RoundRobin, SlowRobot,
+    StopHappy, SystemSnapshot,
+};
+pub use event::Event;
+pub use liveness::Liveness;

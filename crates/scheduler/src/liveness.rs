@@ -1,0 +1,75 @@
+//! The liveness conditions of Section 2.
+
+/// The liveness parameters the adversary must respect.
+///
+/// Condition 1 (every robot takes infinitely many steps) is guaranteed by the
+/// adversary implementations themselves; condition 2 (every move covers at
+/// least δ unless the target is closer) is enforced by the engine through
+/// [`Liveness::clamp_travel`]. The robots — and their local algorithms —
+/// never learn δ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Liveness {
+    delta: f64,
+}
+
+impl Liveness {
+    /// Creates liveness parameters with the given δ.
+    ///
+    /// # Panics
+    /// Panics if `delta` is not strictly positive.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0, "the liveness distance δ must be positive");
+        Liveness { delta }
+    }
+
+    /// The minimum progress distance δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Clamp a travel distance requested by the adversary: the robot must
+    /// cover at least `min(remaining, δ)` and may cover at most `remaining`
+    /// (the full distance to its target).
+    pub fn clamp_travel(&self, requested: f64, remaining: f64) -> f64 {
+        let lower = self.delta.min(remaining);
+        requested.max(lower).min(remaining)
+    }
+}
+
+impl Default for Liveness {
+    /// A δ of 10⁻³ robot radii: small enough to exercise the asynchrony, far
+    /// smaller than any algorithm step.
+    fn default() -> Self {
+        Liveness::new(1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping_respects_delta_and_remaining() {
+        let l = Liveness::new(0.5);
+        // Requests below δ are raised to δ.
+        assert_eq!(l.clamp_travel(0.1, 10.0), 0.5);
+        // Requests above the remaining distance are capped.
+        assert_eq!(l.clamp_travel(100.0, 3.0), 3.0);
+        // A target closer than δ only requires the remaining distance.
+        assert_eq!(l.clamp_travel(0.0, 0.2), 0.2);
+        // Reasonable requests pass through unchanged.
+        assert_eq!(l.clamp_travel(2.0, 10.0), 2.0);
+    }
+
+    #[test]
+    fn default_delta_is_small_and_positive() {
+        let l = Liveness::default();
+        assert!(l.delta() > 0.0 && l.delta() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_delta_is_rejected() {
+        let _ = Liveness::new(0.0);
+    }
+}

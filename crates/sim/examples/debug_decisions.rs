@@ -1,0 +1,71 @@
+//! Diagnostic: run for a while, then print every robot's current decision.
+
+use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+use fatrobots_geometry::visibility::VisibilityConfig;
+use fatrobots_model::{GeometricConfig, LocalView};
+use fatrobots_sim::engine::{SimConfig, Simulator};
+use fatrobots_sim::init::Shape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let warm: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+
+    let adv: String = args.get(4).cloned().unwrap_or_else(|| "rr".into());
+    let adversary: Box<dyn fatrobots_scheduler::Adversary> = match adv.as_str() {
+        "random" => Box::new(fatrobots_scheduler::RandomAsync::new(seed)),
+        "stop" => Box::new(fatrobots_scheduler::StopHappy::new()),
+        _ => Box::new(fatrobots_scheduler::RoundRobin::new()),
+    };
+    let centers = Shape::Random.generate(n, seed);
+    let algo = LocalAlgorithm::new(AlgorithmParams::for_n(n));
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(algo),
+        adversary,
+        SimConfig {
+            max_events: warm,
+            sample_every: 0,
+            ..SimConfig::default()
+        },
+    );
+    let _ = sim.run();
+
+    let g = GeometricConfig::new(sim.centers().to_vec());
+    let hull = g.hull();
+    println!(
+        "after {} events: on_hull={}/{} area={:.2} connected={} comps={:?}",
+        sim.metrics().events,
+        hull.boundary_len(),
+        n,
+        hull.area(),
+        g.is_connected(),
+        g.tangency_components()
+    );
+    for (i, c) in sim.centers().iter().enumerate() {
+        println!("  r{i}: ({:.4}, {:.4}) phase={:?}", c.x, c.y, sim.phases()[i]);
+    }
+    let vis = VisibilityConfig::default();
+    for i in 0..n {
+        let view = LocalView::snapshot(&g, i, &vis);
+        let out = algo.run(&view);
+        let me = sim.centers()[i];
+        let desc = match out.decision {
+            fatrobots_core::Decision::Terminate => "TERMINATE".to_string(),
+            fatrobots_core::Decision::MoveTo(t) => {
+                if t.approx_eq(me) {
+                    "STAY".to_string()
+                } else {
+                    format!("move {:.4} to ({:.3},{:.3})", me.distance(t), t.x, t.y)
+                }
+            }
+        };
+        println!(
+            "  r{i}: sees {}/{}  trace={:?}  -> {desc}",
+            view.size(),
+            n,
+            out.trace.last().unwrap(),
+        );
+    }
+}

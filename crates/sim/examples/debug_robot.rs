@@ -1,0 +1,49 @@
+//! Diagnostic: trace one robot's events and positions during a run.
+
+use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+use fatrobots_sim::engine::{SimConfig, Simulator};
+use fatrobots_sim::init::Shape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let robot: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let warm: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let show: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let centers = Shape::Random.generate(n, seed);
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+        Box::new(fatrobots_scheduler::RandomAsync::new(seed)),
+        SimConfig {
+            max_events: warm,
+            sample_every: 0,
+            ..SimConfig::default()
+        },
+    );
+    // Warm up.
+    for _ in 0..warm {
+        if sim.step().is_none() {
+            break;
+        }
+    }
+    println!("--- events touching robot r{robot} after warm-up ---");
+    let mut shown = 0;
+    while shown < show {
+        let before = sim.centers()[robot];
+        let Some(ev) = sim.step() else { break };
+        let involved = ev.robots().iter().any(|r| r.0 == robot);
+        if involved {
+            let after = sim.centers()[robot];
+            println!(
+                "{ev}  pos=({:.4},{:.4}) moved={:.5}",
+                after.x,
+                after.y,
+                before.distance(after)
+            );
+            shown += 1;
+        }
+    }
+}

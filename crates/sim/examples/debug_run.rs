@@ -1,0 +1,65 @@
+//! Diagnostic run: prints the configuration-level state periodically.
+
+use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+use fatrobots_model::GeometricConfig;
+use fatrobots_sim::engine::{SimConfig, Simulator};
+use fatrobots_sim::init::Shape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let adv: String = args.get(3).cloned().unwrap_or_else(|| "random".into());
+
+    let centers = Shape::Random.generate(n, seed);
+    let adversary: Box<dyn fatrobots_scheduler::Adversary> = match adv.as_str() {
+        "rr" => Box::new(fatrobots_scheduler::RoundRobin::new()),
+        _ => Box::new(fatrobots_scheduler::RandomAsync::new(seed)),
+    };
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+        adversary,
+        SimConfig {
+            max_events: 120_000,
+            sample_every: 0,
+            ..SimConfig::default()
+        },
+    );
+    let mut last_report = 0usize;
+    loop {
+        if sim.step().is_none() {
+            break;
+        }
+        let ev = sim.metrics().events;
+        if ev - last_report >= 5000 || ev < 60 {
+            last_report = ev;
+            let g = GeometricConfig::new(sim.centers().to_vec());
+            let hull = g.hull();
+            let comps = g.tangency_components().len();
+            let terminated = sim
+                .phases()
+                .iter()
+                .filter(|p| p.is_terminal())
+                .count();
+            println!(
+                "ev={ev:7} on_hull={}/{} hull_area={:9.2} tang_comps={} terminated={} connected={}",
+                hull.boundary_len(),
+                n,
+                hull.area(),
+                comps,
+                terminated,
+                g.is_connected()
+            );
+        }
+        if ev >= 120_000 {
+            break;
+        }
+    }
+    let g = GeometricConfig::new(sim.centers().to_vec());
+    println!("final: terminated={} gathered={}", sim.all_terminated(), sim.is_gathered());
+    for (i, c) in sim.centers().iter().enumerate() {
+        println!("  r{i}: ({:.3}, {:.3}) phase={:?}", c.x, c.y, sim.phases()[i]);
+    }
+    println!("tangency components: {:?}", g.tangency_components());
+}

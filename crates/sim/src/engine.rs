@@ -1,0 +1,474 @@
+//! The discrete-event execution engine.
+//!
+//! The engine owns the ground-truth robot configuration and applies one
+//! event per [`Simulator::step`]: the adversary chooses which robot acts and
+//! how far it may travel; the engine realises the corresponding event of the
+//! paper's model (`Look`, `Compute`, `Done`, `Move`, `Stop`, `Collide`,
+//! `Arrive`), enforcing
+//!
+//! * the Look–Compute–Move cycle of Figure 1 (phase transitions are checked
+//!   by the model layer),
+//! * the liveness conditions (minimum δ-progress per move),
+//! * physical validity (motion stops at first contact; discs never overlap).
+
+use fatrobots_core::{Decision, Strategy};
+use fatrobots_geometry::visibility::VisibilityConfig;
+use fatrobots_geometry::{Point, UNIT_RADIUS};
+use fatrobots_model::{GeometricConfig, LocalView, Phase, RobotConfig, RobotId};
+use fatrobots_scheduler::{Adversary, Directive, Event, Liveness, MotionControl, SystemSnapshot};
+
+use crate::metrics::Metrics;
+use crate::trace::ExecutionTrace;
+
+/// Tolerance for "the robot reached its target" and for contact detection.
+const ARRIVAL_TOL: f64 = 1e-9;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Event budget: the run stops (unsuccessfully) after this many events.
+    pub max_events: usize,
+    /// The liveness parameters (δ).
+    pub liveness: Liveness,
+    /// Parameters of the sampling-based visibility oracle used for the Look
+    /// snapshots.
+    pub visibility: VisibilityConfig,
+    /// Collinearity tolerance used by the gathered-predicate checks.
+    pub collinearity_tol: f64,
+    /// Record the full event trace (memory proportional to the run length).
+    pub record_trace: bool,
+    /// Record a configuration-level sample every this many events
+    /// (0 disables sampling).
+    pub sample_every: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_events: 200_000,
+            liveness: Liveness::default(),
+            visibility: VisibilityConfig::default(),
+            collinearity_tol: 1e-9,
+            record_trace: false,
+            sample_every: 50,
+        }
+    }
+}
+
+/// Result of a completed (or aborted) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// `true` when every robot terminated.
+    pub terminated: bool,
+    /// `true` when every robot terminated *and* the final configuration is
+    /// connected and fully visible — the postcondition of Theorem 26.
+    pub gathered: bool,
+    /// Number of events applied.
+    pub events: usize,
+    /// The collected metrics.
+    pub metrics: Metrics,
+}
+
+/// The simulator: ground-truth state plus the pluggable strategy and
+/// adversary.
+pub struct Simulator {
+    strategy: Box<dyn Strategy>,
+    adversary: Box<dyn Adversary>,
+    config: SimConfig,
+    centers: Vec<Point>,
+    phases: Vec<Phase>,
+    views: Vec<Option<LocalView>>,
+    decisions: Vec<Option<Decision>>,
+    targets: Vec<Option<Point>>,
+    metrics: Metrics,
+    trace: ExecutionTrace,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given initial centers.
+    ///
+    /// # Panics
+    /// Panics if the initial configuration is invalid (two discs overlap) or
+    /// empty.
+    pub fn new(
+        centers: Vec<Point>,
+        strategy: Box<dyn Strategy>,
+        adversary: Box<dyn Adversary>,
+        config: SimConfig,
+    ) -> Self {
+        assert!(!centers.is_empty(), "a simulation needs at least one robot");
+        let initial = GeometricConfig::new(centers.clone());
+        assert!(
+            initial.is_valid(),
+            "the initial configuration must not contain overlapping robots"
+        );
+        let n = centers.len();
+        let mut sim = Simulator {
+            strategy,
+            adversary,
+            config,
+            centers,
+            phases: vec![Phase::Wait; n],
+            views: vec![None; n],
+            decisions: vec![None; n],
+            targets: vec![None; n],
+            metrics: Metrics::default(),
+            trace: ExecutionTrace::default(),
+        };
+        if sim.config.sample_every > 0 {
+            sim.metrics
+                .record_sample(&sim.centers, sim.config.collinearity_tol);
+        }
+        sim
+    }
+
+    /// Number of robots.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// `true` when the simulation has no robots (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Current robot centers.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Current robot phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The execution trace (non-empty only when trace recording is enabled).
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// The current robot configuration (phases plus geometry).
+    pub fn robot_config(&self) -> RobotConfig {
+        RobotConfig::new(self.phases.clone(), self.centers.clone())
+    }
+
+    /// `true` when every robot has terminated.
+    pub fn all_terminated(&self) -> bool {
+        self.phases.iter().all(|p| p.is_terminal())
+    }
+
+    /// `true` when the current geometric configuration is connected and
+    /// fully visible.
+    pub fn is_gathered(&self) -> bool {
+        GeometricConfig::new(self.centers.clone()).is_gathered(self.config.collinearity_tol)
+    }
+
+    /// Applies one adversary-chosen event. Returns `None` when every robot
+    /// has terminated (no event can be applied).
+    pub fn step(&mut self) -> Option<Event> {
+        let directive = {
+            let snapshot = SystemSnapshot {
+                phases: &self.phases,
+                centers: &self.centers,
+                targets: &self.targets,
+                delta: self.config.liveness.delta(),
+            };
+            self.adversary.next(&snapshot)?
+        };
+        let event = self.apply(directive);
+        self.metrics.record_event(&event);
+        if self.config.record_trace {
+            self.trace.push_event(event.clone());
+        }
+        if self.config.sample_every > 0 && self.metrics.events % self.config.sample_every == 0 {
+            self.metrics
+                .record_sample(&self.centers, self.config.collinearity_tol);
+            if self.config.record_trace {
+                self.trace
+                    .push_snapshot(self.metrics.events, self.centers.clone());
+            }
+        }
+        debug_assert!(
+            GeometricConfig::new(self.centers.clone()).is_valid(),
+            "the engine must never produce overlapping robots"
+        );
+        Some(event)
+    }
+
+    /// Runs until every robot terminates or the event budget is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        while self.metrics.events < self.config.max_events {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        // Record one final sample so the series always covers the end state.
+        if self.config.sample_every > 0 {
+            self.metrics
+                .record_sample(&self.centers, self.config.collinearity_tol);
+        }
+        let terminated = self.all_terminated();
+        RunOutcome {
+            terminated,
+            gathered: terminated && self.is_gathered(),
+            events: self.metrics.events,
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    fn apply(&mut self, directive: Directive) -> Event {
+        let RobotId(i) = directive.robot;
+        assert!(i < self.len(), "adversary scheduled an unknown robot");
+        match self.phases[i] {
+            Phase::Terminate => {
+                // A well-behaved adversary never schedules a terminated
+                // robot; treat it as a harmless no-op Look-less event.
+                Event::Stop(RobotId(i))
+            }
+            Phase::Wait => {
+                let g = GeometricConfig::new(self.centers.clone());
+                self.views[i] = Some(LocalView::snapshot(&g, i, &self.config.visibility));
+                self.phases[i] = Phase::Look;
+                Event::Look(RobotId(i))
+            }
+            Phase::Look => {
+                let view = self.views[i]
+                    .as_ref()
+                    .expect("a robot in Look always has a snapshot");
+                self.decisions[i] = Some(self.strategy.decide(view));
+                self.phases[i] = Phase::Compute;
+                Event::Compute(RobotId(i))
+            }
+            Phase::Compute => {
+                match self.decisions[i].take() {
+                    Some(Decision::Terminate) => {
+                        self.phases[i] = Phase::Terminate;
+                        Event::Done(RobotId(i))
+                    }
+                    Some(Decision::MoveTo(target)) => {
+                        self.targets[i] = Some(target);
+                        self.phases[i] = Phase::Move;
+                        Event::Move(RobotId(i))
+                    }
+                    None => {
+                        // Defensive: a robot in Compute always has a pending
+                        // decision; fall back to an idle move.
+                        self.targets[i] = Some(self.centers[i]);
+                        self.phases[i] = Phase::Move;
+                        Event::Move(RobotId(i))
+                    }
+                }
+            }
+            Phase::Move => self.advance_motion(i, directive.motion),
+        }
+    }
+
+    /// Moves robot `i` along its straight trajectory according to the
+    /// adversary's allowance, stopping at the first contact with another
+    /// robot, and emits the corresponding motion-ending or `Stop` event.
+    fn advance_motion(&mut self, i: usize, motion: MotionControl) -> Event {
+        let target = self.targets[i].expect("a robot in Move always has a target");
+        let start = self.centers[i];
+        let remaining = start.distance(target);
+        if remaining <= ARRIVAL_TOL {
+            self.finish_motion(i);
+            return Event::Arrive(RobotId(i));
+        }
+        let requested = match motion {
+            MotionControl::Full => remaining,
+            MotionControl::Distance(d) => d,
+            MotionControl::StopAfterDelta => self.config.liveness.delta(),
+        };
+        let allowed = self.config.liveness.clamp_travel(requested, remaining);
+        let dir = (target - start).normalized();
+
+        // First contact with any other robot along the trajectory.
+        let mut contact: Option<(f64, usize)> = None;
+        for j in 0..self.len() {
+            if j == i {
+                continue;
+            }
+            if let Some(t) = first_contact_distance(start, dir, self.centers[j]) {
+                if t <= allowed + ARRIVAL_TOL && contact.map_or(true, |(bt, _)| t < bt) {
+                    contact = Some((t, j));
+                }
+            }
+        }
+
+        match contact {
+            Some((t, j)) => {
+                let travel = t.max(0.0);
+                self.centers[i] = start + dir * travel;
+                self.metrics.record_travel(travel);
+                self.finish_motion(i);
+                Event::Collide(vec![RobotId(i), RobotId(j)])
+            }
+            None => {
+                self.centers[i] = start + dir * allowed;
+                self.metrics.record_travel(allowed);
+                if allowed >= remaining - ARRIVAL_TOL {
+                    self.centers[i] = target;
+                    self.finish_motion(i);
+                    Event::Arrive(RobotId(i))
+                } else {
+                    self.finish_motion(i);
+                    Event::Stop(RobotId(i))
+                }
+            }
+        }
+    }
+
+    fn finish_motion(&mut self, i: usize) {
+        self.targets[i] = None;
+        self.views[i] = None;
+        self.phases[i] = Phase::Wait;
+    }
+}
+
+/// Tolerance within which two discs are treated as already in contact by the
+/// motion integrator (matches the model layer's touch tolerance).
+const CONTACT_TOL: f64 = 1e-6;
+
+/// Small gap left between discs when a move is stopped by a contact, so that
+/// accumulated floating-point error can never make two discs interpenetrate
+/// and freeze each other in place.
+const CONTACT_BACKOFF: f64 = 1e-9;
+
+/// Distance along the unit direction `dir` from `start` at which a unit disc
+/// travelling that way first becomes tangent to the unit disc at `obstacle`,
+/// if it does so while moving forward.
+///
+/// Discs that already touch (within [`CONTACT_TOL`]) behave like a physical
+/// contact: motion with a positive component towards the obstacle is stopped
+/// immediately, while tangential or separating motion is free — this is what
+/// lets a robot slide around a neighbour it is resting against.
+fn first_contact_distance(start: Point, dir: fatrobots_geometry::Vec2, obstacle: Point) -> Option<f64> {
+    let contact_dist = 2.0 * UNIT_RADIUS;
+    let w = obstacle - start;
+    let proj = w.dot(dir);
+    if w.norm() <= contact_dist + CONTACT_TOL {
+        // Already in contact: block only motion that presses into the
+        // obstacle.
+        return if proj > CONTACT_TOL { Some(0.0) } else { None };
+    }
+    if proj <= 0.0 {
+        return None; // moving away or alongside
+    }
+    let closest_sq = w.norm_sq() - proj * proj;
+    let reach_sq = contact_dist * contact_dist - closest_sq;
+    if reach_sq < 0.0 {
+        return None; // the trajectory never comes within contact range
+    }
+    let t = proj - reach_sq.sqrt() - CONTACT_BACKOFF;
+    Some(t.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+    use fatrobots_geometry::Vec2;
+    use fatrobots_scheduler::RoundRobin;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn paper_sim(centers: Vec<Point>, max_events: usize) -> Simulator {
+        let n = centers.len();
+        Simulator::new(
+            centers,
+            Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+            Box::new(RoundRobin::new()),
+            SimConfig {
+                max_events,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn first_contact_distance_geometry() {
+        let dir = Vec2::new(1.0, 0.0);
+        // Head-on: contact when the centers are 2 apart (minus the tiny
+        // anti-interpenetration backoff).
+        assert!((first_contact_distance(p(0.0, 0.0), dir, p(10.0, 0.0)).unwrap() - 8.0).abs() < 1e-6);
+        // Offset by 2 vertically: contact is never reached (grazing counts as contact at the tangent).
+        assert!(first_contact_distance(p(0.0, 0.0), dir, p(10.0, 2.1)).is_none());
+        // Moving away: no contact.
+        assert!(first_contact_distance(p(0.0, 0.0), dir, p(-5.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn look_compute_move_cycle_is_respected() {
+        let mut sim = paper_sim(vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 9.0)], 50);
+        // The first three events of robot 0 must be Look, then (after the
+        // other robots acted) Compute, then Move/Done.
+        let e0 = sim.step().unwrap();
+        assert_eq!(e0, Event::Look(RobotId(0)));
+        assert_eq!(sim.phases()[0], Phase::Look);
+        // Other robots take their Look steps.
+        let _ = sim.step().unwrap();
+        let _ = sim.step().unwrap();
+        let e3 = sim.step().unwrap();
+        assert_eq!(e3, Event::Compute(RobotId(0)));
+        assert_eq!(sim.phases()[0], Phase::Compute);
+    }
+
+    #[test]
+    fn already_gathered_configuration_terminates_quickly() {
+        let centers = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
+        let mut sim = paper_sim(centers, 100);
+        let outcome = sim.run();
+        assert!(outcome.terminated);
+        assert!(outcome.gathered);
+        // Each robot needs exactly Look, Compute, Done.
+        assert_eq!(outcome.metrics.dones, 3);
+        assert!(outcome.events <= 9);
+    }
+
+    #[test]
+    fn motion_stops_on_contact_and_preserves_validity() {
+        // Two robots approaching head-on must stop tangent, not overlap.
+        let mut sim = paper_sim(vec![p(0.0, 0.0), p(10.0, 0.0)], 200);
+        let outcome = sim.run();
+        assert!(outcome.terminated, "two robots must gather");
+        assert!(outcome.gathered);
+        let d = sim.centers()[0].distance(sim.centers()[1]);
+        assert!(d >= 2.0 - 1e-6, "discs must not overlap (distance {d})");
+        assert!(d <= 2.0 + 1e-3, "discs must end up touching (distance {d})");
+    }
+
+    #[test]
+    fn event_budget_is_respected() {
+        let mut sim = paper_sim(vec![p(0.0, 0.0), p(40.0, 0.0), p(20.0, 35.0)], 10);
+        let outcome = sim.run();
+        assert!(!outcome.terminated);
+        assert!(outcome.events <= 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_initial_configuration_is_rejected() {
+        let _ = paper_sim(vec![p(0.0, 0.0), p(1.0, 0.0)], 10);
+    }
+
+    #[test]
+    fn small_convex_systems_gather_end_to_end() {
+        // Three and four robots spread out in convex position.
+        for centers in [
+            vec![p(0.0, 0.0), p(14.0, 0.0), p(7.0, 12.0)],
+            vec![p(0.0, 0.0), p(16.0, 0.0), p(16.0, 16.0), p(0.0, 16.0)],
+        ] {
+            let mut sim = paper_sim(centers, 100_000);
+            let outcome = sim.run();
+            assert!(outcome.terminated, "run exhausted its budget");
+            assert!(outcome.gathered, "robots terminated without gathering");
+        }
+    }
+}

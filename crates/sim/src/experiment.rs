@@ -1,0 +1,460 @@
+//! The experiment harness behind EXPERIMENTS.md.
+//!
+//! Every table of EXPERIMENTS.md is produced by one of the `*_table`
+//! functions below; the `report` binary in `fatrobots-bench` simply calls
+//! them and prints the rows, and the Criterion benches reuse the same
+//! functions so the published numbers and the benchmarked code paths cannot
+//! drift apart.
+
+use std::fmt;
+
+use fatrobots_baselines::{CentroidBaseline, GreedyNearest, SmallN};
+use fatrobots_core::{AlgorithmParams, LocalAlgorithm, Strategy};
+use fatrobots_scheduler::{
+    Adversary, CollisionSeeker, Liveness, RandomAsync, RoundRobin, SlowRobot, StopHappy,
+};
+
+use crate::engine::{SimConfig, Simulator};
+use crate::init::Shape;
+
+/// Which local decision rule a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// The paper's gathering algorithm.
+    Paper,
+    /// The centroid-pursuit baseline.
+    Centroid,
+    /// The greedy nearest-neighbour baseline.
+    GreedyNearest,
+    /// The small-n (n ≤ 4) exhaustive baseline.
+    SmallN,
+}
+
+impl StrategyKind {
+    /// All strategies, for sweeps.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Paper,
+        StrategyKind::Centroid,
+        StrategyKind::GreedyNearest,
+        StrategyKind::SmallN,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Paper => "agm-gathering",
+            StrategyKind::Centroid => "centroid",
+            StrategyKind::GreedyNearest => "greedy-nearest",
+            StrategyKind::SmallN => "small-n",
+        }
+    }
+
+    /// Builds the strategy for a system of `n` robots.
+    pub fn build(&self, n: usize) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::Paper => Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+            StrategyKind::Centroid => Box::new(CentroidBaseline::new()),
+            StrategyKind::GreedyNearest => Box::new(GreedyNearest::new()),
+            StrategyKind::SmallN => Box::new(SmallN::new()),
+        }
+    }
+}
+
+/// Which asynchronous schedule a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversaryKind {
+    /// Round-robin, full-speed moves (friendly).
+    RoundRobin,
+    /// Seeded random robot order and random move truncation.
+    RandomAsync,
+    /// Every move stopped after δ (maximally obstructive mover schedule).
+    StopHappy,
+    /// One victim robot always crawls at δ while the rest run full speed
+    /// (the schedule behind the paper's bad configurations).
+    SlowRobot,
+    /// Prefers scheduling the closest pair of movers (provokes collisions).
+    CollisionSeeker,
+}
+
+impl AdversaryKind {
+    /// All adversaries, for sweeps.
+    pub const ALL: [AdversaryKind; 5] = [
+        AdversaryKind::RoundRobin,
+        AdversaryKind::RandomAsync,
+        AdversaryKind::StopHappy,
+        AdversaryKind::SlowRobot,
+        AdversaryKind::CollisionSeeker,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryKind::RoundRobin => "round-robin",
+            AdversaryKind::RandomAsync => "random-async",
+            AdversaryKind::StopHappy => "stop-happy",
+            AdversaryKind::SlowRobot => "slow-robot",
+            AdversaryKind::CollisionSeeker => "collision-seeker",
+        }
+    }
+
+    /// Builds the adversary (seeded where applicable).
+    pub fn build(&self, seed: u64) -> Box<dyn Adversary> {
+        match self {
+            AdversaryKind::RoundRobin => Box::new(RoundRobin::new()),
+            AdversaryKind::RandomAsync => Box::new(RandomAsync::new(seed)),
+            AdversaryKind::StopHappy => Box::new(StopHappy::new()),
+            AdversaryKind::SlowRobot => Box::new(SlowRobot::new(0)),
+            AdversaryKind::CollisionSeeker => Box::new(CollisionSeeker::new()),
+        }
+    }
+}
+
+/// A fully specified run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Number of robots.
+    pub n: usize,
+    /// Seed for the initial configuration and (where applicable) the
+    /// adversary.
+    pub seed: u64,
+    /// Initial configuration shape.
+    pub shape: Shape,
+    /// Local decision rule.
+    pub strategy: StrategyKind,
+    /// Asynchronous schedule.
+    pub adversary: AdversaryKind,
+    /// Liveness distance δ.
+    pub delta: f64,
+    /// Event budget.
+    pub max_events: usize,
+}
+
+impl RunSpec {
+    /// A reasonable default specification for `n` robots and a seed: random
+    /// initial configuration, the paper's algorithm, the random-async
+    /// adversary, and an event budget that scales with `n`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        RunSpec {
+            n,
+            seed,
+            shape: Shape::Random,
+            strategy: StrategyKind::Paper,
+            adversary: AdversaryKind::RandomAsync,
+            delta: 1e-3,
+            max_events: 60_000 + 20_000 * n,
+        }
+    }
+}
+
+/// The measurable outcome of one run, flattened for table building.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// The specification that produced this summary.
+    pub spec: RunSpec,
+    /// `true` when every robot terminated and the final configuration was
+    /// connected and fully visible.
+    pub gathered: bool,
+    /// `true` when every robot terminated (whether or not gathered).
+    pub terminated: bool,
+    /// Events applied.
+    pub events: usize,
+    /// Look events per robot (completed LCM cycles per robot).
+    pub cycles_per_robot: f64,
+    /// Total distance travelled by all robots.
+    pub distance: f64,
+    /// First event at which the configuration was fully visible, if ever.
+    pub first_fully_visible: Option<usize>,
+    /// First event at which the configuration was connected, if ever.
+    pub first_connected: Option<usize>,
+    /// Fraction of sampled steps before full visibility where the hull did
+    /// not shrink (Lemma 20 witness).
+    pub expansion_monotonicity: Option<f64>,
+    /// Fraction of sampled steps after full visibility where the hull did
+    /// not grow (Lemma 21 witness).
+    pub convergence_monotonicity: Option<f64>,
+}
+
+/// Executes one run.
+pub fn run(spec: &RunSpec) -> RunSummary {
+    let centers = spec.shape.generate(spec.n, spec.seed);
+    let config = SimConfig {
+        max_events: spec.max_events,
+        liveness: Liveness::new(spec.delta),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(
+        centers,
+        spec.strategy.build(spec.n),
+        spec.adversary.build(spec.seed),
+        config,
+    );
+    let outcome = sim.run();
+    RunSummary {
+        spec: *spec,
+        gathered: outcome.gathered,
+        terminated: outcome.terminated,
+        events: outcome.events,
+        cycles_per_robot: outcome.metrics.looks as f64 / spec.n as f64,
+        distance: outcome.metrics.distance_travelled,
+        first_fully_visible: outcome.metrics.first_fully_visible,
+        first_connected: outcome.metrics.first_connected,
+        expansion_monotonicity: outcome.metrics.expansion_monotonicity(),
+        convergence_monotonicity: outcome.metrics.convergence_monotonicity(),
+    }
+}
+
+/// An aggregated row over several seeds of the same specification family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateRow {
+    /// Row label (e.g. the robot count, the adversary name, the shape).
+    pub label: String,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Fraction of runs that gathered.
+    pub gathered_rate: f64,
+    /// Mean events per run.
+    pub mean_events: f64,
+    /// Mean LCM cycles per robot.
+    pub mean_cycles_per_robot: f64,
+    /// Mean total travelled distance.
+    pub mean_distance: f64,
+    /// Mean first-fully-visible event index over the runs that reached it.
+    pub mean_first_fully_visible: Option<f64>,
+    /// Mean expansion monotonicity over the runs that measured it.
+    pub mean_expansion_monotonicity: Option<f64>,
+    /// Mean convergence monotonicity over the runs that measured it.
+    pub mean_convergence_monotonicity: Option<f64>,
+}
+
+impl AggregateRow {
+    /// Aggregates a batch of summaries under one label.
+    pub fn from_summaries(label: impl Into<String>, summaries: &[RunSummary]) -> Self {
+        let runs = summaries.len().max(1);
+        let mean = |f: &dyn Fn(&RunSummary) -> f64| {
+            summaries.iter().map(f).sum::<f64>() / runs as f64
+        };
+        let mean_opt = |f: &dyn Fn(&RunSummary) -> Option<f64>| {
+            let vals: Vec<f64> = summaries.iter().filter_map(f).collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some(vals.iter().sum::<f64>() / vals.len() as f64)
+            }
+        };
+        AggregateRow {
+            label: label.into(),
+            runs: summaries.len(),
+            gathered_rate: summaries.iter().filter(|s| s.gathered).count() as f64 / runs as f64,
+            mean_events: mean(&|s| s.events as f64),
+            mean_cycles_per_robot: mean(&|s| s.cycles_per_robot),
+            mean_distance: mean(&|s| s.distance),
+            mean_first_fully_visible: mean_opt(&|s| s.first_fully_visible.map(|v| v as f64)),
+            mean_expansion_monotonicity: mean_opt(&|s| s.expansion_monotonicity),
+            mean_convergence_monotonicity: mean_opt(&|s| s.convergence_monotonicity),
+        }
+    }
+
+    /// The table header matching [`fmt::Display`] output.
+    pub fn header() -> &'static str {
+        "label                 runs  gathered  events      cycles/robot  distance    first-FV    exp-mono  conv-mono"
+    }
+}
+
+impl fmt::Display for AggregateRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:10.2}"),
+            None => format!("{:>10}", "-"),
+        };
+        write!(
+            f,
+            "{:<20} {:>5} {:>9.2} {:>11.1} {:>13.1} {:>11.1} {} {} {}",
+            self.label,
+            self.runs,
+            self.gathered_rate,
+            self.mean_events,
+            self.mean_cycles_per_robot,
+            self.mean_distance,
+            opt(self.mean_first_fully_visible),
+            opt(self.mean_expansion_monotonicity),
+            opt(self.mean_convergence_monotonicity),
+        )
+    }
+}
+
+/// E1 — gathering success and cost versus the number of robots.
+pub fn scaling_table(ns: &[usize], seeds: &[u64]) -> Vec<AggregateRow> {
+    ns.iter()
+        .map(|&n| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| run(&RunSpec::new(n, seed)))
+                .collect();
+            AggregateRow::from_summaries(format!("n={n}"), &summaries)
+        })
+        .collect()
+}
+
+/// E2/E3 — hull-expansion and convergence monotonicity per initial shape.
+pub fn expansion_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
+    [Shape::Clusters, Shape::Line, Shape::Random]
+        .iter()
+        .map(|&shape| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| {
+                    run(&RunSpec {
+                        shape,
+                        ..RunSpec::new(n, seed)
+                    })
+                })
+                .collect();
+            AggregateRow::from_summaries(format!("shape={}", shape.name()), &summaries)
+        })
+        .collect()
+}
+
+/// E4 — behaviour under each adversary.
+pub fn adversary_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
+    AdversaryKind::ALL
+        .iter()
+        .map(|&adv| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| {
+                    run(&RunSpec {
+                        adversary: adv,
+                        ..RunSpec::new(n, seed)
+                    })
+                })
+                .collect();
+            AggregateRow::from_summaries(adv.name(), &summaries)
+        })
+        .collect()
+}
+
+/// E5 — the paper's algorithm versus the baselines, for a given `n`.
+pub fn baseline_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
+    StrategyKind::ALL
+        .iter()
+        .map(|&strategy| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| {
+                    run(&RunSpec {
+                        strategy,
+                        // Baselines get a smaller budget: they either succeed
+                        // quickly (n ≤ 4) or plateau without terminating.
+                        max_events: if strategy == StrategyKind::Paper {
+                            RunSpec::new(n, seed).max_events
+                        } else {
+                            30_000
+                        },
+                        ..RunSpec::new(n, seed)
+                    })
+                })
+                .collect();
+            AggregateRow::from_summaries(strategy.name(), &summaries)
+        })
+        .collect()
+}
+
+/// E6 — sensitivity to the liveness distance δ.
+pub fn delta_table(n: usize, deltas: &[f64], seeds: &[u64]) -> Vec<AggregateRow> {
+    deltas
+        .iter()
+        .map(|&delta| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| {
+                    run(&RunSpec {
+                        delta,
+                        ..RunSpec::new(n, seed)
+                    })
+                })
+                .collect();
+            AggregateRow::from_summaries(format!("delta={delta}"), &summaries)
+        })
+        .collect()
+}
+
+/// E7 — sensitivity to the initial configuration shape.
+pub fn shape_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
+    Shape::ALL
+        .iter()
+        .map(|&shape| {
+            let summaries: Vec<RunSummary> = seeds
+                .iter()
+                .map(|&seed| {
+                    run(&RunSpec {
+                        shape,
+                        ..RunSpec::new(n, seed)
+                    })
+                })
+                .collect();
+            AggregateRow::from_summaries(shape.name(), &summaries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_names_and_build() {
+        let strategy_names: std::collections::HashSet<_> =
+            StrategyKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(strategy_names.len(), StrategyKind::ALL.len());
+        let adversary_names: std::collections::HashSet<_> =
+            AdversaryKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(adversary_names.len(), AdversaryKind::ALL.len());
+        for k in StrategyKind::ALL {
+            let _ = k.build(5);
+        }
+        for k in AdversaryKind::ALL {
+            let _ = k.build(1);
+        }
+    }
+
+    #[test]
+    fn single_run_with_the_paper_algorithm_gathers_a_small_system() {
+        let spec = RunSpec {
+            max_events: 120_000,
+            shape: Shape::Circle,
+            adversary: AdversaryKind::RoundRobin,
+            ..RunSpec::new(5, 3)
+        };
+        let summary = run(&spec);
+        assert!(summary.terminated, "5 robots on a circle must terminate");
+        assert!(summary.gathered);
+        assert!(summary.cycles_per_robot >= 1.0);
+    }
+
+    #[test]
+    fn aggregate_row_mixes_runs() {
+        let spec = RunSpec {
+            max_events: 5_000,
+            ..RunSpec::new(3, 1)
+        };
+        let summaries = vec![run(&spec), run(&RunSpec { seed: 2, ..spec })];
+        let row = AggregateRow::from_summaries("n=3", &summaries);
+        assert_eq!(row.runs, 2);
+        assert!(row.gathered_rate >= 0.0 && row.gathered_rate <= 1.0);
+        assert!(!format!("{row}").is_empty());
+        assert!(!AggregateRow::header().is_empty());
+    }
+
+    #[test]
+    fn baseline_small_n_idles_for_large_systems() {
+        let spec = RunSpec {
+            strategy: StrategyKind::SmallN,
+            shape: Shape::Circle,
+            adversary: AdversaryKind::RoundRobin,
+            max_events: 2_000,
+            ..RunSpec::new(6, 1)
+        };
+        let summary = run(&spec);
+        assert!(!summary.gathered, "the small-n baseline cannot gather 6 robots");
+    }
+}

@@ -1,0 +1,244 @@
+//! Seeded initial-configuration generators.
+//!
+//! Every generator returns a *valid* configuration (pairwise center
+//! distances strictly greater than 2, so no two discs overlap) and is
+//! deterministic given its arguments, so experiments are reproducible.
+
+use fatrobots_geometry::Point;
+use fatrobots_model::GeometricConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Minimum clearance added on top of the contact distance when generating
+/// configurations, so initial configurations never start in contact.
+const CLEARANCE: f64 = 0.25;
+
+/// `n` robots spread uniformly at random over a square of the given side,
+/// rejection-sampled so that no two discs overlap.
+///
+/// # Panics
+/// Panics if `n == 0` or the square is too small to hold `n` unit discs.
+pub fn random_spread(n: usize, seed: u64, side: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(
+        side * side >= (n as f64) * 9.0,
+        "the square of side {side} cannot comfortably hold {n} unit discs"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centers: Vec<Point> = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while centers.len() < n {
+        attempts += 1;
+        assert!(
+            attempts < 1_000_000,
+            "rejection sampling failed; increase the square side"
+        );
+        let candidate = Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+        if centers
+            .iter()
+            .all(|c| c.distance(candidate) > 2.0 + CLEARANCE)
+        {
+            centers.push(candidate);
+        }
+    }
+    debug_assert!(GeometricConfig::new(centers.clone()).is_valid());
+    centers
+}
+
+/// `n` robots on a horizontal line with the given boundary gap between
+/// consecutive discs (a worst case for visibility: every robot except the
+/// two ends is hidden from most others).
+pub fn line(n: usize, gap: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(gap >= 0.0, "the gap cannot be negative");
+    (0..n)
+        .map(|i| Point::new(i as f64 * (2.0 + gap + CLEARANCE.min(gap + 0.01)), 0.0))
+        .collect()
+}
+
+/// `n` robots on a square grid with the given boundary gap between
+/// neighbouring discs.
+pub fn grid(n: usize, gap: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(gap > 0.0, "the grid gap must be positive");
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let pitch = 2.0 + gap;
+    (0..n)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            Point::new(c as f64 * pitch, r as f64 * pitch)
+        })
+        .collect()
+}
+
+/// `n` robots equally spaced on a circle of the given radius.
+///
+/// # Panics
+/// Panics if the circle is too small for `n` non-overlapping unit discs.
+pub fn circle(n: usize, radius: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    if n > 1 {
+        let chord = 2.0 * radius * (std::f64::consts::PI / n as f64).sin();
+        assert!(
+            chord > 2.0,
+            "a circle of radius {radius} cannot hold {n} non-overlapping unit discs"
+        );
+    }
+    (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            Point::new(radius * a.cos(), radius * a.sin())
+        })
+        .collect()
+}
+
+/// `n` robots in `clusters` tight groups whose cluster centers are spread
+/// far apart — the configuration the convergence phase has to merge.
+pub fn clusters(n: usize, clusters: usize, seed: u64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(clusters > 0 && clusters <= n, "1 ≤ clusters ≤ n is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spread = 20.0 * clusters as f64;
+    let cluster_centers: Vec<Point> = (0..clusters)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / clusters as f64;
+            Point::new(
+                spread * a.cos() + rng.gen_range(-2.0..2.0),
+                spread * a.sin() + rng.gen_range(-2.0..2.0),
+            )
+        })
+        .collect();
+    let mut centers: Vec<Point> = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = cluster_centers[i % clusters];
+        // Place members of a cluster on a small local spiral to avoid
+        // overlap deterministically.
+        let k = (i / clusters) as f64;
+        let r = 2.4 * (1.0 + k * 0.5);
+        let a = k * 2.4 + (i % clusters) as f64;
+        centers.push(Point::new(base.x + r * a.cos(), base.y + r * a.sin()));
+    }
+    // The deterministic spiral can still produce rare near-misses between
+    // clusters; nudge any offending robot outward until valid.
+    let mut attempts = 0;
+    while !GeometricConfig::new(centers.clone()).is_valid() {
+        attempts += 1;
+        assert!(attempts < 1000, "cluster generation failed to separate discs");
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                if centers[i].distance(centers[j]) <= 2.0 + 1e-6 {
+                    let dir = (centers[j] - centers[i]).normalized();
+                    centers[j] = centers[j] + dir * 0.5;
+                }
+            }
+        }
+    }
+    centers
+}
+
+/// Named initial-configuration shapes used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// [`random_spread`] over a square sized for the robot count.
+    Random,
+    /// [`line`] with a 3-radius gap.
+    Line,
+    /// [`grid`] with a 1-radius gap.
+    Grid,
+    /// [`circle`] sized for the robot count.
+    Circle,
+    /// [`clusters`] with `⌈n/4⌉` groups.
+    Clusters,
+}
+
+impl Shape {
+    /// All shapes, for sweeps.
+    pub const ALL: [Shape; 5] = [
+        Shape::Random,
+        Shape::Line,
+        Shape::Grid,
+        Shape::Circle,
+        Shape::Clusters,
+    ];
+
+    /// A short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Shape::Random => "random",
+            Shape::Line => "line",
+            Shape::Grid => "grid",
+            Shape::Circle => "circle",
+            Shape::Clusters => "clusters",
+        }
+    }
+
+    /// Generates a configuration of `n` robots for this shape.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<Point> {
+        match self {
+            Shape::Random => random_spread(n, seed, (n as f64 * 16.0).sqrt().max(8.0) * 2.0),
+            Shape::Line => line(n, 3.0),
+            Shape::Grid => grid(n, 1.0),
+            Shape::Circle => circle(n, (n as f64).max(4.0)),
+            Shape::Clusters => clusters(n, n.div_ceil(4).max(1), seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(centers: &[Point], n: usize) {
+        assert_eq!(centers.len(), n);
+        assert!(
+            GeometricConfig::new(centers.to_vec()).is_valid(),
+            "generated configuration contains overlapping discs"
+        );
+    }
+
+    #[test]
+    fn random_spread_is_valid_and_deterministic() {
+        let a = random_spread(12, 7, 40.0);
+        let b = random_spread(12, 7, 40.0);
+        assert_eq!(a, b);
+        assert_valid(&a, 12);
+        let c = random_spread(12, 8, 40.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn structured_generators_are_valid() {
+        assert_valid(&line(9, 3.0), 9);
+        assert_valid(&grid(10, 1.0), 10);
+        assert_valid(&circle(8, 8.0), 8);
+        assert_valid(&clusters(13, 4, 3), 13);
+    }
+
+    #[test]
+    fn all_shapes_generate_valid_configurations() {
+        for shape in Shape::ALL {
+            for n in [1, 2, 5, 9, 16] {
+                let centers = shape.generate(n, 42);
+                assert_valid(&centers, n);
+            }
+        }
+    }
+
+    #[test]
+    fn line_is_actually_collinear() {
+        let centers = line(5, 3.0);
+        assert!(centers.iter().all(|c| c.y == 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_circle_is_rejected() {
+        let _ = circle(20, 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_robots_rejected() {
+        let _ = random_spread(0, 1, 100.0);
+    }
+}

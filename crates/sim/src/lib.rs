@@ -1,0 +1,55 @@
+//! # fatrobots-sim
+//!
+//! The discrete-event simulation engine for fat-robot gathering: it executes
+//! the Look–Compute–Move model of Section 2 of the paper, with an
+//! [`Adversary`](fatrobots_scheduler::Adversary) supplying the asynchronous
+//! schedule and a [`Strategy`](fatrobots_core::Strategy) (the paper's local
+//! algorithm or one of the baselines) supplying the per-robot decisions.
+//!
+//! The crate provides:
+//!
+//! * [`engine`] — the [`Simulator`](engine::Simulator): one event per call,
+//!   motion integration with contact detection, validity assertions,
+//!   termination detection and an event budget;
+//! * [`init`] — seeded initial-configuration generators (random spread,
+//!   line, grid, circle, clusters);
+//! * [`metrics`] — per-run metrics: event counts, travelled distance, times
+//!   to all-on-hull / full visibility / connectivity, hull-area series;
+//! * [`trace`] — execution traces (events plus sampled configurations) with
+//!   CSV export;
+//! * [`render`] — small SVG / ASCII renderers for configurations;
+//! * [`experiment`] — the parameter-sweep harness behind EXPERIMENTS.md and
+//!   the Criterion benches.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fatrobots_sim::engine::{SimConfig, Simulator};
+//! use fatrobots_sim::init;
+//! use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+//! use fatrobots_scheduler::RoundRobin;
+//!
+//! let n = 5;
+//! let centers = init::circle(n, 12.0);
+//! let mut sim = Simulator::new(
+//!     centers,
+//!     Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+//!     Box::new(RoundRobin::new()),
+//!     SimConfig::default(),
+//! );
+//! let outcome = sim.run();
+//! assert!(outcome.gathered);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod init;
+pub mod metrics;
+pub mod render;
+pub mod trace;
+
+pub use engine::{RunOutcome, SimConfig, Simulator};
+pub use metrics::Metrics;

@@ -1,0 +1,252 @@
+//! Per-run metrics.
+
+use fatrobots_geometry::Point;
+use fatrobots_model::GeometricConfig;
+use fatrobots_scheduler::Event;
+
+/// One sampled point of the configuration-level series recorded during a
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Event index at which the sample was taken.
+    pub event: usize,
+    /// Area of the convex hull of the robot centers.
+    pub hull_area: f64,
+    /// `true` when every center was on the hull.
+    pub all_on_hull: bool,
+    /// `true` when additionally no three consecutive hull centers were
+    /// collinear (full visibility in convex position).
+    pub fully_visible: bool,
+    /// `true` when the union of the discs was connected.
+    pub connected: bool,
+}
+
+/// Metrics collected by the simulator over one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Total number of events applied.
+    pub events: usize,
+    /// Number of `Look` events (equals the number of started LCM cycles).
+    pub looks: usize,
+    /// Number of `Compute` events.
+    pub computes: usize,
+    /// Number of `Move` events (cycles that produced a motion).
+    pub moves: usize,
+    /// Number of `Arrive` events.
+    pub arrivals: usize,
+    /// Number of `Stop` events.
+    pub stops: usize,
+    /// Number of `Collide` events.
+    pub collisions: usize,
+    /// Number of `Done` events (terminations).
+    pub dones: usize,
+    /// Total distance travelled by all robots.
+    pub distance_travelled: f64,
+    /// First event index at which every center was on the hull, if ever.
+    pub first_all_on_hull: Option<usize>,
+    /// First event index at which the configuration was fully visible (all
+    /// on hull, no three consecutive hull centers collinear), if ever.
+    pub first_fully_visible: Option<usize>,
+    /// First event index at which the configuration was connected, if ever.
+    pub first_connected: Option<usize>,
+    /// Sampled configuration-level series (present when sampling is
+    /// enabled).
+    pub samples: Vec<Sample>,
+}
+
+impl Metrics {
+    /// Records one applied event.
+    pub fn record_event(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::Look(_) => self.looks += 1,
+            Event::Compute(_) => self.computes += 1,
+            Event::Move(_) => self.moves += 1,
+            Event::Arrive(_) => self.arrivals += 1,
+            Event::Stop(_) => self.stops += 1,
+            Event::Collide(_) => self.collisions += 1,
+            Event::Done(_) => self.dones += 1,
+        }
+    }
+
+    /// Adds travelled distance.
+    pub fn record_travel(&mut self, distance: f64) {
+        self.distance_travelled += distance;
+    }
+
+    /// Evaluates the configuration-level predicates on the current centers
+    /// and records a [`Sample`] plus the first-time markers.
+    pub fn record_sample(&mut self, centers: &[Point], collinearity_tol: f64) {
+        let g = GeometricConfig::new(centers.to_vec());
+        let hull = g.hull();
+        let all_on_hull = g.all_on_hull();
+        let fully_visible = all_on_hull && consecutive_hull_triples_ok(&hull.boundary(), collinearity_tol);
+        let connected = g.is_connected();
+        let sample = Sample {
+            event: self.events,
+            hull_area: hull.area(),
+            all_on_hull,
+            fully_visible,
+            connected,
+        };
+        if all_on_hull && self.first_all_on_hull.is_none() {
+            self.first_all_on_hull = Some(self.events);
+        }
+        if fully_visible && self.first_fully_visible.is_none() {
+            self.first_fully_visible = Some(self.events);
+        }
+        if connected && self.first_connected.is_none() {
+            self.first_connected = Some(self.events);
+        }
+        self.samples.push(sample);
+    }
+
+    /// The hull-area series of the recorded samples.
+    pub fn hull_area_series(&self) -> Vec<f64> {
+        self.samples.iter().map(|s| s.hull_area).collect()
+    }
+
+    /// Fraction of consecutive sample pairs where the hull area did not
+    /// decrease (a monotonicity witness for Lemma 20) over the samples taken
+    /// *before* full visibility was first reached.
+    pub fn expansion_monotonicity(&self) -> Option<f64> {
+        let cutoff = self.first_fully_visible?;
+        let pre: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.event <= cutoff)
+            .map(|s| s.hull_area)
+            .collect();
+        monotone_fraction(&pre, true)
+    }
+
+    /// Fraction of consecutive sample pairs where the hull area did not
+    /// increase (Lemma 21) over the samples taken *after* full visibility
+    /// was first reached.
+    pub fn convergence_monotonicity(&self) -> Option<f64> {
+        let cutoff = self.first_fully_visible?;
+        let post: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.event >= cutoff)
+            .map(|s| s.hull_area)
+            .collect();
+        monotone_fraction(&post, false)
+    }
+}
+
+/// Fraction of consecutive pairs that are non-decreasing (`increasing =
+/// true`) or non-increasing (`increasing = false`), with a small slack for
+/// floating-point noise. `None` when fewer than two values.
+fn monotone_fraction(values: &[f64], increasing: bool) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let slack = 1e-6;
+    let ok = values
+        .windows(2)
+        .filter(|w| {
+            if increasing {
+                w[1] >= w[0] - slack
+            } else {
+                w[1] <= w[0] + slack
+            }
+        })
+        .count();
+    Some(ok as f64 / (values.len() - 1) as f64)
+}
+
+/// `true` when no three *consecutive* hull boundary points are collinear
+/// within the tolerance — in convex position this is equivalent to no three
+/// centers being collinear at all, and it is O(n) instead of O(n³).
+fn consecutive_hull_triples_ok(boundary: &[Point], tol: f64) -> bool {
+    let m = boundary.len();
+    if m < 3 {
+        return true;
+    }
+    (0..m).all(|i| {
+        let a = boundary[i];
+        let b = boundary[(i + 1) % m];
+        let c = boundary[(i + 2) % m];
+        fatrobots_geometry::predicates::orientation_tol(a, b, c, tol)
+            != fatrobots_geometry::predicates::Orientation::Collinear
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_model::RobotId;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn event_counters() {
+        let mut m = Metrics::default();
+        m.record_event(&Event::Look(RobotId(0)));
+        m.record_event(&Event::Compute(RobotId(0)));
+        m.record_event(&Event::Move(RobotId(0)));
+        m.record_event(&Event::Arrive(RobotId(0)));
+        m.record_event(&Event::Stop(RobotId(1)));
+        m.record_event(&Event::Collide(vec![RobotId(0), RobotId(1)]));
+        m.record_event(&Event::Done(RobotId(2)));
+        assert_eq!(m.events, 7);
+        assert_eq!(
+            (m.looks, m.computes, m.moves, m.arrivals, m.stops, m.collisions, m.dones),
+            (1, 1, 1, 1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn samples_and_first_time_markers() {
+        let mut m = Metrics::default();
+        // Disconnected square: all on hull, fully visible, not connected.
+        let square = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)];
+        m.record_sample(&square, 1e-9);
+        assert_eq!(m.first_all_on_hull, Some(0));
+        assert_eq!(m.first_fully_visible, Some(0));
+        assert_eq!(m.first_connected, None);
+        // Connected triangle.
+        m.record_event(&Event::Look(RobotId(0)));
+        let triangle = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
+        m.record_sample(&triangle, 1e-9);
+        assert_eq!(m.first_connected, Some(1));
+        assert_eq!(m.samples.len(), 2);
+        assert!(m.hull_area_series()[0] > m.hull_area_series()[1]);
+    }
+
+    #[test]
+    fn collinear_configuration_is_not_fully_visible() {
+        let mut m = Metrics::default();
+        let line = vec![p(0.0, 0.0), p(2.0, 0.0), p(4.0, 0.0)];
+        m.record_sample(&line, 1e-9);
+        assert!(m.samples[0].all_on_hull);
+        assert!(!m.samples[0].fully_visible);
+        assert!(m.samples[0].connected);
+    }
+
+    #[test]
+    fn monotonicity_fractions() {
+        assert_eq!(monotone_fraction(&[1.0], true), None);
+        assert_eq!(monotone_fraction(&[1.0, 2.0, 3.0], true), Some(1.0));
+        assert_eq!(monotone_fraction(&[3.0, 2.0, 2.5], false), Some(0.5));
+    }
+
+    #[test]
+    fn expansion_and_convergence_monotonicity_need_full_visibility() {
+        let mut m = Metrics::default();
+        let line = vec![p(0.0, 0.0), p(6.0, 0.0), p(12.0, 0.0)];
+        m.record_sample(&line, 1e-9);
+        assert!(m.expansion_monotonicity().is_none());
+        // Reach a fully visible configuration, then shrink it.
+        let tri_big = vec![p(0.0, 0.0), p(12.0, 0.0), p(6.0, 10.0)];
+        let tri_small = vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 8.0)];
+        m.record_event(&Event::Look(RobotId(0)));
+        m.record_sample(&tri_big, 1e-9);
+        m.record_event(&Event::Look(RobotId(1)));
+        m.record_sample(&tri_small, 1e-9);
+        assert_eq!(m.convergence_monotonicity(), Some(1.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Tiny renderers for configurations: SVG (for reports and examples) and
+//! ASCII (for terminal output). No external dependencies.
+
+use std::fmt::Write as _;
+
+use fatrobots_geometry::{Point, UNIT_RADIUS};
+
+/// Renders the robot discs as an SVG document string.
+///
+/// The view box is fitted to the configuration with one diameter of margin;
+/// robots are drawn as circles with their index at the center.
+pub fn svg(centers: &[Point]) -> String {
+    if centers.is_empty() {
+        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>");
+    }
+    let min_x = centers.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - 2.0 * UNIT_RADIUS;
+    let max_x = centers.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + 2.0 * UNIT_RADIUS;
+    let min_y = centers.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - 2.0 * UNIT_RADIUS;
+    let max_y = centers.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + 2.0 * UNIT_RADIUS;
+    let (w, h) = (max_x - min_x, max_y - min_y);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{min_x:.2} {min_y:.2} {w:.2} {h:.2}\" width=\"600\" height=\"{:.0}\">",
+        600.0 * h / w.max(1e-9)
+    );
+    for (i, c) in centers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  <circle cx=\"{:.3}\" cy=\"{:.3}\" r=\"{UNIT_RADIUS}\" fill=\"#7aa6d8\" fill-opacity=\"0.6\" stroke=\"#1f3a5f\" stroke-width=\"0.05\"/>",
+            c.x, c.y
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{:.3}\" y=\"{:.3}\" font-size=\"0.8\" text-anchor=\"middle\" dominant-baseline=\"central\">{i}</text>",
+            c.x, c.y
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the configuration as a coarse ASCII grid of the given width in
+/// characters (`#` marks cells covered by a robot, `.` empty cells).
+pub fn ascii(centers: &[Point], width: usize) -> String {
+    if centers.is_empty() || width == 0 {
+        return String::new();
+    }
+    let min_x = centers.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - UNIT_RADIUS;
+    let max_x = centers.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + UNIT_RADIUS;
+    let min_y = centers.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - UNIT_RADIUS;
+    let max_y = centers.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + UNIT_RADIUS;
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    // Terminal cells are roughly twice as tall as wide.
+    let height = ((span_y / span_x) * width as f64 / 2.0).ceil().max(1.0) as usize;
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in 0..height {
+        let y = max_y - (row as f64 + 0.5) / height as f64 * span_y;
+        for col in 0..width {
+            let x = min_x + (col as f64 + 0.5) / width as f64 * span_x;
+            let covered = centers
+                .iter()
+                .any(|c| c.distance(Point::new(x, y)) <= UNIT_RADIUS);
+            out.push(if covered { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_one_circle_per_robot() {
+        let s = svg(&[Point::new(0.0, 0.0), Point::new(4.0, 0.0)]);
+        assert_eq!(s.matches("<circle").count(), 2);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(svg(&[]).contains("<svg"));
+    }
+
+    #[test]
+    fn ascii_marks_covered_cells() {
+        let s = ascii(&[Point::new(0.0, 0.0)], 20);
+        assert!(s.contains('#'));
+        assert!(s.contains('.'));
+        assert!(ascii(&[], 20).is_empty());
+        assert!(ascii(&[Point::new(0.0, 0.0)], 0).is_empty());
+    }
+}

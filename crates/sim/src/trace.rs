@@ -1,0 +1,94 @@
+//! Execution traces: the alternating sequence of events and (sampled)
+//! configurations of Section 2's execution model, with CSV export.
+
+use std::fmt::Write as _;
+
+use fatrobots_geometry::Point;
+use fatrobots_scheduler::Event;
+
+/// A recorded execution: every applied event plus configuration snapshots
+/// sampled at a configurable interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTrace {
+    events: Vec<Event>,
+    snapshots: Vec<(usize, Vec<Point>)>,
+}
+
+impl ExecutionTrace {
+    /// Records one applied event.
+    pub fn push_event(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Records a configuration snapshot taken after `event_index` events.
+    pub fn push_snapshot(&mut self, event_index: usize, centers: Vec<Point>) {
+        self.snapshots.push((event_index, centers));
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The recorded snapshots, in order.
+    pub fn snapshots(&self) -> &[(usize, Vec<Point>)] {
+        &self.snapshots
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.snapshots.is_empty()
+    }
+
+    /// The events serialised as a two-column CSV (`index,event`).
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("index,event\n");
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = writeln!(out, "{i},{e}");
+        }
+        out
+    }
+
+    /// The snapshots serialised as CSV (`event_index,robot,x,y`).
+    pub fn snapshots_csv(&self) -> String {
+        let mut out = String::from("event_index,robot,x,y\n");
+        for (idx, centers) in &self.snapshots {
+            for (r, c) in centers.iter().enumerate() {
+                let _ = writeln!(out, "{idx},{r},{:.9},{:.9}", c.x, c.y);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_model::RobotId;
+
+    #[test]
+    fn recording_and_export() {
+        let mut t = ExecutionTrace::default();
+        assert!(t.is_empty());
+        t.push_event(Event::Look(RobotId(0)));
+        t.push_event(Event::Compute(RobotId(0)));
+        t.push_snapshot(2, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.snapshots().len(), 1);
+
+        let csv = t.events_csv();
+        assert!(csv.starts_with("index,event\n"));
+        assert!(csv.contains("0,Look(r0)"));
+        assert!(csv.contains("1,Compute(r0)"));
+
+        let scsv = t.snapshots_csv();
+        assert!(scsv.contains("2,0,1.000000000,2.000000000"));
+        assert!(scsv.contains("2,1,3.000000000,4.000000000"));
+    }
+}

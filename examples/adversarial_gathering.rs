@@ -1,0 +1,38 @@
+//! Run the gathering algorithm under every adversary strategy and compare
+//! how much the schedule costs.
+//!
+//! ```sh
+//! cargo run --release --example adversarial_gathering [n] [seed]
+//! ```
+
+use fatrobots::prelude::*;
+use fatrobots::sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    println!("gathering {n} robots (seed {seed}) under each adversary:");
+    println!(
+        "{:<18} {:>9} {:>11} {:>14} {:>12}",
+        "adversary", "gathered", "events", "cycles/robot", "distance"
+    );
+    for adversary in AdversaryKind::ALL {
+        let spec = RunSpec {
+            adversary,
+            shape: Shape::Circle,
+            strategy: StrategyKind::Paper,
+            ..RunSpec::new(n, seed)
+        };
+        let s = run(&spec);
+        println!(
+            "{:<18} {:>9} {:>11} {:>14.1} {:>12.1}",
+            adversary.name(),
+            s.gathered,
+            s.events,
+            s.cycles_per_robot,
+            s.distance
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Watch the two phases of the algorithm through the hull-area series: the
+//! hull first expands (until every robot is on it and fully visible) and
+//! then shrinks while the robots converge into a connected formation.
+//!
+//! ```sh
+//! cargo run --release --example hull_expansion [n] [seed]
+//! ```
+
+use fatrobots::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let centers = Shape::Clusters.generate(n, seed);
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+        Box::new(RandomAsync::new(seed)),
+        SimConfig {
+            sample_every: 25,
+            ..SimConfig::default()
+        },
+    );
+    let outcome = sim.run();
+
+    println!("gathered: {} after {} events", outcome.gathered, outcome.events);
+    if let Some(fv) = outcome.metrics.first_fully_visible {
+        println!("full visibility first reached after {fv} events");
+    }
+    if let Some(c) = outcome.metrics.first_connected {
+        println!("connectivity first reached after {c} events");
+    }
+    println!();
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>10}",
+        "event", "hull area", "all-on-hull", "visible", "connected"
+    );
+    for s in &outcome.metrics.samples {
+        println!(
+            "{:>10} {:>12.2} {:>12} {:>10} {:>10}",
+            s.event, s.hull_area, s.all_on_hull, s.fully_visible, s.connected
+        );
+    }
+    println!();
+    println!(
+        "hull monotonicity: expansion {:?}, convergence {:?}",
+        outcome.metrics.expansion_monotonicity(),
+        outcome.metrics.convergence_monotonicity()
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: gather five fat robots starting on a circle and print what
+//! happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fatrobots::prelude::*;
+
+fn main() {
+    let n = 5;
+    let centers = fatrobots::sim::init::circle(n, 12.0);
+    println!("initial configuration ({n} robots):");
+    for (i, c) in centers.iter().enumerate() {
+        println!("  r{i}: ({:7.3}, {:7.3})", c.x, c.y);
+    }
+
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+        Box::new(RoundRobin::new()),
+        SimConfig::default(),
+    );
+    let outcome = sim.run();
+
+    println!();
+    println!("gathered:   {}", outcome.gathered);
+    println!("events:     {}", outcome.events);
+    println!("LCM cycles: {:.1} per robot", outcome.metrics.looks as f64 / n as f64);
+    println!(
+        "distance:   {:.2} robot radii travelled in total",
+        outcome.metrics.distance_travelled
+    );
+    println!();
+    println!("final configuration:");
+    for (i, c) in sim.centers().iter().enumerate() {
+        println!("  r{i}: ({:7.3}, {:7.3})  phase={}", c.x, c.y, sim.phases()[i]);
+    }
+    println!();
+    println!("{}", fatrobots::sim::render::ascii(sim.centers(), 60));
+}

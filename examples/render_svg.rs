@@ -1,0 +1,42 @@
+//! Render the initial and final configurations of a gathering run as SVG
+//! files (written to the current directory), plus the Figure-2 Move-to-Point
+//! construction.
+//!
+//! ```sh
+//! cargo run --release --example render_svg [n] [seed]
+//! ```
+
+use std::fs;
+
+use fatrobots::core::functions::move_to_point;
+use fatrobots::prelude::*;
+use fatrobots::sim::render::svg;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let centers = Shape::Random.generate(n, seed);
+    fs::write("initial.svg", svg(&centers)).expect("write initial.svg");
+
+    let mut sim = Simulator::new(
+        centers,
+        Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+        Box::new(RandomAsync::new(seed)),
+        SimConfig::default(),
+    );
+    let outcome = sim.run();
+    fs::write("final.svg", svg(sim.centers())).expect("write final.svg");
+
+    // Figure 2: the Move-to-Point construction for two robots.
+    let c1 = Point::new(-6.0, 0.0);
+    let c2 = Point::new(0.0, 0.0);
+    let construction = move_to_point(c1, c2, 0.1, Point::new(0.0, 5.0));
+    fs::write("figure2.svg", svg(&[c1, c2, construction.target])).expect("write figure2.svg");
+
+    println!(
+        "wrote initial.svg, final.svg (gathered: {}) and figure2.svg",
+        outcome.gathered
+    );
+}
