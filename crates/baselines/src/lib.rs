@@ -96,15 +96,11 @@ impl Strategy for GreedyNearest {
             return Decision::Terminate;
         }
         let me = view.me();
-        let nearest = view
-            .others()
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.distance(me)
-                    .partial_cmp(&b.distance(me))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+        let nearest = view.others().iter().copied().min_by(|a, b| {
+            a.distance(me)
+                .partial_cmp(&b.distance(me))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         match nearest {
             Some(q) => Decision::MoveTo(tangent_approach(me, q)),
             None => Decision::MoveTo(me),
@@ -193,7 +189,10 @@ mod tests {
     #[test]
     fn tangent_approach_never_overshoots() {
         let t = tangent_approach(p(0.0, 0.0), p(1.5, 0.0));
-        assert!(t.approx_eq(p(0.0, 0.0)), "already within contact range: stay");
+        assert!(
+            t.approx_eq(p(0.0, 0.0)),
+            "already within contact range: stay"
+        );
         let far = tangent_approach(p(0.0, 0.0), p(10.0, 0.0));
         assert!((far.distance(p(10.0, 0.0)) - 2.0).abs() < 1e-12);
     }

@@ -19,7 +19,11 @@ fn bench_baselines(c: &mut Criterion) {
                         shape: Shape::Circle,
                         adversary: AdversaryKind::RoundRobin,
                         strategy,
-                        max_events: if strategy == StrategyKind::Paper { 120_000 } else { 10_000 },
+                        max_events: if strategy == StrategyKind::Paper {
+                            120_000
+                        } else {
+                            10_000
+                        },
                         ..RunSpec::new(6, 4)
                     })
                 })

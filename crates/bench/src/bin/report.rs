@@ -15,15 +15,23 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let seeds: &[u64] = if quick { &QUICK_SEEDS } else { &STANDARD_SEEDS };
-    let want = |flag: &str| args.is_empty() || args.iter().all(|a| a == "--quick") || args.iter().any(|a| a == flag);
+    let want = |flag: &str| {
+        args.is_empty() || args.iter().all(|a| a == "--quick") || args.iter().any(|a| a == flag)
+    };
 
-    if want("--figures") && args.iter().any(|a| a == "--figures") {
+    // Unlike the tables, the figures note only prints when asked for
+    // explicitly — it never joins the default all-tables run.
+    if args.iter().any(|a| a == "--figures") {
         println!("The figure reproductions (F1–F5) are executable tests:");
         println!("  cargo test --test figures");
     }
 
     if want("--e1") {
-        let ns: &[usize] = if quick { &[3, 5, 8] } else { &[3, 5, 6, 8, 10, 12] };
+        let ns: &[usize] = if quick {
+            &[3, 5, 8]
+        } else {
+            &[3, 5, 6, 8, 10, 12]
+        };
         print_table(
             "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
             &scaling_table(ns, seeds),

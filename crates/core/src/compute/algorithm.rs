@@ -181,7 +181,10 @@ mod tests {
         let out = algo(6).run(&LocalView::new(me, others, 6));
         assert_eq!(*out.trace.last().unwrap(), ComputeState::SeeTwoRobot);
         let target = out.decision.target().unwrap();
-        assert!(target.y < me.y, "the middle robot must step outward (downwards)");
+        assert!(
+            target.y < me.y,
+            "the middle robot must step outward (downwards)"
+        );
     }
 
     #[test]

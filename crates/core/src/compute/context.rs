@@ -166,13 +166,7 @@ impl Ctx {
             return vec![];
         }
         (0..m)
-            .map(|i| {
-                (
-                    self.onch[i],
-                    self.onch[(i + 1) % m],
-                    self.onch[(i + 2) % m],
-                )
-            })
+            .map(|i| (self.onch[i], self.onch[(i + 1) % m], self.onch[(i + 2) % m]))
             .filter(|&(a, b, c)| p.approx_eq(a) || p.approx_eq(b) || p.approx_eq(c))
             .collect()
     }

@@ -110,7 +110,9 @@ pub fn not_connected(ctx: &Ctx) -> Step {
     }
 
     // All components have the same size: decide by the clockwise gaps.
-    let gaps: Vec<f64> = (0..partition.len()).map(|i| partition.right_gap(i)).collect();
+    let gaps: Vec<f64> = (0..partition.len())
+        .map(|i| partition.right_gap(i))
+        .collect();
     let min_gap = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max_gap = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
 
@@ -245,23 +247,23 @@ mod tests {
 
     /// Robots on a circle of radius `r` at the given angles.
     fn on_circle(r: f64, angles: &[f64]) -> Vec<Point> {
-        angles
-            .iter()
-            .map(|a| p(r * a.cos(), r * a.sin()))
-            .collect()
+        angles.iter().map(|a| p(r * a.cos(), r * a.sin())).collect()
     }
 
     #[test]
     fn connected_configuration_terminates() {
-        let centers = vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
+        let centers = [p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
         let ctx = ctx_for(centers[0], centers[1..].to_vec(), 3);
-        assert_eq!(all_on_convex_hull(&ctx), Step::Next(ComputeState::Connected));
+        assert_eq!(
+            all_on_convex_hull(&ctx),
+            Step::Next(ComputeState::Connected)
+        );
         assert_eq!(connected(&ctx), Step::Done(Decision::Terminate));
     }
 
     #[test]
     fn disconnected_configuration_goes_to_not_connected() {
-        let centers = vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 8.0)];
+        let centers = [p(0.0, 0.0), p(10.0, 0.0), p(5.0, 8.0)];
         let ctx = ctx_for(centers[0], centers[1..].to_vec(), 3);
         assert_eq!(
             all_on_convex_hull(&ctx),
@@ -309,7 +311,10 @@ mod tests {
 
         // Members of the pair stay.
         let ctx_pair = ctx_for(pair[0], vec![pair[1], single[0]], n);
-        assert_eq!(not_connected(&ctx_pair), Step::Done(Decision::MoveTo(pair[0])));
+        assert_eq!(
+            not_connected(&ctx_pair),
+            Step::Done(Decision::MoveTo(pair[0]))
+        );
     }
 
     #[test]
@@ -364,15 +369,17 @@ mod tests {
         let r: f64 = 400.0;
         let touch_step = 2.0 * (1.0 / r).asin();
         let near = 2.0005 / 400.0; // gap ≈ 0.0005 < 1/(2·4)
-        let centers = on_circle(r, &[0.0, touch_step, touch_step + near, touch_step + 2.0 * near]);
+        let centers = on_circle(
+            r,
+            &[0.0, touch_step, touch_step + near, touch_step + 2.0 * near],
+        );
 
         // Robot 1's clockwise neighbour is robot 0 and they touch: stay.
-        let ctx1 = ctx_for(
-            centers[1],
-            vec![centers[0], centers[2], centers[3]],
-            4,
+        let ctx1 = ctx_for(centers[1], vec![centers[0], centers[2], centers[3]], 4);
+        assert_eq!(
+            not_connected(&ctx1),
+            Step::Done(Decision::MoveTo(centers[1]))
         );
-        assert_eq!(not_connected(&ctx1), Step::Done(Decision::MoveTo(centers[1])));
 
         // Robot 0's clockwise neighbour (wrapping around the hull) is the far
         // end of the chain: it is responsible for that gap and must move.

@@ -197,7 +197,9 @@ pub fn no_space_for_more(ctx: &Ctx) -> Step {
 pub fn see_one_robot(ctx: &Ctx) -> Step {
     let me = ctx.me();
     if ctx.view_size() < ctx.n() && ctx.onch_len() == ctx.view_size() {
-        return Step::Done(Decision::MoveTo(me + ctx.outward_at(me) * ctx.params().step()));
+        return Step::Done(Decision::MoveTo(
+            me + ctx.outward_at(me) * ctx.params().step(),
+        ));
     }
     Step::Done(Decision::MoveTo(me))
 }
@@ -268,7 +270,10 @@ mod tests {
             vec![p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)],
             4,
         );
-        assert_eq!(on_convex_hull(&good), Step::Next(ComputeState::AllOnConvexHull));
+        assert_eq!(
+            on_convex_hull(&good),
+            Step::Next(ComputeState::AllOnConvexHull)
+        );
 
         // Sees fewer robots than n.
         let partial = ctx_for(p(0.0, 0.0), vec![p(10.0, 0.0), p(10.0, 10.0)], 4);
@@ -329,7 +334,10 @@ mod tests {
             not_all_on_convex_hull(&end),
             Step::Next(ComputeState::OnStraightLine)
         );
-        assert_eq!(on_straight_line(&end), Step::Next(ComputeState::SeeOneRobot));
+        assert_eq!(
+            on_straight_line(&end),
+            Step::Next(ComputeState::SeeOneRobot)
+        );
 
         // A proper corner robot is not in any band.
         let corner = ctx_for(
@@ -359,8 +367,15 @@ mod tests {
 
     #[test]
     fn see_one_robot_stays() {
-        let ctx = ctx_for(p(0.0, 0.0), vec![p(5.0, -0.1), p(10.0, 0.0), p(5.0, 10.0)], 4);
-        assert_eq!(see_one_robot(&ctx), Step::Done(Decision::MoveTo(p(0.0, 0.0))));
+        let ctx = ctx_for(
+            p(0.0, 0.0),
+            vec![p(5.0, -0.1), p(10.0, 0.0), p(5.0, 10.0)],
+            4,
+        );
+        assert_eq!(
+            see_one_robot(&ctx),
+            Step::Done(Decision::MoveTo(p(0.0, 0.0)))
+        );
     }
 
     #[test]
@@ -377,11 +392,7 @@ mod tests {
         );
 
         // Tight triangle with an interior robot: no hull edge admits a disc.
-        let tight = ctx_for(
-            p(0.0, 0.0),
-            vec![p(1.8, 0.0), p(0.9, 1.6), p(0.9, 0.55)],
-            4,
-        );
+        let tight = ctx_for(p(0.0, 0.0), vec![p(1.8, 0.0), p(0.9, 1.6), p(0.9, 0.55)], 4);
         assert_eq!(
             not_on_straight_line(&tight),
             Step::Next(ComputeState::NoSpaceForMore)
@@ -406,11 +417,7 @@ mod tests {
     fn all_robots_on_hull_means_no_extra_room_needed() {
         // onCH == n == 4: straight to SpaceForMore even though edges are
         // short.
-        let ctx = ctx_for(
-            p(0.0, 0.0),
-            vec![p(2.2, 0.0), p(2.2, 2.2), p(0.0, 2.2)],
-            4,
-        );
+        let ctx = ctx_for(p(0.0, 0.0), vec![p(2.2, 0.0), p(2.2, 2.2), p(0.0, 2.2)], 4);
         assert_eq!(
             not_on_straight_line(&ctx),
             Step::Next(ComputeState::SpaceForMore)
@@ -447,7 +454,9 @@ mod tests {
         // view; if the geometry makes it adjacent the procedure must stay.
         match space_for_more(&blocked) {
             Step::Done(Decision::MoveTo(t)) => {
-                assert!(t.approx_eq(me) || me.distance(t) <= AlgorithmParams::for_n(5).step() + 1e-12);
+                assert!(
+                    t.approx_eq(me) || me.distance(t) <= AlgorithmParams::for_n(5).step() + 1e-12
+                );
             }
             other => panic!("unexpected step {other:?}"),
         }

@@ -228,9 +228,15 @@ mod tests {
     #[test]
     fn dispatch_on_touching() {
         let lonely = interior_ctx(p(10.0, 10.0), vec![], 5);
-        assert_eq!(not_on_convex_hull(&lonely), Step::Next(ComputeState::NotTouching));
+        assert_eq!(
+            not_on_convex_hull(&lonely),
+            Step::Next(ComputeState::NotTouching)
+        );
         let touching = interior_ctx(p(10.0, 10.0), vec![p(12.0, 10.0)], 6);
-        assert_eq!(not_on_convex_hull(&touching), Step::Next(ComputeState::IsTouching));
+        assert_eq!(
+            not_on_convex_hull(&touching),
+            Step::Next(ComputeState::IsTouching)
+        );
     }
 
     #[test]
@@ -299,7 +305,10 @@ mod tests {
         let Step::Done(Decision::MoveTo(t_far)) = is_touching(&ctx_far) else {
             panic!("expected a decision");
         };
-        assert!(!t_near.approx_eq(near), "the lower robot has a free escape and must move");
+        assert!(
+            !t_near.approx_eq(near),
+            "the lower robot has a free escape and must move"
+        );
         // Neither target presses into the other robot's current disc.
         assert!(t_near.distance(far) >= 2.0 - 1e-6);
         assert!(t_far.distance(near) >= 2.0 - 1e-6);

@@ -205,6 +205,9 @@ mod tests {
 
     #[test]
     fn display_uses_paper_notation() {
-        assert_eq!(format!("{}", ComputeState::SeeTwoRobot), "Compute.SeeTwoRobot");
+        assert_eq!(
+            format!("{}", ComputeState::SeeTwoRobot),
+            "Compute.SeeTwoRobot"
+        );
     }
 }

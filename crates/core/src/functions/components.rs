@@ -220,7 +220,9 @@ pub fn how_much_distance(partition: &ComponentPartition, c: Point, tol: f64) -> 
     if partition.is_single() || partition.len() < 2 {
         return ComponentAnswer::Two;
     }
-    let gaps: Vec<f64> = (0..partition.len()).map(|i| partition.right_gap(i)).collect();
+    let gaps: Vec<f64> = (0..partition.len())
+        .map(|i| partition.right_gap(i))
+        .collect();
     let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if max - min <= tol {
@@ -382,9 +384,18 @@ mod tests {
         let tol = 1e-6;
         // The robot at angle 0.5 has its clockwise neighbour at angle 0.0 at
         // the smallest gap, so it answers One; the others answer Three.
-        assert_eq!(how_much_distance(&part, centers[1], tol), ComponentAnswer::One);
-        assert_eq!(how_much_distance(&part, centers[0], tol), ComponentAnswer::Three);
-        assert_eq!(how_much_distance(&part, centers[2], tol), ComponentAnswer::Three);
+        assert_eq!(
+            how_much_distance(&part, centers[1], tol),
+            ComponentAnswer::One
+        );
+        assert_eq!(
+            how_much_distance(&part, centers[0], tol),
+            ComponentAnswer::Three
+        );
+        assert_eq!(
+            how_much_distance(&part, centers[2], tol),
+            ComponentAnswer::Three
+        );
     }
 
     #[test]
@@ -405,13 +416,31 @@ mod tests {
         let part = connected_components(&centers, 1.0 / (2.0 * n as f64));
         // centers[0..3] form the size-3 group, centers[3..5] the size-2
         // group, centers[5] the singleton.
-        assert_eq!(in_largest_component(&part, centers[0]), ComponentAnswer::One);
-        assert_eq!(in_largest_component(&part, centers[3]), ComponentAnswer::Three);
-        assert_eq!(in_largest_component(&part, centers[5]), ComponentAnswer::Two);
+        assert_eq!(
+            in_largest_component(&part, centers[0]),
+            ComponentAnswer::One
+        );
+        assert_eq!(
+            in_largest_component(&part, centers[3]),
+            ComponentAnswer::Three
+        );
+        assert_eq!(
+            in_largest_component(&part, centers[5]),
+            ComponentAnswer::Two
+        );
 
-        assert_eq!(in_smallest_component(&part, centers[5]), ComponentAnswer::One);
-        assert_eq!(in_smallest_component(&part, centers[3]), ComponentAnswer::Three);
-        assert_eq!(in_smallest_component(&part, centers[0]), ComponentAnswer::Three);
+        assert_eq!(
+            in_smallest_component(&part, centers[5]),
+            ComponentAnswer::One
+        );
+        assert_eq!(
+            in_smallest_component(&part, centers[3]),
+            ComponentAnswer::Three
+        );
+        assert_eq!(
+            in_smallest_component(&part, centers[0]),
+            ComponentAnswer::Three
+        );
     }
 
     #[test]
@@ -419,8 +448,14 @@ mod tests {
         // Two singletons: sizes all equal.
         let centers = circle_groups(40.0, &[1, 1], &[0.0, 2.0]);
         let part = connected_components(&centers, 1.0 / 4.0);
-        assert_eq!(in_largest_component(&part, centers[0]), ComponentAnswer::Three);
-        assert_eq!(in_smallest_component(&part, centers[0]), ComponentAnswer::Two);
+        assert_eq!(
+            in_largest_component(&part, centers[0]),
+            ComponentAnswer::Three
+        );
+        assert_eq!(
+            in_smallest_component(&part, centers[0]),
+            ComponentAnswer::Two
+        );
     }
 
     #[test]

@@ -121,12 +121,7 @@ mod tests {
     }
 
     fn square(side: f64) -> Vec<Point> {
-        vec![
-            p(0.0, 0.0),
-            p(side, 0.0),
-            p(side, side),
-            p(0.0, side),
-        ]
+        vec![p(0.0, 0.0), p(side, 0.0), p(side, side), p(0.0, side)]
     }
 
     #[test]

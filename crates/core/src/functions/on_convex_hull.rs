@@ -67,7 +67,13 @@ mod tests {
 
     #[test]
     fn interior_point_is_not_on_hull() {
-        let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(4.0, 5.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(4.0, 5.0),
+        ];
         let r = on_convex_hull(&pts, p(4.0, 5.0));
         assert!(!r.on_hull);
         assert_eq!(r.on_ch.len(), 4);
@@ -75,7 +81,13 @@ mod tests {
 
     #[test]
     fn corner_and_edge_points_are_on_hull() {
-        let pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0), p(5.0, 0.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(10.0, 10.0),
+            p(0.0, 10.0),
+            p(5.0, 0.0),
+        ];
         assert!(on_convex_hull(&pts, p(0.0, 0.0)).on_hull);
         // Edge-interior point counts as on the hull, per the paper's usage.
         assert!(on_convex_hull(&pts, p(5.0, 0.0)).on_hull);

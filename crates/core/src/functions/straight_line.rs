@@ -35,13 +35,28 @@ mod tests {
 
     #[test]
     fn collinear_triples() {
-        assert!(in_straight_line_2(p(0.0, 0.0), p(3.0, 3.0), p(7.0, 7.0), 1e-9));
-        assert!(in_straight_line_2(p(0.0, 5.0), p(0.0, 1.0), p(0.0, -4.0), 1e-9));
+        assert!(in_straight_line_2(
+            p(0.0, 0.0),
+            p(3.0, 3.0),
+            p(7.0, 7.0),
+            1e-9
+        ));
+        assert!(in_straight_line_2(
+            p(0.0, 5.0),
+            p(0.0, 1.0),
+            p(0.0, -4.0),
+            1e-9
+        ));
     }
 
     #[test]
     fn non_collinear_triples() {
-        assert!(!in_straight_line_2(p(0.0, 0.0), p(3.0, 3.1), p(7.0, 7.0), 1e-9));
+        assert!(!in_straight_line_2(
+            p(0.0, 0.0),
+            p(3.0, 3.1),
+            p(7.0, 7.0),
+            1e-9
+        ));
     }
 
     #[test]

@@ -151,8 +151,8 @@ impl Circle {
         {
             return vec![];
         }
-        let a = (self.radius * self.radius - other.radius * other.radius + dist * dist)
-            / (2.0 * dist);
+        let a =
+            (self.radius * self.radius - other.radius * other.radius + dist * dist) / (2.0 * dist);
         let h_sq = self.radius * self.radius - a * a;
         let h = h_sq.max(0.0).sqrt();
         let base = self.center + d.normalized() * a;

@@ -169,7 +169,10 @@ impl ConvexHull {
 
     /// All input points on the hull boundary, in counter-clockwise order.
     pub fn boundary(&self) -> Vec<Point> {
-        self.boundary_indices.iter().map(|&i| self.input[i]).collect()
+        self.boundary_indices
+            .iter()
+            .map(|&i| self.input[i])
+            .collect()
     }
 
     /// Number of input points on the hull boundary (the paper's `|onCH(·)|`).
@@ -360,8 +363,10 @@ mod tests {
         let i20 = pos(p(2.0, 0.0));
         let i40 = pos(p(4.0, 0.0));
         let m = b.len();
-        assert!((i00 + 1) % m == i20 && (i20 + 1) % m == i40
-            || (i40 + 1) % m == i20 && (i20 + 1) % m == i00);
+        assert!(
+            (i00 + 1) % m == i20 && (i20 + 1) % m == i40
+                || (i40 + 1) % m == i20 && (i20 + 1) % m == i00
+        );
     }
 
     #[test]
@@ -422,7 +427,13 @@ mod tests {
 
     #[test]
     fn vertices_are_counter_clockwise() {
-        let pts = vec![p(0.0, 0.0), p(3.0, 1.0), p(4.0, 4.0), p(1.0, 3.0), p(2.0, 2.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(3.0, 1.0),
+            p(4.0, 4.0),
+            p(1.0, 3.0),
+            p(2.0, 2.0),
+        ];
         let hull = ConvexHull::from_points(&pts);
         let v = hull.vertices();
         let mut area2 = 0.0;

@@ -137,9 +137,10 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
     // corridor obstacles used to enumerate offsets): a disc hovering just
     // behind one of the endpoints can still clip a slanted candidate.
     let clear = |seg: &Segment| {
-        centers.iter().enumerate().all(|(k, &ck)| {
-            k == i || k == j || seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0
-        })
+        centers
+            .iter()
+            .enumerate()
+            .all(|(k, &ck)| k == i || k == j || seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0)
     };
 
     // Stage 1: parallel witnesses.
@@ -278,8 +279,7 @@ pub fn no_three_collinear(points: &[Point], tol: f64) -> bool {
     for a in 0..n {
         for b in (a + 1)..n {
             for c in (b + 1)..n {
-                if orientation_tol(points[a], points[b], points[c], tol) == Orientation::Collinear
-                {
+                if orientation_tol(points[a], points[b], points[c], tol) == Orientation::Collinear {
                     return false;
                 }
             }

@@ -314,12 +314,8 @@ mod tests {
 
     #[test]
     fn hull_predicates() {
-        let square = GeometricConfig::new(vec![
-            p(0.0, 0.0),
-            p(10.0, 0.0),
-            p(10.0, 10.0),
-            p(0.0, 10.0),
-        ]);
+        let square =
+            GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)]);
         assert!(square.all_on_hull());
         assert!(square.is_fully_visible_convex(1e-9));
         assert!((square.hull_area() - 100.0).abs() < 1e-9);
@@ -343,22 +339,14 @@ mod tests {
     fn gathered_configuration() {
         // Three touching robots forming a triangle: connected, convex
         // position, no three collinear.
-        let g = GeometricConfig::new(vec![
-            p(0.0, 0.0),
-            p(2.0, 0.0),
-            p(1.0, 3.0_f64.sqrt()),
-        ]);
+        let g = GeometricConfig::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())]);
         assert!(g.is_valid());
         assert!(g.is_connected());
         assert!(g.is_gathered(1e-9));
 
         // A disconnected square is not gathered.
-        let square = GeometricConfig::new(vec![
-            p(0.0, 0.0),
-            p(10.0, 0.0),
-            p(10.0, 10.0),
-            p(0.0, 10.0),
-        ]);
+        let square =
+            GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)]);
         assert!(!square.is_gathered(1e-9));
     }
 

@@ -376,7 +376,10 @@ mod tests {
         let snap = snapshot(&phases, &centers, &targets);
         let mut adv = StopHappy::new();
         for _ in 0..5 {
-            assert_eq!(adv.next(&snap).unwrap().motion, MotionControl::StopAfterDelta);
+            assert_eq!(
+                adv.next(&snap).unwrap().motion,
+                MotionControl::StopAfterDelta
+            );
         }
     }
 
@@ -412,7 +415,10 @@ mod tests {
         ];
         let snap = snapshot(&phases, &centers, &targets);
         let pick = CollisionSeeker::new().next(&snap).unwrap().robot.0;
-        assert!(pick == 0 || pick == 1, "one of the closest movers is chosen");
+        assert!(
+            pick == 0 || pick == 1,
+            "one of the closest movers is chosen"
+        );
     }
 
     #[test]

@@ -44,7 +44,12 @@ fn main() {
         g.tangency_components()
     );
     for (i, c) in sim.centers().iter().enumerate() {
-        println!("  r{i}: ({:.4}, {:.4}) phase={:?}", c.x, c.y, sim.phases()[i]);
+        println!(
+            "  r{i}: ({:.4}, {:.4}) phase={:?}",
+            c.x,
+            c.y,
+            sim.phases()[i]
+        );
     }
     let vis = VisibilityConfig::default();
     for i in 0..n {

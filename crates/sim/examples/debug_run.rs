@@ -37,11 +37,7 @@ fn main() {
             let g = GeometricConfig::new(sim.centers().to_vec());
             let hull = g.hull();
             let comps = g.tangency_components().len();
-            let terminated = sim
-                .phases()
-                .iter()
-                .filter(|p| p.is_terminal())
-                .count();
+            let terminated = sim.phases().iter().filter(|p| p.is_terminal()).count();
             println!(
                 "ev={ev:7} on_hull={}/{} hull_area={:9.2} tang_comps={} terminated={} connected={}",
                 hull.boundary_len(),
@@ -57,9 +53,18 @@ fn main() {
         }
     }
     let g = GeometricConfig::new(sim.centers().to_vec());
-    println!("final: terminated={} gathered={}", sim.all_terminated(), sim.is_gathered());
+    println!(
+        "final: terminated={} gathered={}",
+        sim.all_terminated(),
+        sim.is_gathered()
+    );
     for (i, c) in sim.centers().iter().enumerate() {
-        println!("  r{i}: ({:.3}, {:.3}) phase={:?}", c.x, c.y, sim.phases()[i]);
+        println!(
+            "  r{i}: ({:.3}, {:.3}) phase={:?}",
+            c.x,
+            c.y,
+            sim.phases()[i]
+        );
     }
     println!("tangency components: {:?}", g.tangency_components());
 }

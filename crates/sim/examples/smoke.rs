@@ -1,9 +1,15 @@
 fn main() {
-    use fatrobots_sim::experiment::{run, RunSpec, AdversaryKind, StrategyKind};
+    use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
     use fatrobots_sim::init::Shape;
     for n in [5usize, 8, 12] {
         for seed in [1u64, 2, 3] {
-            let spec = RunSpec { shape: Shape::Random, adversary: AdversaryKind::RandomAsync, strategy: StrategyKind::Paper, max_events: 60_000 + 20_000*n, ..RunSpec::new(n, seed) };
+            let spec = RunSpec {
+                shape: Shape::Random,
+                adversary: AdversaryKind::RandomAsync,
+                strategy: StrategyKind::Paper,
+                max_events: 60_000 + 20_000 * n,
+                ..RunSpec::new(n, seed)
+            };
             let t0 = std::time::Instant::now();
             let s = run(&spec);
             println!("n={n} seed={seed} gathered={} terminated={} events={} cycles/robot={:.1} ffv={:?} elapsed={:.2}s",

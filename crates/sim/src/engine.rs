@@ -347,7 +347,11 @@ const CONTACT_BACKOFF: f64 = 1e-9;
 /// contact: motion with a positive component towards the obstacle is stopped
 /// immediately, while tangential or separating motion is free — this is what
 /// lets a robot slide around a neighbour it is resting against.
-fn first_contact_distance(start: Point, dir: fatrobots_geometry::Vec2, obstacle: Point) -> Option<f64> {
+fn first_contact_distance(
+    start: Point,
+    dir: fatrobots_geometry::Vec2,
+    obstacle: Point,
+) -> Option<f64> {
     let contact_dist = 2.0 * UNIT_RADIUS;
     let w = obstacle - start;
     let proj = w.dot(dir);
@@ -397,7 +401,9 @@ mod tests {
         let dir = Vec2::new(1.0, 0.0);
         // Head-on: contact when the centers are 2 apart (minus the tiny
         // anti-interpenetration backoff).
-        assert!((first_contact_distance(p(0.0, 0.0), dir, p(10.0, 0.0)).unwrap() - 8.0).abs() < 1e-6);
+        assert!(
+            (first_contact_distance(p(0.0, 0.0), dir, p(10.0, 0.0)).unwrap() - 8.0).abs() < 1e-6
+        );
         // Offset by 2 vertically: contact is never reached (grazing counts as contact at the tangent).
         assert!(first_contact_distance(p(0.0, 0.0), dir, p(10.0, 2.1)).is_none());
         // Moving away: no contact.

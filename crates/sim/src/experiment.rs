@@ -230,9 +230,8 @@ impl AggregateRow {
     /// Aggregates a batch of summaries under one label.
     pub fn from_summaries(label: impl Into<String>, summaries: &[RunSummary]) -> Self {
         let runs = summaries.len().max(1);
-        let mean = |f: &dyn Fn(&RunSummary) -> f64| {
-            summaries.iter().map(f).sum::<f64>() / runs as f64
-        };
+        let mean =
+            |f: &dyn Fn(&RunSummary) -> f64| summaries.iter().map(f).sum::<f64>() / runs as f64;
         let mean_opt = |f: &dyn Fn(&RunSummary) -> Option<f64>| {
             let vals: Vec<f64> = summaries.iter().filter_map(f).collect();
             if vals.is_empty() {
@@ -455,6 +454,9 @@ mod tests {
             ..RunSpec::new(6, 1)
         };
         let summary = run(&spec);
-        assert!(!summary.gathered, "the small-n baseline cannot gather 6 robots");
+        assert!(
+            !summary.gathered,
+            "the small-n baseline cannot gather 6 robots"
+        );
     }
 }

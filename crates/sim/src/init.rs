@@ -96,7 +96,10 @@ pub fn circle(n: usize, radius: f64) -> Vec<Point> {
 /// far apart — the configuration the convergence phase has to merge.
 pub fn clusters(n: usize, clusters: usize, seed: u64) -> Vec<Point> {
     assert!(n > 0, "at least one robot is required");
-    assert!(clusters > 0 && clusters <= n, "1 ≤ clusters ≤ n is required");
+    assert!(
+        clusters > 0 && clusters <= n,
+        "1 ≤ clusters ≤ n is required"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let spread = 20.0 * clusters as f64;
     let cluster_centers: Vec<Point> = (0..clusters)
@@ -123,12 +126,15 @@ pub fn clusters(n: usize, clusters: usize, seed: u64) -> Vec<Point> {
     let mut attempts = 0;
     while !GeometricConfig::new(centers.clone()).is_valid() {
         attempts += 1;
-        assert!(attempts < 1000, "cluster generation failed to separate discs");
+        assert!(
+            attempts < 1000,
+            "cluster generation failed to separate discs"
+        );
         for i in 0..centers.len() {
             for j in (i + 1)..centers.len() {
                 if centers[i].distance(centers[j]) <= 2.0 + 1e-6 {
                     let dir = (centers[j] - centers[i]).normalized();
-                    centers[j] = centers[j] + dir * 0.5;
+                    centers[j] += dir * 0.5;
                 }
             }
         }

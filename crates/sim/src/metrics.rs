@@ -80,7 +80,8 @@ impl Metrics {
         let g = GeometricConfig::new(centers.to_vec());
         let hull = g.hull();
         let all_on_hull = g.all_on_hull();
-        let fully_visible = all_on_hull && consecutive_hull_triples_ok(&hull.boundary(), collinearity_tol);
+        let fully_visible =
+            all_on_hull && consecutive_hull_triples_ok(&hull.boundary(), collinearity_tol);
         let connected = g.is_connected();
         let sample = Sample {
             event: self.events,
@@ -194,7 +195,15 @@ mod tests {
         m.record_event(&Event::Done(RobotId(2)));
         assert_eq!(m.events, 7);
         assert_eq!(
-            (m.looks, m.computes, m.moves, m.arrivals, m.stops, m.collisions, m.dones),
+            (
+                m.looks,
+                m.computes,
+                m.moves,
+                m.arrivals,
+                m.stops,
+                m.collisions,
+                m.dones
+            ),
             (1, 1, 1, 1, 1, 1, 1)
         );
     }

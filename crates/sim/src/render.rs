@@ -14,9 +14,17 @@ pub fn svg(centers: &[Point]) -> String {
         return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>");
     }
     let min_x = centers.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - 2.0 * UNIT_RADIUS;
-    let max_x = centers.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + 2.0 * UNIT_RADIUS;
+    let max_x = centers
+        .iter()
+        .map(|p| p.x)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 2.0 * UNIT_RADIUS;
     let min_y = centers.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - 2.0 * UNIT_RADIUS;
-    let max_y = centers.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + 2.0 * UNIT_RADIUS;
+    let max_y = centers
+        .iter()
+        .map(|p| p.y)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + 2.0 * UNIT_RADIUS;
     let (w, h) = (max_x - min_x, max_y - min_y);
     let mut out = String::new();
     let _ = writeln!(
@@ -47,9 +55,17 @@ pub fn ascii(centers: &[Point], width: usize) -> String {
         return String::new();
     }
     let min_x = centers.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - UNIT_RADIUS;
-    let max_x = centers.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + UNIT_RADIUS;
+    let max_x = centers
+        .iter()
+        .map(|p| p.x)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + UNIT_RADIUS;
     let min_y = centers.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - UNIT_RADIUS;
-    let max_y = centers.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + UNIT_RADIUS;
+    let max_y = centers
+        .iter()
+        .map(|p| p.y)
+        .fold(f64::NEG_INFINITY, f64::max)
+        + UNIT_RADIUS;
     let span_x = (max_x - min_x).max(1e-9);
     let span_y = (max_y - min_y).max(1e-9);
     // Terminal cells are roughly twice as tall as wide.

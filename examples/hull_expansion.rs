@@ -25,7 +25,10 @@ fn main() {
     );
     let outcome = sim.run();
 
-    println!("gathered: {} after {} events", outcome.gathered, outcome.events);
+    println!(
+        "gathered: {} after {} events",
+        outcome.gathered, outcome.events
+    );
     if let Some(fv) = outcome.metrics.first_fully_visible {
         println!("full visibility first reached after {fv} events");
     }

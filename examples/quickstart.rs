@@ -26,7 +26,10 @@ fn main() {
     println!();
     println!("gathered:   {}", outcome.gathered);
     println!("events:     {}", outcome.events);
-    println!("LCM cycles: {:.1} per robot", outcome.metrics.looks as f64 / n as f64);
+    println!(
+        "LCM cycles: {:.1} per robot",
+        outcome.metrics.looks as f64 / n as f64
+    );
     println!(
         "distance:   {:.2} robot radii travelled in total",
         outcome.metrics.distance_travelled
@@ -34,7 +37,12 @@ fn main() {
     println!();
     println!("final configuration:");
     for (i, c) in sim.centers().iter().enumerate() {
-        println!("  r{i}: ({:7.3}, {:7.3})  phase={}", c.x, c.y, sim.phases()[i]);
+        println!(
+            "  r{i}: ({:7.3}, {:7.3})  phase={}",
+            c.x,
+            c.y,
+            sim.phases()[i]
+        );
     }
     println!();
     println!("{}", fatrobots::sim::render::ascii(sim.centers(), 60));

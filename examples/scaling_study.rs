@@ -9,7 +9,9 @@ use fatrobots::sim::experiment::{scaling_table, AggregateRow};
 fn main() {
     let ns = [3usize, 5, 6, 8, 10];
     let seeds = [1u64, 2, 3];
-    println!("E1 — gathering cost versus the number of robots (random starts, random-async adversary)");
+    println!(
+        "E1 — gathering cost versus the number of robots (random starts, random-async adversary)"
+    );
     println!("{}", AggregateRow::header());
     for row in scaling_table(&ns, &seeds) {
         println!("{row}");

@@ -54,7 +54,10 @@ fn random_starts_gather_under_the_friendly_schedule() {
 fn random_starts_gather_under_the_random_async_schedule() {
     for seed in [1u64, 2] {
         let (gathered, _) = gather(5, seed, Shape::Random, AdversaryKind::RandomAsync);
-        assert!(gathered, "seed {seed} must gather under random-async scheduling");
+        assert!(
+            gathered,
+            "seed {seed} must gather under random-async scheduling"
+        );
     }
 }
 

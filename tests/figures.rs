@@ -16,7 +16,10 @@ fn fig1_robot_state_machine_cycle() {
     // Phase-level transition structure.
     assert_eq!(Phase::Wait.successors(), &[Phase::Look]);
     assert_eq!(Phase::Look.successors(), &[Phase::Compute]);
-    assert_eq!(Phase::Compute.successors(), &[Phase::Move, Phase::Terminate]);
+    assert_eq!(
+        Phase::Compute.successors(),
+        &[Phase::Move, Phase::Terminate]
+    );
     assert_eq!(Phase::Move.successors(), &[Phase::Wait]);
     assert!(Phase::Terminate.successors().is_empty());
 
@@ -126,88 +129,119 @@ fn fig4_compute_state_graph() {
 
     let views: Vec<(usize, LocalView)> = vec![
         // Connected triangle → Connected.
-        (3, LocalView::new(
-            Point::new(0.0, 0.0),
-            vec![Point::new(2.0, 0.0), Point::new(1.0, 3.0_f64.sqrt())],
+        (
             3,
-        )),
-        // Separated triangle → NotConnected.
-        (3, LocalView::new(
-            Point::new(0.0, 0.0),
-            vec![Point::new(20.0, 0.0), Point::new(10.0, 17.0)],
-            3,
-        )),
-        // Interior robot, roomy hull → NotChange.
-        (5, LocalView::new(
-            Point::new(10.0, 10.0),
-            vec![
+            LocalView::new(
                 Point::new(0.0, 0.0),
-                Point::new(20.0, 0.0),
-                Point::new(20.0, 20.0),
-                Point::new(0.0, 20.0),
-            ],
+                vec![Point::new(2.0, 0.0), Point::new(1.0, 3.0_f64.sqrt())],
+                3,
+            ),
+        ),
+        // Separated triangle → NotConnected.
+        (
+            3,
+            LocalView::new(
+                Point::new(0.0, 0.0),
+                vec![Point::new(20.0, 0.0), Point::new(10.0, 17.0)],
+                3,
+            ),
+        ),
+        // Interior robot, roomy hull → NotChange.
+        (
             5,
-        )),
+            LocalView::new(
+                Point::new(10.0, 10.0),
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(20.0, 0.0),
+                    Point::new(20.0, 20.0),
+                    Point::new(0.0, 20.0),
+                ],
+                5,
+            ),
+        ),
         // Interior robot (touching nobody) inside a 12-gon whose sides are
         // all shorter than a robot diameter → ToChange.
-        (13, LocalView::new(
-            Point::new(0.0, 0.0),
-            (0..12)
-                .map(|i| {
-                    let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
-                    Point::new(3.7 * a.cos(), 3.7 * a.sin())
-                })
-                .collect(),
+        (
             13,
-        )),
+            LocalView::new(
+                Point::new(0.0, 0.0),
+                (0..12)
+                    .map(|i| {
+                        let a = 2.0 * std::f64::consts::PI * i as f64 / 12.0;
+                        Point::new(3.7 * a.cos(), 3.7 * a.sin())
+                    })
+                    .collect(),
+                13,
+            ),
+        ),
         // Hull robot that cannot see everyone → SpaceForMore.
-        (6, LocalView::new(
-            Point::new(0.0, 0.0),
-            vec![Point::new(10.0, 0.0), Point::new(5.0, 8.0)],
+        (
             6,
-        )),
+            LocalView::new(
+                Point::new(0.0, 0.0),
+                vec![Point::new(10.0, 0.0), Point::new(5.0, 8.0)],
+                6,
+            ),
+        ),
         // Middle robot of a nearly collinear hull triple → SeeTwoRobot.
-        (6, LocalView::new(
-            Point::new(5.0, -0.05),
-            vec![
-                Point::new(0.0, 0.0),
-                Point::new(10.0, 0.0),
-                Point::new(10.0, 10.0),
-                Point::new(0.0, 10.0),
-                Point::new(6.0, 5.0),
-            ],
+        (
             6,
-        )),
-        // End robot of the same triple → SeeOneRobot (full view variant).
-        (6, LocalView::new(
-            Point::new(0.0, 0.0),
-            vec![
+            LocalView::new(
                 Point::new(5.0, -0.05),
-                Point::new(10.0, 0.0),
-                Point::new(10.0, 10.0),
-                Point::new(0.0, 10.0),
-                Point::new(6.0, 5.0),
-            ],
+                vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(10.0, 0.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(0.0, 10.0),
+                    Point::new(6.0, 5.0),
+                ],
+                6,
+            ),
+        ),
+        // End robot of the same triple → SeeOneRobot (full view variant).
+        (
             6,
-        )),
-        // Tight triangle hull robot with an interior robot → NoSpaceForMore.
-        (4, LocalView::new(
-            Point::new(0.0, 0.0),
-            vec![Point::new(1.8, 0.0), Point::new(0.9, 1.6), Point::new(0.9, 0.55)],
-            4,
-        )),
-        // Interior robot touching another interior robot → IsTouching.
-        (6, LocalView::new(
-            Point::new(10.0, 5.0),
-            vec![
-                Point::new(10.0, 7.0),
+            LocalView::new(
                 Point::new(0.0, 0.0),
-                Point::new(20.0, 0.0),
-                Point::new(20.0, 20.0),
-                Point::new(0.0, 20.0),
-            ],
+                vec![
+                    Point::new(5.0, -0.05),
+                    Point::new(10.0, 0.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(0.0, 10.0),
+                    Point::new(6.0, 5.0),
+                ],
+                6,
+            ),
+        ),
+        // Tight triangle hull robot with an interior robot → NoSpaceForMore.
+        (
+            4,
+            LocalView::new(
+                Point::new(0.0, 0.0),
+                vec![
+                    Point::new(1.8, 0.0),
+                    Point::new(0.9, 1.6),
+                    Point::new(0.9, 0.55),
+                ],
+                4,
+            ),
+        ),
+        // Interior robot touching another interior robot → IsTouching.
+        (
             6,
-        )),
+            LocalView::new(
+                Point::new(10.0, 5.0),
+                vec![
+                    Point::new(10.0, 7.0),
+                    Point::new(0.0, 0.0),
+                    Point::new(20.0, 0.0),
+                    Point::new(20.0, 20.0),
+                    Point::new(0.0, 20.0),
+                ],
+                6,
+            ),
+        ),
     ];
 
     let mut reached = std::collections::HashSet::new();
@@ -250,7 +284,11 @@ fn fig5_collinearity_band() {
     let band = AlgorithmParams::for_n(n).band();
     let inside_band = Point::new(5.0, -(band * 0.5));
     let outside_band = Point::new(5.0, -(band * 3.0));
-    let others = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 10.0)];
+    let others = vec![
+        Point::new(0.0, 0.0),
+        Point::new(10.0, 0.0),
+        Point::new(5.0, 10.0),
+    ];
 
     let run_state = |me: Point| {
         let view = LocalView::new(me, others.clone(), n + 1); // one robot unseen → phase 1

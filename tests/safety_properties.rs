@@ -22,9 +22,7 @@ fn valid_centers(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
             cells
                 .iter()
                 .zip(jitter)
-                .map(|(&(i, j), (dx, dy))| {
-                    Point::new(i as f64 * 3.2 + dx, j as f64 * 3.2 + dy)
-                })
+                .map(|(&(i, j), (dx, dy))| Point::new(i as f64 * 3.2 + dx, j as f64 * 3.2 + dy))
                 .collect()
         })
     })

@@ -1,0 +1,295 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the API subset the workspace's property tests use: the [`proptest!`]
+//! macro, [`strategy::Strategy`] with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], `ProptestConfig::with_cases`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Cases are
+//! sampled from a deterministic seeded generator; failing inputs are
+//! reported in the panic message but **not shrunk**. Swap the `proptest`
+//! entry in the workspace `Cargo.toml` back to the registry version for real
+//! shrinking when networked builds are available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `BTreeSet`s of values drawn from an element
+    /// strategy. Duplicate draws are retried a bounded number of times, so a
+    /// set may come out smaller than the requested minimum if the element
+    /// domain is too small — matching real proptest's rejection behaviour
+    /// closely enough for the workspace's tests.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`BTreeSetStrategy`] with sizes drawn from `size`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.min, self.size.max);
+            let mut set = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * target + 64 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The items a test file gets from `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            ::core::stringify!($left),
+            ::core::stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (without counting it as run) when its inputs do
+/// not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::core::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { … }` becomes
+/// a `#[test]` that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            // Strategies are built once per test (as in real proptest), bound
+            // to the argument names; the per-case values shadow them inside
+            // the loop body's scope.
+            $(let $arg = ($strategy);)*
+            let mut rng = $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                // Snapshot the RNG so failing inputs can be re-sampled and
+                // rendered without Debug-formatting every passing case (the
+                // body may consume the values, so they cannot be kept).
+                let snapshot = rng.clone();
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut rng);)*
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        ::std::assert!(
+                            rejected < config.cases.saturating_mul(64).max(1024),
+                            "prop_assume rejected too many cases ({rejected}) in {}",
+                            ::core::stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        let mut replay = snapshot;
+                        let mut inputs = ::std::string::String::new();
+                        $(inputs.push_str(&::std::format!(
+                            "\n    {} = {:?}",
+                            ::core::stringify!($arg),
+                            $crate::strategy::Strategy::sample(&$arg, &mut replay)
+                        ));)*
+                        ::std::panic!(
+                            "proptest case {} of `{}` failed: {}\n  inputs:{}",
+                            accepted,
+                            ::core::stringify!($name),
+                            message,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(x in -5.0f64..5.0, pair in (0i32..10, 0i32..10)) {
+            let (a, b) = pair;
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((0..10).contains(&a) && (0..10).contains(&b));
+        }
+
+        #[test]
+        fn vec_respects_size_and_map(v in prop::collection::vec((0i32..4).prop_map(|k| k * 2), 2..=5)) {
+            prop_assert!(v.len() >= 2 && v.len() <= 5);
+            for k in v {
+                prop_assert_eq!(k % 2, 0);
+            }
+        }
+
+        #[test]
+        fn assume_discards_without_failing(n in 0i32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "inputs:\n    n = ")]
+        fn failing_case_replays_and_reports_inputs(n in 0i32..10) {
+            prop_assert!(n > 100, "n is never above 100");
+        }
+    }
+}

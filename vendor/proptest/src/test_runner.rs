@@ -1,0 +1,86 @@
+//! The pieces behind the `proptest!` macro: the per-test RNG, the case
+//! configuration and the case-level error type.
+
+/// Deterministic SplitMix64 generator seeding each property test from a hash
+/// of its name, so runs are reproducible without any environment setup.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the generator for the named test. The same test name always
+    /// yields the same case sequence.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name keeps distinct tests on distinct streams.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `usize` in `[min, max]`.
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        let span = (max - min) as u64 + 1;
+        min + (self.next_u64() % span) as usize
+    }
+}
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// The number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single sampled case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs failed a `prop_assume!` precondition; the case is
+    /// discarded and re-sampled.
+    Reject(String),
+    /// A `prop_assert!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
