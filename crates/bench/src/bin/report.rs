@@ -1,70 +1,196 @@
 //! `report` — regenerate the experiment tables of EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p fatrobots-bench --bin report            # all tables
-//! cargo run --release -p fatrobots-bench --bin report -- --e1    # one table
-//! cargo run --release -p fatrobots-bench --bin report -- --quick # smaller sweeps
+//! cargo run --release -p fatrobots-bench --bin report                  # all tables
+//! cargo run --release -p fatrobots-bench --bin report -- --e1         # one table
+//! cargo run --release -p fatrobots-bench --bin report -- --quick      # smaller sweeps
+//! cargo run --release -p fatrobots-bench --bin report -- --jobs 4     # parallel sweeps
+//! cargo run --release -p fatrobots-bench --bin report -- --json out.json
 //! ```
+//!
+//! Sweeps are dispatched through `fatrobots_sim::sweep`, so table output is
+//! byte-identical for every `--jobs` value. Unknown flags are an error (exit
+//! code 2) — see `--help`.
 
-use fatrobots_bench::{print_table, QUICK_SEEDS, STANDARD_SEEDS};
+use std::process::ExitCode;
+
+use fatrobots_bench::{print_table, report_json, QUICK_SEEDS, STANDARD_SEEDS};
 use fatrobots_sim::experiment::{
     adversary_table, baseline_table, delta_table, expansion_table, scaling_table, shape_table,
+    ExperimentTable,
 };
+use fatrobots_sim::sweep;
 
-fn main() {
+const USAGE: &str = "\
+Usage: report [OPTIONS]
+
+Regenerates the experiment tables of EXPERIMENTS.md. With no table flags,
+every table is produced.
+
+Table selection:
+  --e1           E1  gathering cost vs number of robots
+  --e2, --e3     E2/E3  hull expansion & convergence monotonicity by shape
+  --e4           E4  behaviour under each adversary
+  --e5           E5  the paper's algorithm vs the baselines
+  --e6           E6  sensitivity to the liveness distance delta
+  --e7           E7  sensitivity to the initial configuration shape
+  --figures      print how to reproduce the figures (F1-F5)
+
+Options:
+  --quick        use the small seed set (3 seeds) and a reduced E1 sweep
+  --jobs <N>     worker threads for the sweeps (default: available cores;
+                 output is byte-identical for every N)
+  --json <PATH>  also write every run and aggregate row to PATH as JSON
+  -h, --help     print this help and exit
+";
+
+/// Parsed command line.
+struct Cli {
+    quick: bool,
+    jobs: usize,
+    json: Option<String>,
+    figures: bool,
+    /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
+    selected: Vec<&'static str>,
+}
+
+/// Parses arguments; `Err` carries the message for stderr (usage error).
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        quick: false,
+        jobs: sweep::default_jobs(),
+        json: None,
+        figures: false,
+        selected: Vec::new(),
+    };
+    fn select(selected: &mut Vec<&'static str>, id: &'static str) {
+        if !selected.contains(&id) {
+            selected.push(id);
+        }
+    }
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--quick" => cli.quick = true,
+            "--figures" => cli.figures = true,
+            "--e1" => select(&mut cli.selected, "e1"),
+            "--e2" | "--e3" => select(&mut cli.selected, "e2e3"),
+            "--e4" => select(&mut cli.selected, "e4"),
+            "--e5" => select(&mut cli.selected, "e5"),
+            "--e6" => select(&mut cli.selected, "e6"),
+            "--e7" => select(&mut cli.selected, "e7"),
+            "--jobs" => {
+                let value = iter.next().ok_or("--jobs requires a value")?;
+                cli.jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs wants a positive integer, got '{value}'"))?;
+            }
+            "--json" => {
+                let value = iter.next().ok_or("--json requires a path")?;
+                cli.json = Some(value.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    // Canonical order regardless of flag order, so `--e4 --e1` prints E1
+    // first — same as the all-tables run.
+    let order = ["e1", "e2e3", "e4", "e5", "e6", "e7"];
+    cli.selected
+        .sort_by_key(|id| order.iter().position(|o| o == id));
+    Ok(Some(cli))
+}
+
+fn build_table(id: &str, quick: bool, seeds: &[u64], jobs: usize) -> ExperimentTable {
+    match id {
+        "e1" => {
+            let ns: &[usize] = if quick {
+                &[3, 5, 8]
+            } else {
+                &[3, 5, 6, 8, 10, 12]
+            };
+            scaling_table(ns, seeds, jobs)
+        }
+        "e2e3" => expansion_table(6, seeds, jobs),
+        "e4" => adversary_table(6, seeds, jobs),
+        "e5" => baseline_table(6, seeds, jobs),
+        "e6" => delta_table(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds, jobs),
+        "e7" => shape_table(6, seeds, jobs),
+        other => unreachable!("unknown table id {other}"),
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let seeds: &[u64] = if quick { &QUICK_SEEDS } else { &STANDARD_SEEDS };
-    let want = |flag: &str| {
-        args.is_empty() || args.iter().all(|a| a == "--quick") || args.iter().any(|a| a == flag)
+    let cli = match parse_args(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("report: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Fail on an unwritable --json path up front, not after minutes of
+    // sweeping: probe by creating the output file before any runs start.
+    if let Some(path) = &cli.json {
+        if let Err(err) = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+        {
+            eprintln!("report: cannot write '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let seeds: &[u64] = if cli.quick {
+        &QUICK_SEEDS
+    } else {
+        &STANDARD_SEEDS
     };
 
     // Unlike the tables, the figures note only prints when asked for
     // explicitly — it never joins the default all-tables run.
-    if args.iter().any(|a| a == "--figures") {
+    if cli.figures {
         println!("The figure reproductions (F1–F5) are executable tests:");
         println!("  cargo test --test figures");
     }
 
-    if want("--e1") {
-        let ns: &[usize] = if quick {
-            &[3, 5, 8]
-        } else {
-            &[3, 5, 6, 8, 10, 12]
-        };
-        print_table(
-            "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
-            &scaling_table(ns, seeds),
+    let ids: Vec<&'static str> = if cli.selected.is_empty() && !cli.figures {
+        vec!["e1", "e2e3", "e4", "e5", "e6", "e7"]
+    } else {
+        cli.selected.clone()
+    };
+
+    let mut tables = Vec::new();
+    for id in &ids {
+        let table = build_table(id, cli.quick, seeds, cli.jobs);
+        print_table(&table);
+        tables.push(table);
+    }
+
+    if let Some(path) = &cli.json {
+        let text = report_json(&tables, cli.quick, cli.jobs);
+        if let Err(err) = std::fs::write(path, &text) {
+            eprintln!("report: cannot write '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+        let runs: usize = tables.iter().map(|t| t.summaries().count()).sum();
+        // Note goes to stderr so stdout stays byte-identical with and
+        // without --json.
+        eprintln!(
+            "report: wrote {path} ({} tables, {runs} runs)",
+            tables.len()
         );
     }
-    if want("--e2") || want("--e3") {
-        print_table(
-            "E2/E3 — hull expansion & convergence monotonicity by initial shape (n = 6)",
-            &expansion_table(6, seeds),
-        );
-    }
-    if want("--e4") {
-        print_table(
-            "E4 — behaviour under each adversary (n = 6, random starts)",
-            &adversary_table(6, seeds),
-        );
-    }
-    if want("--e5") {
-        print_table(
-            "E5 — the paper's algorithm vs the baselines (n = 6, random starts)",
-            &baseline_table(6, seeds),
-        );
-    }
-    if want("--e6") {
-        print_table(
-            "E6 — sensitivity to the liveness distance delta (n = 6)",
-            &delta_table(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds),
-        );
-    }
-    if want("--e7") {
-        print_table(
-            "E7 — sensitivity to the initial configuration shape (n = 6)",
-            &shape_table(6, seeds),
-        );
-    }
+
+    ExitCode::SUCCESS
 }

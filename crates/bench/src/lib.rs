@@ -2,13 +2,18 @@
 //!
 //! Shared helpers for the Criterion benchmarks and the `report` binary that
 //! regenerates the tables of `EXPERIMENTS.md`. The actual experiment logic
-//! lives in [`fatrobots_sim::experiment`]; this crate only provides small
-//! wrappers so every bench and the report print exactly the same rows.
+//! lives in [`fatrobots_sim::experiment`] (with the parallel dispatch in
+//! [`fatrobots_sim::sweep`]); this crate provides the table printer, the
+//! hand-rolled [`json`] layer, and the `bench_report.json` serializer so
+//! every bench and the report emit exactly the same rows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fatrobots_sim::experiment::AggregateRow;
+pub mod json;
+
+use fatrobots_sim::experiment::{AggregateRow, ExperimentTable, RunSummary};
+use json::JsonValue;
 
 /// The seeds used by the standard experiment tables. Keeping them in one
 /// place makes `cargo bench` and `report` reproduce the same numbers.
@@ -17,13 +22,147 @@ pub const STANDARD_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
 /// A smaller seed set for the expensive sweeps.
 pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 
+/// The `schema_version` stamped into `bench_report.json`. Bump on any
+/// breaking change to the report layout.
+pub const REPORT_SCHEMA_VERSION: i64 = 1;
+
 /// Prints one experiment table with its title.
-pub fn print_table(title: &str, rows: &[AggregateRow]) {
-    println!("\n== {title} ==");
+pub fn print_table(table: &ExperimentTable) {
+    println!("\n== {} ==", table.title);
     println!("{}", AggregateRow::header());
-    for row in rows {
+    for row in table.rows() {
         println!("{row}");
     }
+}
+
+/// One run flattened into a JSON record: the full spec plus every metric.
+fn summary_json(s: &RunSummary) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("n".into(), JsonValue::Int(s.spec.n as i64)),
+        ("seed".into(), JsonValue::Int(s.spec.seed as i64)),
+        ("shape".into(), JsonValue::Str(s.spec.shape.name().into())),
+        (
+            "strategy".into(),
+            JsonValue::Str(s.spec.strategy.name().into()),
+        ),
+        (
+            "adversary".into(),
+            JsonValue::Str(s.spec.adversary.name().into()),
+        ),
+        ("delta".into(), JsonValue::num(s.spec.delta)),
+        (
+            "max_events".into(),
+            JsonValue::Int(s.spec.max_events as i64),
+        ),
+        ("gathered".into(), JsonValue::Bool(s.gathered)),
+        ("terminated".into(), JsonValue::Bool(s.terminated)),
+        ("events".into(), JsonValue::Int(s.events as i64)),
+        (
+            "cycles_per_robot".into(),
+            JsonValue::num(s.cycles_per_robot),
+        ),
+        ("distance".into(), JsonValue::num(s.distance)),
+        (
+            "first_fully_visible".into(),
+            JsonValue::opt_int(s.first_fully_visible),
+        ),
+        (
+            "first_connected".into(),
+            JsonValue::opt_int(s.first_connected),
+        ),
+        (
+            "expansion_monotonicity".into(),
+            JsonValue::opt_num(s.expansion_monotonicity),
+        ),
+        (
+            "convergence_monotonicity".into(),
+            JsonValue::opt_num(s.convergence_monotonicity),
+        ),
+    ])
+}
+
+/// One aggregate row as a JSON record.
+fn aggregate_json(row: &AggregateRow) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("label".into(), JsonValue::Str(row.label.clone())),
+        ("runs".into(), JsonValue::Int(row.runs as i64)),
+        ("gathered_rate".into(), JsonValue::num(row.gathered_rate)),
+        ("mean_events".into(), JsonValue::num(row.mean_events)),
+        (
+            "mean_cycles_per_robot".into(),
+            JsonValue::num(row.mean_cycles_per_robot),
+        ),
+        ("mean_distance".into(), JsonValue::num(row.mean_distance)),
+        (
+            "mean_first_fully_visible".into(),
+            JsonValue::opt_num(row.mean_first_fully_visible),
+        ),
+        (
+            "mean_expansion_monotonicity".into(),
+            JsonValue::opt_num(row.mean_expansion_monotonicity),
+        ),
+        (
+            "mean_convergence_monotonicity".into(),
+            JsonValue::opt_num(row.mean_convergence_monotonicity),
+        ),
+    ])
+}
+
+/// Serializes executed tables into the `bench_report.json` document.
+///
+/// Layout (see the README for the full schema):
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "generator": "fatrobots-bench report",
+///   "quick": true,
+///   "jobs": 2,
+///   "tables": [
+///     { "id": "e1", "title": "…",
+///       "groups": [ { "label": "n=3", "aggregate": {…}, "runs": [ {…} ] } ] }
+///   ]
+/// }
+/// ```
+pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize) -> String {
+    let tables_json = tables
+        .iter()
+        .map(|table| {
+            let groups = table
+                .groups
+                .iter()
+                .map(|group| {
+                    JsonValue::Obj(vec![
+                        ("label".into(), JsonValue::Str(group.label.clone())),
+                        ("aggregate".into(), aggregate_json(&group.aggregate())),
+                        (
+                            "runs".into(),
+                            JsonValue::Arr(group.summaries.iter().map(summary_json).collect()),
+                        ),
+                    ])
+                })
+                .collect();
+            JsonValue::Obj(vec![
+                ("id".into(), JsonValue::Str(table.id.into())),
+                ("title".into(), JsonValue::Str(table.title.clone())),
+                ("groups".into(), JsonValue::Arr(groups)),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "schema_version".into(),
+            JsonValue::Int(REPORT_SCHEMA_VERSION),
+        ),
+        (
+            "generator".into(),
+            JsonValue::Str("fatrobots-bench report".into()),
+        ),
+        ("quick".into(), JsonValue::Bool(quick)),
+        ("jobs".into(), JsonValue::Int(jobs as i64)),
+        ("tables".into(), JsonValue::Arr(tables_json)),
+    ])
+    .to_pretty()
 }
 
 #[cfg(test)]
@@ -39,9 +178,31 @@ mod tests {
 
     #[test]
     fn print_table_smoke() {
-        let rows = scaling_table(&[3], &[1]);
-        assert_eq!(rows.len(), 1);
-        print_table("smoke", &rows);
+        let table = scaling_table(&[3], &[1], 1);
+        assert_eq!(table.rows().len(), 1);
+        print_table(&table);
         let _ = RunSpec::new(3, 1);
+    }
+
+    #[test]
+    fn report_json_round_trips_and_counts_runs() {
+        let table = scaling_table(&[3], &[1, 2], 2);
+        let text = report_json(std::slice::from_ref(&table), true, 2);
+        let doc = json::parse(&text).expect("report JSON parses");
+        assert_eq!(doc.get("schema_version"), Some(&JsonValue::Int(1)));
+        assert_eq!(doc.get("quick"), Some(&JsonValue::Bool(true)));
+        let tables = doc.get("tables").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e1"));
+        let groups = tables[0].get("groups").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(groups.len(), 1);
+        let runs = groups[0].get("runs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(runs.len(), 2, "one JSON record per run");
+        assert_eq!(
+            runs[0].get("strategy").and_then(JsonValue::as_str),
+            Some("agm-gathering")
+        );
+        let aggregate = groups[0].get("aggregate").unwrap();
+        assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
     }
 }

@@ -1,0 +1,119 @@
+//! Integration tests for the `report` binary: flag handling, parallel
+//! determinism, and the `bench_report.json` artifact.
+
+use std::process::{Command, Output};
+
+use fatrobots_bench::json::{self, JsonValue};
+
+fn report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(args)
+        .output()
+        .expect("report binary runs")
+}
+
+#[test]
+fn unknown_flag_exits_nonzero_with_a_usage_message() {
+    let out = report(&["--definitely-not-a-flag"]);
+    assert!(
+        !out.status.success(),
+        "an unknown flag must not exit 0 (the old CLI silently ignored it)"
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown flag '--definitely-not-a-flag'"));
+    assert!(stderr.contains("Usage: report"));
+    assert!(out.stdout.is_empty(), "usage errors must not print tables");
+}
+
+#[test]
+fn help_exits_zero_and_documents_the_flags() {
+    let out = report(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for flag in ["Usage: report", "--quick", "--jobs", "--json", "--e1"] {
+        assert!(stdout.contains(flag), "--help must mention {flag}");
+    }
+}
+
+#[test]
+fn jobs_rejects_missing_and_malformed_values() {
+    for args in [&["--jobs"][..], &["--jobs", "zero"], &["--jobs", "0"]] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(String::from_utf8(out.stderr).unwrap().contains("--jobs"));
+    }
+}
+
+#[test]
+fn parallel_table_output_is_byte_identical_to_serial() {
+    let serial = report(&["--quick", "--e1", "--jobs", "1"]);
+    let parallel = report(&["--quick", "--e1", "--jobs", "4"]);
+    assert!(serial.status.success());
+    assert!(parallel.status.success());
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "sweep output must not depend on the worker count"
+    );
+}
+
+#[test]
+fn json_report_is_parseable_with_one_record_per_run() {
+    let path =
+        std::env::temp_dir().join(format!("bench_report_cli_test_{}.json", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let out = report(&["--quick", "--e1", "--jobs", "2", "--json", path_str]);
+    assert!(out.status.success());
+
+    let text = std::fs::read_to_string(&path).expect("bench_report.json written");
+    let _ = std::fs::remove_file(&path);
+    let doc = json::parse(&text).expect("bench_report.json parses");
+
+    assert_eq!(doc.get("schema_version"), Some(&JsonValue::Int(1)));
+    assert_eq!(doc.get("jobs"), Some(&JsonValue::Int(2)));
+    assert_eq!(doc.get("quick"), Some(&JsonValue::Bool(true)));
+    let tables = doc.get("tables").and_then(JsonValue::as_arr).unwrap();
+    assert_eq!(tables.len(), 1);
+    assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e1"));
+
+    // --quick --e1 sweeps n in {3, 5, 8} over 3 seeds: 3 groups, 3 runs
+    // each, plus one aggregate row per group.
+    let groups = tables[0].get("groups").and_then(JsonValue::as_arr).unwrap();
+    assert_eq!(groups.len(), 3);
+    for group in groups {
+        let runs = group.get("runs").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(runs.len(), 3, "one JSON record per run");
+        let aggregate = group.get("aggregate").expect("aggregate row present");
+        assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(3)));
+        for run in runs {
+            for key in [
+                "n",
+                "seed",
+                "shape",
+                "strategy",
+                "adversary",
+                "events",
+                "gathered",
+            ] {
+                assert!(run.get(key).is_some(), "run record missing '{key}'");
+            }
+        }
+    }
+}
+
+#[test]
+fn json_write_failure_is_reported() {
+    let out = report(&[
+        "--quick",
+        "--e1",
+        "--jobs",
+        "2",
+        "--json",
+        "/nonexistent-dir/bench_report.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot write"));
+}

@@ -281,119 +281,206 @@ impl fmt::Display for AggregateRow {
     }
 }
 
-/// E1 — gathering success and cost versus the number of robots.
-pub fn scaling_table(ns: &[usize], seeds: &[u64]) -> Vec<AggregateRow> {
-    ns.iter()
-        .map(|&n| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| run(&RunSpec::new(n, seed)))
-                .collect();
-            AggregateRow::from_summaries(format!("n={n}"), &summaries)
+/// A labelled family of specs — one table row before execution.
+#[derive(Debug, Clone)]
+pub struct SpecGroup {
+    /// Row label (e.g. `n=6`, the adversary name, the shape).
+    pub label: String,
+    /// The runs aggregated into this row.
+    pub specs: Vec<RunSpec>,
+}
+
+impl SpecGroup {
+    /// A group from a label and the specs produced per seed.
+    pub fn per_seed(
+        label: impl Into<String>,
+        seeds: &[u64],
+        mut spec: impl FnMut(u64) -> RunSpec,
+    ) -> Self {
+        SpecGroup {
+            label: label.into(),
+            specs: seeds.iter().map(|&seed| spec(seed)).collect(),
+        }
+    }
+}
+
+/// One executed table row: the label plus every per-run summary behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupResult {
+    /// Row label, carried over from the [`SpecGroup`].
+    pub label: String,
+    /// Per-run summaries, in seed order.
+    pub summaries: Vec<RunSummary>,
+}
+
+impl GroupResult {
+    /// Aggregates this group into its display row.
+    pub fn aggregate(&self) -> AggregateRow {
+        AggregateRow::from_summaries(self.label.clone(), &self.summaries)
+    }
+}
+
+/// An executed experiment table: identity, caption, and every run grouped
+/// by row. The aggregate rows are derived views ([`ExperimentTable::rows`]);
+/// the per-run summaries stay available for machine-readable reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentTable {
+    /// Stable identifier (`e1` … `e7`), used for CLI flags and JSON.
+    pub id: &'static str,
+    /// Human-readable caption printed above the table.
+    pub title: String,
+    /// One entry per table row.
+    pub groups: Vec<GroupResult>,
+}
+
+impl ExperimentTable {
+    /// The aggregate rows, one per group.
+    pub fn rows(&self) -> Vec<AggregateRow> {
+        self.groups.iter().map(GroupResult::aggregate).collect()
+    }
+
+    /// Every per-run summary in the table, in row-major order.
+    pub fn summaries(&self) -> impl Iterator<Item = &RunSummary> {
+        self.groups.iter().flat_map(|g| g.summaries.iter())
+    }
+}
+
+/// Executes a table's groups as one flat sweep over `jobs` workers and
+/// slices the summaries back into their rows. Flattening first means short
+/// and long rows share the same worker pool instead of serialising on the
+/// slowest row.
+pub fn sweep_table(
+    id: &'static str,
+    title: impl Into<String>,
+    groups: Vec<SpecGroup>,
+    jobs: usize,
+) -> ExperimentTable {
+    let flat: Vec<RunSpec> = groups
+        .iter()
+        .flat_map(|g| g.specs.iter().copied())
+        .collect();
+    let mut summaries = crate::sweep::run_sweep(&flat, jobs).into_iter();
+    let groups = groups
+        .into_iter()
+        .map(|g| GroupResult {
+            label: g.label,
+            summaries: summaries.by_ref().take(g.specs.len()).collect(),
         })
-        .collect()
+        .collect();
+    ExperimentTable {
+        id,
+        title: title.into(),
+        groups,
+    }
+}
+
+/// E1 — gathering success and cost versus the number of robots.
+pub fn scaling_table(ns: &[usize], seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e1",
+        "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
+        ns.iter()
+            .map(|&n| SpecGroup::per_seed(format!("n={n}"), seeds, |seed| RunSpec::new(n, seed)))
+            .collect(),
+        jobs,
+    )
 }
 
 /// E2/E3 — hull-expansion and convergence monotonicity per initial shape.
-pub fn expansion_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
-    [Shape::Clusters, Shape::Line, Shape::Random]
-        .iter()
-        .map(|&shape| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| {
-                    run(&RunSpec {
-                        shape,
-                        ..RunSpec::new(n, seed)
-                    })
+pub fn expansion_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e2e3",
+        format!("E2/E3 — hull expansion & convergence monotonicity by initial shape (n = {n})"),
+        [Shape::Clusters, Shape::Line, Shape::Random]
+            .iter()
+            .map(|&shape| {
+                SpecGroup::per_seed(format!("shape={}", shape.name()), seeds, |seed| RunSpec {
+                    shape,
+                    ..RunSpec::new(n, seed)
                 })
-                .collect();
-            AggregateRow::from_summaries(format!("shape={}", shape.name()), &summaries)
-        })
-        .collect()
+            })
+            .collect(),
+        jobs,
+    )
 }
 
 /// E4 — behaviour under each adversary.
-pub fn adversary_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
-    AdversaryKind::ALL
-        .iter()
-        .map(|&adv| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| {
-                    run(&RunSpec {
-                        adversary: adv,
-                        ..RunSpec::new(n, seed)
-                    })
+pub fn adversary_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e4",
+        format!("E4 — behaviour under each adversary (n = {n}, random starts)"),
+        AdversaryKind::ALL
+            .iter()
+            .map(|&adv| {
+                SpecGroup::per_seed(adv.name(), seeds, |seed| RunSpec {
+                    adversary: adv,
+                    ..RunSpec::new(n, seed)
                 })
-                .collect();
-            AggregateRow::from_summaries(adv.name(), &summaries)
-        })
-        .collect()
+            })
+            .collect(),
+        jobs,
+    )
 }
 
 /// E5 — the paper's algorithm versus the baselines, for a given `n`.
-pub fn baseline_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
-    StrategyKind::ALL
-        .iter()
-        .map(|&strategy| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| {
-                    run(&RunSpec {
-                        strategy,
-                        // Baselines get a smaller budget: they either succeed
-                        // quickly (n ≤ 4) or plateau without terminating.
-                        max_events: if strategy == StrategyKind::Paper {
-                            RunSpec::new(n, seed).max_events
-                        } else {
-                            30_000
-                        },
-                        ..RunSpec::new(n, seed)
-                    })
+pub fn baseline_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e5",
+        format!("E5 — the paper's algorithm vs the baselines (n = {n}, random starts)"),
+        StrategyKind::ALL
+            .iter()
+            .map(|&strategy| {
+                SpecGroup::per_seed(strategy.name(), seeds, |seed| RunSpec {
+                    strategy,
+                    // Baselines get a smaller budget: they either succeed
+                    // quickly (n ≤ 4) or plateau without terminating.
+                    max_events: if strategy == StrategyKind::Paper {
+                        RunSpec::new(n, seed).max_events
+                    } else {
+                        30_000
+                    },
+                    ..RunSpec::new(n, seed)
                 })
-                .collect();
-            AggregateRow::from_summaries(strategy.name(), &summaries)
-        })
-        .collect()
+            })
+            .collect(),
+        jobs,
+    )
 }
 
 /// E6 — sensitivity to the liveness distance δ.
-pub fn delta_table(n: usize, deltas: &[f64], seeds: &[u64]) -> Vec<AggregateRow> {
-    deltas
-        .iter()
-        .map(|&delta| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| {
-                    run(&RunSpec {
-                        delta,
-                        ..RunSpec::new(n, seed)
-                    })
+pub fn delta_table(n: usize, deltas: &[f64], seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e6",
+        format!("E6 — sensitivity to the liveness distance delta (n = {n})"),
+        deltas
+            .iter()
+            .map(|&delta| {
+                SpecGroup::per_seed(format!("delta={delta}"), seeds, |seed| RunSpec {
+                    delta,
+                    ..RunSpec::new(n, seed)
                 })
-                .collect();
-            AggregateRow::from_summaries(format!("delta={delta}"), &summaries)
-        })
-        .collect()
+            })
+            .collect(),
+        jobs,
+    )
 }
 
 /// E7 — sensitivity to the initial configuration shape.
-pub fn shape_table(n: usize, seeds: &[u64]) -> Vec<AggregateRow> {
-    Shape::ALL
-        .iter()
-        .map(|&shape| {
-            let summaries: Vec<RunSummary> = seeds
-                .iter()
-                .map(|&seed| {
-                    run(&RunSpec {
-                        shape,
-                        ..RunSpec::new(n, seed)
-                    })
+pub fn shape_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
+    sweep_table(
+        "e7",
+        format!("E7 — sensitivity to the initial configuration shape (n = {n})"),
+        Shape::ALL
+            .iter()
+            .map(|&shape| {
+                SpecGroup::per_seed(shape.name(), seeds, |seed| RunSpec {
+                    shape,
+                    ..RunSpec::new(n, seed)
                 })
-                .collect();
-            AggregateRow::from_summaries(shape.name(), &summaries)
-        })
-        .collect()
+            })
+            .collect(),
+        jobs,
+    )
 }
 
 #[cfg(test)]
@@ -442,6 +529,43 @@ mod tests {
         assert!(row.gathered_rate >= 0.0 && row.gathered_rate <= 1.0);
         assert!(!format!("{row}").is_empty());
         assert!(!AggregateRow::header().is_empty());
+    }
+
+    #[test]
+    fn sweep_table_slices_summaries_back_into_rows() {
+        let seeds = [1u64, 2];
+        let groups = vec![
+            SpecGroup::per_seed("n=3", &seeds, |seed| RunSpec {
+                max_events: 5_000,
+                ..RunSpec::new(3, seed)
+            }),
+            SpecGroup::per_seed("n=4", &seeds, |seed| RunSpec {
+                max_events: 5_000,
+                ..RunSpec::new(4, seed)
+            }),
+        ];
+        let table = sweep_table("t", "test table", groups, 2);
+        assert_eq!(table.id, "t");
+        assert_eq!(table.groups.len(), 2);
+        assert_eq!(table.rows().len(), 2);
+        assert_eq!(table.summaries().count(), 4);
+        for group in &table.groups {
+            assert_eq!(group.summaries.len(), seeds.len());
+            for (summary, &seed) in group.summaries.iter().zip(seeds.iter()) {
+                assert_eq!(summary.spec.seed, seed);
+            }
+        }
+        assert_eq!(table.groups[0].summaries[0].spec.n, 3);
+        assert_eq!(table.groups[1].summaries[0].spec.n, 4);
+    }
+
+    #[test]
+    fn tables_agree_with_direct_runs() {
+        let seeds = [1u64];
+        let table = scaling_table(&[3], &seeds, 2);
+        let direct = run(&RunSpec::new(3, 1));
+        assert_eq!(table.groups[0].summaries[0], direct);
+        assert_eq!(table.rows()[0].label, "n=3");
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //!   CSV export;
 //! * [`render`] — small SVG / ASCII renderers for configurations;
 //! * [`experiment`] — the parameter-sweep harness behind EXPERIMENTS.md and
-//!   the Criterion benches.
+//!   the Criterion benches;
+//! * [`sweep`] — the parallel sweep engine: fans `RunSpec`s out over a
+//!   scoped worker pool and returns summaries in deterministic input order.
 //!
 //! ## Quick example
 //!
@@ -49,6 +51,7 @@ pub mod experiment;
 pub mod init;
 pub mod metrics;
 pub mod render;
+pub mod sweep;
 pub mod trace;
 
 pub use engine::{RunOutcome, SimConfig, Simulator};

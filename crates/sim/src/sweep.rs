@@ -1,0 +1,146 @@
+//! Parallel sweep engine.
+//!
+//! Every experiment in this repo is a bag of fully seeded, independent
+//! simulations, so sweeps are embarrassingly parallel. [`run_sweep`] fans a
+//! `&[RunSpec]` out over a scoped worker pool (plain `std::thread`, no
+//! external dependencies) and returns the summaries **in input order**, so
+//! the output of a parallel sweep is byte-identical to the serial one —
+//! `run_sweep(specs, jobs)` equals `specs.iter().map(run).collect()` for
+//! every `jobs`.
+//!
+//! The work queue is a single [`AtomicUsize`] index into the spec slice:
+//! each worker claims the next unclaimed spec, executes it, and stores the
+//! summary into that spec's dedicated slot. Long and short runs therefore
+//! interleave freely across workers without any ordering machinery beyond
+//! the slot index.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::experiment::{run, RunSpec, RunSummary};
+
+/// The number of workers to use when the caller has no preference: the
+/// available hardware parallelism, or 1 if that cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Executes every spec and returns the summaries in input order.
+///
+/// `jobs` is the worker count; `0` is treated as 1, and the pool never
+/// spawns more workers than there are specs. With `jobs <= 1` the sweep
+/// runs inline on the calling thread — no threads are spawned at all.
+///
+/// A panic inside any run (a simulator validity assertion, for instance)
+/// propagates to the caller once the scope joins.
+pub fn run_sweep(specs: &[RunSpec], jobs: usize) -> Vec<RunSummary> {
+    let jobs = jobs.clamp(1, specs.len().max(1));
+    if jobs == 1 {
+        return specs.iter().map(run).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunSummary>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let summary = run(spec);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(summary);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every claimed slot is filled before the scope joins")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{AdversaryKind, StrategyKind};
+    use crate::init::Shape;
+
+    /// A small but non-trivial spec matrix: two robot counts, three seeds,
+    /// two shapes — twelve runs, each short enough for a debug-mode test.
+    fn spec_matrix() -> Vec<RunSpec> {
+        let mut specs = Vec::new();
+        for &n in &[3usize, 4] {
+            for seed in 1..=3u64 {
+                for &shape in &[Shape::Circle, Shape::Clusters] {
+                    specs.push(RunSpec {
+                        shape,
+                        adversary: AdversaryKind::RoundRobin,
+                        strategy: StrategyKind::Paper,
+                        max_events: 20_000,
+                        ..RunSpec::new(n, seed)
+                    });
+                }
+            }
+        }
+        specs
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_element_for_element() {
+        let specs = spec_matrix();
+        let serial = run_sweep(&specs, 1);
+        let parallel = run_sweep(&specs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s, p, "summary {i} differs between jobs=1 and jobs=4");
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_input_order() {
+        let specs = spec_matrix();
+        let summaries = run_sweep(&specs, 3);
+        for (spec, summary) in specs.iter().zip(&summaries) {
+            assert_eq!(*spec, summary.spec);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_treated_as_one() {
+        let specs = vec![RunSpec {
+            shape: Shape::Circle,
+            adversary: AdversaryKind::RoundRobin,
+            max_events: 20_000,
+            ..RunSpec::new(3, 1)
+        }];
+        assert_eq!(run_sweep(&specs, 0), run_sweep(&specs, 1));
+    }
+
+    #[test]
+    fn empty_sweep_returns_no_summaries() {
+        assert!(run_sweep(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_specs_is_fine() {
+        let specs = vec![
+            RunSpec {
+                shape: Shape::Circle,
+                adversary: AdversaryKind::RoundRobin,
+                max_events: 20_000,
+                ..RunSpec::new(3, 1)
+            };
+            2
+        ];
+        assert_eq!(run_sweep(&specs, 16), run_sweep(&specs, 1));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -4,16 +4,18 @@
 //! cargo run --release --example scaling_study
 //! ```
 
-use fatrobots::sim::experiment::{scaling_table, AggregateRow};
+use fatrobots::sim::experiment::scaling_table;
+use fatrobots::sim::sweep;
 
 fn main() {
     let ns = [3usize, 5, 6, 8, 10];
     let seeds = [1u64, 2, 3];
-    println!(
-        "E1 — gathering cost versus the number of robots (random starts, random-async adversary)"
-    );
-    println!("{}", AggregateRow::header());
-    for row in scaling_table(&ns, &seeds) {
+    // Sweeps fan out over the available cores; the output is byte-identical
+    // to a serial run regardless of the worker count.
+    let table = scaling_table(&ns, &seeds, sweep::default_jobs());
+    println!("{}", table.title);
+    println!("{}", fatrobots::sim::experiment::AggregateRow::header());
+    for row in table.rows() {
         println!("{row}");
     }
 }

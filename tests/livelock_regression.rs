@@ -1,0 +1,56 @@
+//! Regression witness for the known livelock (see ROADMAP.md).
+//!
+//! `Shape::Random` with `n = 7`, `seed = 7` under the friendly `RoundRobin`
+//! schedule never gathers: the run is still going at 400k events where
+//! every other small seed finishes in ~2–6k. The suspicion is a
+//! hull/interior cycle that an ε-tolerance fails to break.
+//!
+//! The test is `#[ignore]`d because it *currently fails* — it exists so the
+//! eventual fix has a ready-made witness. Run it explicitly with:
+//!
+//! ```sh
+//! cargo test --test livelock_regression -- --ignored
+//! ```
+//!
+//! When it passes, remove the `#[ignore]` and close the ROADMAP item.
+
+use fatrobots::sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots::sim::init::Shape;
+
+#[test]
+#[ignore = "known livelock (ROADMAP): random n=7 seed=7 under round-robin never gathers; un-ignore with the fix"]
+fn random_n7_seed7_round_robin_gathers_within_400k_events() {
+    let summary = run(&RunSpec {
+        shape: Shape::Random,
+        adversary: AdversaryKind::RoundRobin,
+        strategy: StrategyKind::Paper,
+        max_events: 400_000,
+        ..RunSpec::new(7, 7)
+    });
+    assert!(
+        summary.terminated,
+        "livelock: still running after {} events (expected termination in ~2-6k)",
+        summary.events
+    );
+    assert!(summary.gathered, "terminated without gathering");
+}
+
+/// The sibling seeds gather quickly — pinning that down keeps this witness
+/// honest: when the ignored test above starts passing, the fix must not
+/// have slowed the healthy seeds into the same budget.
+#[test]
+fn sibling_seeds_gather_quickly_under_round_robin() {
+    for seed in [1, 2, 3] {
+        let summary = run(&RunSpec {
+            shape: Shape::Random,
+            adversary: AdversaryKind::RoundRobin,
+            strategy: StrategyKind::Paper,
+            max_events: 60_000,
+            ..RunSpec::new(7, seed)
+        });
+        assert!(
+            summary.gathered,
+            "seed {seed} must gather within 60k events"
+        );
+    }
+}
