@@ -106,10 +106,13 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
 fn build_table(id: &str, quick: bool, seeds: &[u64], jobs: usize) -> ExperimentTable {
     match id {
         "e1" => {
+            // The large-n rows (48, 96) run with scaling_table's bounded
+            // event budget: they track per-event throughput and the
+            // visibility cache, not time-to-gather.
             let ns: &[usize] = if quick {
-                &[3, 5, 8]
+                &[3, 5, 8, 48, 96]
             } else {
-                &[3, 5, 6, 8, 10, 12]
+                &[3, 5, 6, 8, 10, 12, 48, 96]
             };
             scaling_table(ns, seeds, jobs)
         }

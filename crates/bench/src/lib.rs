@@ -24,7 +24,27 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 
 /// The `schema_version` stamped into `bench_report.json`. Bump on any
 /// breaking change to the report layout.
-pub const REPORT_SCHEMA_VERSION: i64 = 1;
+///
+/// * **v1** — initial layout (tables → groups → aggregate + runs).
+/// * **v2** — per-run records additionally carry
+///   `visibility_cache_hits` / `visibility_cache_misses` (the incremental
+///   world's pair-cache telemetry). v2 is a pure field addition: every v1
+///   key is still present with the same meaning, and readers written
+///   against v1 keep working — see [`report_supported`].
+pub const REPORT_SCHEMA_VERSION: i64 = 2;
+
+/// The oldest `schema_version` current tooling still reads.
+pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
+
+/// `true` when a parsed `bench_report.json` document carries a schema
+/// version this crate's readers understand (v1 documents simply lack the
+/// cache-telemetry fields; lookups for them return `None`).
+pub fn report_supported(doc: &JsonValue) -> bool {
+    matches!(
+        doc.get("schema_version"),
+        Some(&JsonValue::Int(v)) if (REPORT_SCHEMA_MIN_SUPPORTED..=REPORT_SCHEMA_VERSION).contains(&v)
+    )
+}
 
 /// Prints one experiment table with its title.
 pub fn print_table(table: &ExperimentTable) {
@@ -78,6 +98,14 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             "convergence_monotonicity".into(),
             JsonValue::opt_num(s.convergence_monotonicity),
         ),
+        (
+            "visibility_cache_hits".into(),
+            JsonValue::Int(s.visibility_cache_hits as i64),
+        ),
+        (
+            "visibility_cache_misses".into(),
+            JsonValue::Int(s.visibility_cache_misses as i64),
+        ),
     ])
 }
 
@@ -114,7 +142,7 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 1,
+///   "schema_version": 2,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
 ///   "jobs": 2,
@@ -189,7 +217,11 @@ mod tests {
         let table = scaling_table(&[3], &[1, 2], 2);
         let text = report_json(std::slice::from_ref(&table), true, 2);
         let doc = json::parse(&text).expect("report JSON parses");
-        assert_eq!(doc.get("schema_version"), Some(&JsonValue::Int(1)));
+        assert_eq!(
+            doc.get("schema_version"),
+            Some(&JsonValue::Int(REPORT_SCHEMA_VERSION))
+        );
+        assert!(report_supported(&doc));
         assert_eq!(doc.get("quick"), Some(&JsonValue::Bool(true)));
         let tables = doc.get("tables").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(tables.len(), 1);
@@ -202,7 +234,47 @@ mod tests {
             runs[0].get("strategy").and_then(JsonValue::as_str),
             Some("agm-gathering")
         );
+        // v2: cache telemetry rides along on every run record.
+        assert!(matches!(
+            runs[0].get("visibility_cache_misses"),
+            Some(&JsonValue::Int(m)) if m > 0
+        ));
+        assert!(runs[0].get("visibility_cache_hits").is_some());
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
+    }
+
+    #[test]
+    fn v1_documents_still_parse_and_are_supported() {
+        // A trimmed v1-era report: no cache-telemetry fields anywhere.
+        let v1 = r#"{
+          "schema_version": 1,
+          "generator": "fatrobots-bench report",
+          "quick": true,
+          "jobs": 2,
+          "tables": [
+            { "id": "e1", "title": "E1", "groups": [
+              { "label": "n=3",
+                "aggregate": { "label": "n=3", "runs": 1, "gathered_rate": 1.0 },
+                "runs": [ { "n": 3, "seed": 1, "gathered": true, "events": 37 } ] }
+            ] }
+          ]
+        }"#;
+        let doc = json::parse(v1).expect("v1 report parses");
+        assert!(report_supported(&doc));
+        let run = doc.get("tables").and_then(JsonValue::as_arr).unwrap()[0]
+            .get("groups")
+            .and_then(JsonValue::as_arr)
+            .unwrap()[0]
+            .get("runs")
+            .and_then(JsonValue::as_arr)
+            .unwrap()[0]
+            .clone();
+        assert_eq!(run.get("events"), Some(&JsonValue::Int(37)));
+        // The v2-only fields are simply absent in a v1 record.
+        assert!(run.get("visibility_cache_hits").is_none());
+        // Unknown future versions are flagged as unsupported.
+        let future = json::parse(r#"{"schema_version": 99}"#).unwrap();
+        assert!(!report_supported(&future));
     }
 }

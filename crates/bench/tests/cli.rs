@@ -45,10 +45,14 @@ fn jobs_rejects_missing_and_malformed_values() {
     }
 }
 
+// The tests below exercise E7 (shape table, n = 6) rather than E1: E1 now
+// carries the large-n throughput rows (n = 48, 96), which are meant for the
+// release-mode bench-report job and would dominate a debug-mode test run.
+
 #[test]
 fn parallel_table_output_is_byte_identical_to_serial() {
-    let serial = report(&["--quick", "--e1", "--jobs", "1"]);
-    let parallel = report(&["--quick", "--e1", "--jobs", "4"]);
+    let serial = report(&["--quick", "--e7", "--jobs", "1"]);
+    let parallel = report(&["--quick", "--e7", "--jobs", "4"]);
     assert!(serial.status.success());
     assert!(parallel.status.success());
     assert!(!serial.stdout.is_empty());
@@ -63,24 +67,28 @@ fn json_report_is_parseable_with_one_record_per_run() {
     let path =
         std::env::temp_dir().join(format!("bench_report_cli_test_{}.json", std::process::id()));
     let path_str = path.to_str().unwrap();
-    let out = report(&["--quick", "--e1", "--jobs", "2", "--json", path_str]);
+    let out = report(&["--quick", "--e7", "--jobs", "2", "--json", path_str]);
     assert!(out.status.success());
 
     let text = std::fs::read_to_string(&path).expect("bench_report.json written");
     let _ = std::fs::remove_file(&path);
     let doc = json::parse(&text).expect("bench_report.json parses");
 
-    assert_eq!(doc.get("schema_version"), Some(&JsonValue::Int(1)));
+    assert_eq!(
+        doc.get("schema_version"),
+        Some(&JsonValue::Int(fatrobots_bench::REPORT_SCHEMA_VERSION))
+    );
+    assert!(fatrobots_bench::report_supported(&doc));
     assert_eq!(doc.get("jobs"), Some(&JsonValue::Int(2)));
     assert_eq!(doc.get("quick"), Some(&JsonValue::Bool(true)));
     let tables = doc.get("tables").and_then(JsonValue::as_arr).unwrap();
     assert_eq!(tables.len(), 1);
-    assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e1"));
+    assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e7"));
 
-    // --quick --e1 sweeps n in {3, 5, 8} over 3 seeds: 3 groups, 3 runs
+    // --quick --e7 sweeps the 5 shapes over 3 seeds: 5 groups, 3 runs
     // each, plus one aggregate row per group.
     let groups = tables[0].get("groups").and_then(JsonValue::as_arr).unwrap();
-    assert_eq!(groups.len(), 3);
+    assert_eq!(groups.len(), 5);
     for group in groups {
         let runs = group.get("runs").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(runs.len(), 3, "one JSON record per run");
@@ -95,6 +103,9 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 "adversary",
                 "events",
                 "gathered",
+                // Schema v2: the incremental world's cache telemetry.
+                "visibility_cache_hits",
+                "visibility_cache_misses",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }
@@ -106,7 +117,7 @@ fn json_report_is_parseable_with_one_record_per_run() {
 fn json_write_failure_is_reported() {
     let out = report(&[
         "--quick",
-        "--e1",
+        "--e7",
         "--jobs",
         "2",
         "--json",

@@ -18,6 +18,9 @@
 //!   area/perimeter and point-in-convex-polygon queries;
 //! * [`visibility`] — visibility between unit discs when other unit discs act
 //!   as opaque obstacles, as defined in Section 2 of the paper;
+//! * [`grid`] — a uniform spatial grid over point sites with conservative
+//!   capsule (corridor) queries, the index behind the simulator's
+//!   incremental world state;
 //! * [`predicates`] — the ε-tolerant orientation/collinearity predicates that
 //!   every other module builds on.
 //!
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod circle;
+pub mod grid;
 pub mod hull;
 pub mod line;
 pub mod point;
@@ -57,6 +61,7 @@ pub mod segment;
 pub mod visibility;
 
 pub use circle::{Circle, UNIT_RADIUS};
+pub use grid::UniformGrid;
 pub use hull::ConvexHull;
 pub use line::Line;
 pub use point::{Point, Vec2};

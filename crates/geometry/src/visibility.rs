@@ -30,6 +30,37 @@ use crate::point::Point;
 use crate::predicates::{collinear, orientation_tol, Orientation};
 use crate::segment::Segment;
 
+/// Pruning radius for the pair-level visibility test: a disc whose center is
+/// farther than this from the segment joining two centers can neither enter
+/// the corridor-obstacle set of [`disc_sees_disc_among`] (which requires a
+/// perpendicular offset below `3·UNIT_RADIUS`) nor block any candidate
+/// witness segment (candidates lie in the radius-`UNIT_RADIUS` capsule
+/// around the chord, so a blocker sits within `2·UNIT_RADIUS` plus the
+/// clearance of the chord). Passing any superset of the centers within this
+/// distance of the chord to [`disc_sees_disc_among`] therefore yields
+/// exactly the same answer as passing every center.
+pub const VISIBILITY_PRUNE_RADIUS: f64 = 3.0 * UNIT_RADIUS;
+
+/// The corridor-obstacle predicate of the pair-level test: `true` when the
+/// center `ck` projects strictly between the chord endpoints and lies
+/// within [`VISIBILITY_PRUNE_RADIUS`] of the chord's supporting line.
+/// `ci` is the first endpoint, `dir`/`perp` the chord's unit direction and
+/// CCW normal, `span` its length. This single definition is what
+/// [`disc_sees_disc`]'s early-out, [`disc_sees_disc_among`]'s filter, and
+/// (through the constant) the simulator's cache invalidation all agree on.
+#[inline]
+fn in_corridor(
+    ci: Point,
+    dir: crate::point::Vec2,
+    perp: crate::point::Vec2,
+    span: f64,
+    ck: Point,
+) -> bool {
+    let w = ck - ci;
+    let along = w.dot(dir);
+    along > 0.0 && along < span && w.dot(perp).abs() < VISIBILITY_PRUNE_RADIUS
+}
+
 /// Tuning parameters for the sampling-based visibility test.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibilityConfig {
@@ -87,8 +118,55 @@ pub fn segment_clear(seg: &Segment, obstacles: &[Circle], cfg: &VisibilityConfig
 /// Panics if `i == j` or either index is out of bounds.
 pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityConfig) -> bool {
     assert!(i != j, "a robot trivially sees itself");
-    let ci = centers[i];
-    let cj = centers[j];
+    // Evaluate in normalized (lower index first) orientation: the kernel's
+    // strict float comparisons are not exactly symmetric under endpoint
+    // swap, and every caller — including the simulator's cached pair
+    // matrix, which stores one entry per unordered pair — must see the
+    // same answer for (i, j) and (j, i).
+    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+    let ci = centers[lo];
+    let cj = centers[hi];
+    // Cheap no-allocation early-out through the shared `in_corridor`
+    // predicate: with no center in the corridor the kernel returns `true`
+    // without looking at the obstacle slice.
+    let axis = cj - ci;
+    let span = axis.norm();
+    if span <= f64::EPSILON {
+        return true;
+    }
+    let dir = axis / span;
+    let perp = dir.perp_ccw();
+    let corridor_empty = !centers
+        .iter()
+        .enumerate()
+        .any(|(k, &ck)| k != lo && k != hi && in_corridor(ci, dir, perp, span, ck));
+    if corridor_empty {
+        return true;
+    }
+    let others: Vec<Point> = centers
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != lo && k != hi)
+        .map(|(_, &c)| c)
+        .collect();
+    disc_sees_disc_among(ci, cj, &others, cfg)
+}
+
+/// Pair-level form of [`disc_sees_disc`]: decides whether the unit disc at
+/// `ci` sees the unit disc at `cj` when exactly the discs in `obstacles`
+/// (which must not include `ci` or `cj`) are present.
+///
+/// `obstacles` may safely contain discs that are irrelevant to the pair —
+/// the corridor filter below discards them — so callers with a spatial
+/// index can pass any superset of the centers within
+/// [`VISIBILITY_PRUNE_RADIUS`] of the segment `ci`–`cj` and obtain exactly
+/// the same answer as the exhaustive test over all centers.
+pub fn disc_sees_disc_among(
+    ci: Point,
+    cj: Point,
+    obstacles: &[Point],
+    cfg: &VisibilityConfig,
+) -> bool {
     let axis = cj - ci;
     let span = axis.norm();
     if span <= f64::EPSILON {
@@ -99,19 +177,14 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
 
     // Obstacles that can possibly obstruct: those whose centers project
     // strictly between the two endpoints and whose perpendicular offset is
-    // within one diameter of the corridor.
-    let obstacles: Vec<Circle> = centers
+    // within one diameter of the corridor (the shared `in_corridor`
+    // predicate).
+    let corridor: Vec<Point> = obstacles
         .iter()
-        .enumerate()
-        .filter(|&(k, _)| k != i && k != j)
-        .filter(|&(_, &ck)| {
-            let w = ck - ci;
-            let along = w.dot(dir);
-            along > 0.0 && along < span && w.dot(perp).abs() < 3.0 * UNIT_RADIUS
-        })
-        .map(|(_, &ck)| Circle::unit(ck))
+        .filter(|&&ck| in_corridor(ci, dir, perp, span, ck))
+        .copied()
         .collect();
-    if obstacles.is_empty() {
+    if corridor.is_empty() {
         return true;
     }
 
@@ -119,8 +192,8 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
     // every obstacle's shadow.
     let clearance = cfg.shrink.max(1e-9);
     let mut offsets = vec![-UNIT_RADIUS, UNIT_RADIUS];
-    for c in &obstacles {
-        let o = (c.center - ci).dot(perp);
+    for &c in &corridor {
+        let o = (c - ci).dot(perp);
         offsets.push(o - UNIT_RADIUS - clearance);
         offsets.push(o + UNIT_RADIUS + clearance);
     }
@@ -133,14 +206,13 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
         let along = (UNIT_RADIUS * UNIT_RADIUS - o * o).max(0.0).sqrt();
         center + perp * o + dir * (along * sign)
     };
-    // Candidate verification runs against *every* other disc (not just the
-    // corridor obstacles used to enumerate offsets): a disc hovering just
-    // behind one of the endpoints can still clip a slanted candidate.
+    // Candidate verification runs against *every* provided disc (not just
+    // the corridor obstacles used to enumerate offsets): a disc hovering
+    // just behind one of the endpoints can still clip a slanted candidate.
     let clear = |seg: &Segment| {
-        centers
+        obstacles
             .iter()
-            .enumerate()
-            .all(|(k, &ck)| k == i || k == j || seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0)
+            .all(|&ck| seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0)
     };
 
     // Stage 1: parallel witnesses.
@@ -168,7 +240,7 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
     // common tangent lines of every pair — pushed out by the clearance so
     // the witness is strictly free — is a complete search up to that
     // clearance.
-    let mut relevant: Vec<Point> = obstacles.iter().map(|c| c.center).collect();
+    let mut relevant: Vec<Point> = corridor;
     relevant.push(ci);
     relevant.push(cj);
     for a in 0..relevant.len() {

@@ -14,6 +14,17 @@ use crate::phase::Phase;
 /// algorithm's own tolerances (`1/2n`) are far larger than this.
 pub const TOUCH_TOL: f64 = 1e-6;
 
+/// The tangency predicate on a boundary gap (center distance minus one
+/// diameter): touching when the gap is within [`TOUCH_TOL`] of zero, or
+/// negative (overlap counts as contact). The single definition shared by
+/// [`GeometricConfig::touching`], the component partition, and the
+/// simulator's grid-local connectivity — these must agree exactly for the
+/// incremental world state to stay bit-identical to the from-scratch path.
+#[inline]
+pub fn gap_touches(gap: f64) -> bool {
+    gap.abs() <= TOUCH_TOL || gap < 0.0
+}
+
 /// A geometric configuration `G = (c_1, …, c_n)`: the centers of the robots'
 /// unit discs.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +75,14 @@ impl GeometricConfig {
     /// boundary point; the simulator asserts this invariant after every
     /// event.
     pub fn is_valid(&self) -> bool {
-        match min_pairwise_gap(&self.centers) {
+        Self::is_valid_on(&self.centers)
+    }
+
+    /// Borrowed form of [`Self::is_valid`]: validity of a raw center slice,
+    /// with no configuration allocated. This is what the simulator's
+    /// per-event assertion calls.
+    pub fn is_valid_on(centers: &[Point]) -> bool {
+        match min_pairwise_gap(centers) {
             None => true,
             Some(gap) => gap >= -TOUCH_TOL,
         }
@@ -78,7 +96,7 @@ impl GeometricConfig {
 
     /// `true` when robots `i` and `j` touch (tangent discs).
     pub fn touching(&self, i: usize, j: usize) -> bool {
-        self.gap(i, j).abs() <= TOUCH_TOL || self.gap(i, j) < 0.0
+        gap_touches(self.gap(i, j))
     }
 
     /// Indices of robots touching robot `i`.
@@ -92,7 +110,12 @@ impl GeometricConfig {
     /// graph (the components of the union of the closed discs). Each
     /// component is a sorted list of robot indices.
     pub fn tangency_components(&self) -> Vec<Vec<usize>> {
-        let n = self.len();
+        Self::tangency_components_on(&self.centers)
+    }
+
+    /// Borrowed form of [`Self::tangency_components`].
+    pub fn tangency_components_on(centers: &[Point]) -> Vec<Vec<usize>> {
+        let n = centers.len();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {
             if parent[x] != x {
@@ -101,9 +124,11 @@ impl GeometricConfig {
             }
             parent[x]
         }
+        let touching =
+            |i: usize, j: usize| gap_touches(centers[i].distance(centers[j]) - 2.0 * UNIT_RADIUS);
         for i in 0..n {
             for j in (i + 1)..n {
-                if self.touching(i, j) {
+                if touching(i, j) {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
@@ -124,7 +149,12 @@ impl GeometricConfig {
     /// polygonal line inside the union). Equivalent to the tangency graph
     /// being connected.
     pub fn is_connected(&self) -> bool {
-        self.len() <= 1 || self.tangency_components().len() == 1
+        Self::is_connected_on(&self.centers)
+    }
+
+    /// Borrowed form of [`Self::is_connected`].
+    pub fn is_connected_on(centers: &[Point]) -> bool {
+        centers.len() <= 1 || Self::tangency_components_on(centers).len() == 1
     }
 
     /// Convex hull of the robot centers.
@@ -135,7 +165,12 @@ impl GeometricConfig {
     /// `true` when every robot center lies on the convex hull boundary
     /// (`|onCH(G)| = n`).
     pub fn all_on_hull(&self) -> bool {
-        self.len() <= 2 || self.hull().all_on_hull()
+        Self::all_on_hull_on(&self.centers)
+    }
+
+    /// Borrowed form of [`Self::all_on_hull`].
+    pub fn all_on_hull_on(centers: &[Point]) -> bool {
+        centers.len() <= 2 || ConvexHull::from_points(centers).all_on_hull()
     }
 
     /// Exact full-visibility test for configurations in convex position:
@@ -144,7 +179,12 @@ impl GeometricConfig {
     ///
     /// This is the characterisation the algorithm itself uses (Lemma 4).
     pub fn is_fully_visible_convex(&self, collinearity_tol: f64) -> bool {
-        self.all_on_hull() && no_three_collinear(&self.centers, collinearity_tol)
+        Self::is_fully_visible_convex_on(&self.centers, collinearity_tol)
+    }
+
+    /// Borrowed form of [`Self::is_fully_visible_convex`].
+    pub fn is_fully_visible_convex_on(centers: &[Point], collinearity_tol: f64) -> bool {
+        Self::all_on_hull_on(centers) && no_three_collinear(centers, collinearity_tol)
     }
 
     /// General full-visibility test using the sampling-based visibility
@@ -154,10 +194,15 @@ impl GeometricConfig {
     /// [`Self::is_fully_visible_convex`]; intended for metrics and tests on
     /// arbitrary (non-convex-position) configurations.
     pub fn is_fully_visible_sampled(&self, vis: &VisibilityConfig) -> bool {
-        let n = self.len();
+        Self::is_fully_visible_sampled_on(&self.centers, vis)
+    }
+
+    /// Borrowed form of [`Self::is_fully_visible_sampled`].
+    pub fn is_fully_visible_sampled_on(centers: &[Point], vis: &VisibilityConfig) -> bool {
+        let n = centers.len();
         for i in 0..n {
             for j in (i + 1)..n {
-                if !disc_sees_disc(i, j, &self.centers, vis) {
+                if !disc_sees_disc(i, j, centers, vis) {
                     return false;
                 }
             }
@@ -168,9 +213,15 @@ impl GeometricConfig {
     /// `true` when the configuration solves the gathering problem
     /// geometrically: connected and fully visible (Definition 1).
     pub fn is_gathered(&self, collinearity_tol: f64) -> bool {
-        self.is_connected()
-            && (self.is_fully_visible_convex(collinearity_tol)
-                || self.is_fully_visible_sampled(&VisibilityConfig::default()))
+        Self::is_gathered_on(&self.centers, collinearity_tol)
+    }
+
+    /// Borrowed form of [`Self::is_gathered`]: the gathering predicate on a
+    /// raw center slice, with no configuration allocated.
+    pub fn is_gathered_on(centers: &[Point], collinearity_tol: f64) -> bool {
+        Self::is_connected_on(centers)
+            && (Self::is_fully_visible_convex_on(centers, collinearity_tol)
+                || Self::is_fully_visible_sampled_on(centers, &VisibilityConfig::default()))
     }
 
     /// Total area of the convex hull of the centers (a monotonicity witness

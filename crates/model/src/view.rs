@@ -45,11 +45,30 @@ impl LocalView {
     pub fn snapshot(g: &GeometricConfig, i: usize, vis: &VisibilityConfig) -> Self {
         let centers = g.centers();
         let visible = visible_set(i, centers, vis);
-        LocalView {
-            me: centers[i],
-            others: visible.into_iter().map(|j| centers[j]).collect(),
-            n: g.len(),
-        }
+        Self::from_visible(centers, i, &visible)
+    }
+
+    /// Builds the view of robot `i` from a center slice and a precomputed
+    /// list of visible robot indices (ascending, excluding `i`), borrowing
+    /// the configuration instead of cloning it.
+    ///
+    /// This is the constructor the simulator's incremental world state uses:
+    /// the visibility decisions come from its cached pair matrix, so the
+    /// per-Look cost is one small allocation for the view itself.
+    ///
+    /// # Panics
+    /// Panics if `i` or any element of `visible` is out of bounds, or if
+    /// `visible` does not leave room for the observer (`visible.len() >= n`).
+    pub fn from_visible(centers: &[Point], i: usize, visible: &[usize]) -> Self {
+        debug_assert!(
+            visible.iter().all(|&j| j != i),
+            "the visible set must not contain the observer"
+        );
+        Self::new(
+            centers[i],
+            visible.iter().map(|&j| centers[j]).collect(),
+            centers.len(),
+        )
     }
 
     /// Takes a snapshot assuming full visibility (every other robot is seen).
@@ -128,6 +147,18 @@ mod tests {
         let v1 = LocalView::snapshot(&g, 1, &vis);
         assert_eq!(v1.size(), 3);
         assert!(v1.sees_all());
+    }
+
+    #[test]
+    fn from_visible_matches_snapshot() {
+        let g = GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)]);
+        let vis = VisibilityConfig::default();
+        for i in 0..g.len() {
+            let direct = LocalView::snapshot(&g, i, &vis);
+            let visible = fatrobots_geometry::visibility::visible_set(i, g.centers(), &vis);
+            let borrowed = LocalView::from_visible(g.centers(), i, &visible);
+            assert_eq!(direct, borrowed);
+        }
     }
 
     #[test]

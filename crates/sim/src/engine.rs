@@ -14,11 +14,12 @@
 use fatrobots_core::{Decision, Strategy};
 use fatrobots_geometry::visibility::VisibilityConfig;
 use fatrobots_geometry::{Point, UNIT_RADIUS};
-use fatrobots_model::{GeometricConfig, LocalView, Phase, RobotConfig, RobotId};
+use fatrobots_model::{LocalView, Phase, RobotConfig, RobotId};
 use fatrobots_scheduler::{Adversary, Directive, Event, Liveness, MotionControl, SystemSnapshot};
 
 use crate::metrics::Metrics;
 use crate::trace::ExecutionTrace;
+use crate::world::{World, WorldMode};
 
 /// Tolerance for "the robot reached its target" and for contact detection.
 const ARRIVAL_TOL: f64 = 1e-9;
@@ -40,6 +41,12 @@ pub struct SimConfig {
     /// Record a configuration-level sample every this many events
     /// (0 disables sampling).
     pub sample_every: usize,
+    /// How the engine maintains the derived world state: incrementally (the
+    /// default — cached visibility matrix, lazily recomputed hull and
+    /// predicates) or from scratch on every query. Both modes produce the
+    /// identical event stream; scratch mode exists as the reference
+    /// behaviour for the determinism suite.
+    pub world_mode: WorldMode,
 }
 
 impl Default for SimConfig {
@@ -51,6 +58,7 @@ impl Default for SimConfig {
             collinearity_tol: 1e-9,
             record_trace: false,
             sample_every: 50,
+            world_mode: WorldMode::Incremental,
         }
     }
 }
@@ -75,13 +83,15 @@ pub struct Simulator {
     strategy: Box<dyn Strategy>,
     adversary: Box<dyn Adversary>,
     config: SimConfig,
-    centers: Vec<Point>,
+    world: World,
     phases: Vec<Phase>,
     views: Vec<Option<LocalView>>,
     decisions: Vec<Option<Decision>>,
     targets: Vec<Option<Point>>,
     metrics: Metrics,
     trace: ExecutionTrace,
+    /// Reusable buffer for the motion integrator's contact candidates.
+    contact_buf: Vec<usize>,
 }
 
 impl Simulator {
@@ -97,44 +107,56 @@ impl Simulator {
         config: SimConfig,
     ) -> Self {
         assert!(!centers.is_empty(), "a simulation needs at least one robot");
-        let initial = GeometricConfig::new(centers.clone());
+        let n = centers.len();
+        let mut world = World::new(centers, config.visibility, config.world_mode);
         assert!(
-            initial.is_valid(),
+            world.is_valid(),
             "the initial configuration must not contain overlapping robots"
         );
-        let n = centers.len();
         let mut sim = Simulator {
             strategy,
             adversary,
             config,
-            centers,
+            world,
             phases: vec![Phase::Wait; n],
             views: vec![None; n],
             decisions: vec![None; n],
             targets: vec![None; n],
             metrics: Metrics::default(),
             trace: ExecutionTrace::default(),
+            contact_buf: Vec::new(),
         };
         if sim.config.sample_every > 0 {
-            sim.metrics
-                .record_sample(&sim.centers, sim.config.collinearity_tol);
+            let predicates = sim.world.sample_predicates(sim.config.collinearity_tol);
+            sim.metrics.record_sample_predicates(predicates);
         }
         sim
     }
 
     /// Number of robots.
     pub fn len(&self) -> usize {
-        self.centers.len()
+        self.world.len()
     }
 
     /// `true` when the simulation has no robots (never constructed so).
     pub fn is_empty(&self) -> bool {
-        self.centers.is_empty()
+        self.world.is_empty()
     }
 
     /// Current robot centers.
     pub fn centers(&self) -> &[Point] {
-        &self.centers
+        self.world.centers()
+    }
+
+    /// The incremental world state (centers plus cached derived state).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Visibility-cache telemetry: `(hits, misses)` of the world's pairwise
+    /// visibility cache over the run so far.
+    pub fn visibility_cache_stats(&self) -> (u64, u64) {
+        self.world.cache_stats()
     }
 
     /// Current robot phases.
@@ -154,7 +176,7 @@ impl Simulator {
 
     /// The current robot configuration (phases plus geometry).
     pub fn robot_config(&self) -> RobotConfig {
-        RobotConfig::new(self.phases.clone(), self.centers.clone())
+        RobotConfig::new(self.phases.clone(), self.world.centers().to_vec())
     }
 
     /// `true` when every robot has terminated.
@@ -164,8 +186,8 @@ impl Simulator {
 
     /// `true` when the current geometric configuration is connected and
     /// fully visible.
-    pub fn is_gathered(&self) -> bool {
-        GeometricConfig::new(self.centers.clone()).is_gathered(self.config.collinearity_tol)
+    pub fn is_gathered(&mut self) -> bool {
+        self.world.is_gathered(self.config.collinearity_tol)
     }
 
     /// Applies one adversary-chosen event. Returns `None` when every robot
@@ -174,7 +196,7 @@ impl Simulator {
         let directive = {
             let snapshot = SystemSnapshot {
                 phases: &self.phases,
-                centers: &self.centers,
+                centers: self.world.centers(),
                 targets: &self.targets,
                 delta: self.config.liveness.delta(),
             };
@@ -186,15 +208,15 @@ impl Simulator {
             self.trace.push_event(event.clone());
         }
         if self.config.sample_every > 0 && self.metrics.events % self.config.sample_every == 0 {
-            self.metrics
-                .record_sample(&self.centers, self.config.collinearity_tol);
+            let predicates = self.world.sample_predicates(self.config.collinearity_tol);
+            self.metrics.record_sample_predicates(predicates);
             if self.config.record_trace {
                 self.trace
-                    .push_snapshot(self.metrics.events, self.centers.clone());
+                    .push_snapshot(self.metrics.events, self.world.centers().to_vec());
             }
         }
         debug_assert!(
-            GeometricConfig::new(self.centers.clone()).is_valid(),
+            self.world.is_valid(),
             "the engine must never produce overlapping robots"
         );
         Some(event)
@@ -209,8 +231,8 @@ impl Simulator {
         }
         // Record one final sample so the series always covers the end state.
         if self.config.sample_every > 0 {
-            self.metrics
-                .record_sample(&self.centers, self.config.collinearity_tol);
+            let predicates = self.world.sample_predicates(self.config.collinearity_tol);
+            self.metrics.record_sample_predicates(predicates);
         }
         let terminated = self.all_terminated();
         RunOutcome {
@@ -231,8 +253,8 @@ impl Simulator {
                 Event::Stop(RobotId(i))
             }
             Phase::Wait => {
-                let g = GeometricConfig::new(self.centers.clone());
-                self.views[i] = Some(LocalView::snapshot(&g, i, &self.config.visibility));
+                let visible = self.world.visible_of(i);
+                self.views[i] = Some(LocalView::from_visible(self.world.centers(), i, &visible));
                 self.phases[i] = Phase::Look;
                 Event::Look(RobotId(i))
             }
@@ -258,7 +280,7 @@ impl Simulator {
                     None => {
                         // Defensive: a robot in Compute always has a pending
                         // decision; fall back to an idle move.
-                        self.targets[i] = Some(self.centers[i]);
+                        self.targets[i] = Some(self.world.center(i));
                         self.phases[i] = Phase::Move;
                         Event::Move(RobotId(i))
                     }
@@ -273,7 +295,7 @@ impl Simulator {
     /// robot, and emits the corresponding motion-ending or `Stop` event.
     fn advance_motion(&mut self, i: usize, motion: MotionControl) -> Event {
         let target = self.targets[i].expect("a robot in Move always has a target");
-        let start = self.centers[i];
+        let start = self.world.center(i);
         let remaining = start.distance(target);
         if remaining <= ARRIVAL_TOL {
             self.finish_motion(i);
@@ -287,35 +309,39 @@ impl Simulator {
         let allowed = self.config.liveness.clamp_travel(requested, remaining);
         let dir = (target - start).normalized();
 
-        // First contact with any other robot along the trajectory.
+        // First contact with any other robot along the trajectory. The
+        // candidate list is a grid superset of the discs near the swept
+        // capsule, in ascending index order — the same scan (and the same
+        // lowest-index tie-break) as an all-robots sweep.
+        let mut candidates = std::mem::take(&mut self.contact_buf);
+        self.world
+            .contact_candidates(i, start, dir, allowed, &mut candidates);
         let mut contact: Option<(f64, usize)> = None;
-        for j in 0..self.len() {
-            if j == i {
-                continue;
-            }
-            if let Some(t) = first_contact_distance(start, dir, self.centers[j]) {
+        for &j in &candidates {
+            if let Some(t) = first_contact_distance(start, dir, self.world.center(j)) {
                 if t <= allowed + ARRIVAL_TOL && contact.map_or(true, |(bt, _)| t < bt) {
                     contact = Some((t, j));
                 }
             }
         }
+        self.contact_buf = candidates;
 
         match contact {
             Some((t, j)) => {
                 let travel = t.max(0.0);
-                self.centers[i] = start + dir * travel;
+                self.world.move_robot(i, start + dir * travel);
                 self.metrics.record_travel(travel);
                 self.finish_motion(i);
                 Event::Collide(vec![RobotId(i), RobotId(j)])
             }
             None => {
-                self.centers[i] = start + dir * allowed;
                 self.metrics.record_travel(allowed);
                 if allowed >= remaining - ARRIVAL_TOL {
-                    self.centers[i] = target;
+                    self.world.move_robot(i, target);
                     self.finish_motion(i);
                     Event::Arrive(RobotId(i))
                 } else {
+                    self.world.move_robot(i, start + dir * allowed);
                     self.finish_motion(i);
                     Event::Stop(RobotId(i))
                 }

@@ -97,13 +97,16 @@ impl AdversaryKind {
         }
     }
 
-    /// Builds the adversary (seeded where applicable).
-    pub fn build(&self, seed: u64) -> Box<dyn Adversary> {
+    /// Builds the adversary for a system of `n` robots (seeded where
+    /// applicable). The slow-robot schedule derives its victim from the
+    /// seed, so a seed sweep drags out a different robot each run instead
+    /// of always picking robot 0.
+    pub fn build(&self, seed: u64, n: usize) -> Box<dyn Adversary> {
         match self {
             AdversaryKind::RoundRobin => Box::new(RoundRobin::new()),
             AdversaryKind::RandomAsync => Box::new(RandomAsync::new(seed)),
             AdversaryKind::StopHappy => Box::new(StopHappy::new()),
-            AdversaryKind::SlowRobot => Box::new(SlowRobot::new(0)),
+            AdversaryKind::SlowRobot => Box::new(SlowRobot::new((seed % n.max(1) as u64) as usize)),
             AdversaryKind::CollisionSeeker => Box::new(CollisionSeeker::new()),
         }
     }
@@ -172,6 +175,11 @@ pub struct RunSummary {
     /// Fraction of sampled steps after full visibility where the hull did
     /// not grow (Lemma 21 witness).
     pub convergence_monotonicity: Option<f64>,
+    /// Pairwise-visibility lookups answered from the incremental world's
+    /// cache.
+    pub visibility_cache_hits: u64,
+    /// Pairwise-visibility lookups that had to be recomputed.
+    pub visibility_cache_misses: u64,
 }
 
 /// Executes one run.
@@ -185,10 +193,11 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let mut sim = Simulator::new(
         centers,
         spec.strategy.build(spec.n),
-        spec.adversary.build(spec.seed),
+        spec.adversary.build(spec.seed, spec.n),
         config,
     );
     let outcome = sim.run();
+    let (visibility_cache_hits, visibility_cache_misses) = sim.visibility_cache_stats();
     RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
@@ -200,6 +209,8 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         first_connected: outcome.metrics.first_connected,
         expansion_monotonicity: outcome.metrics.expansion_monotonicity(),
         convergence_monotonicity: outcome.metrics.convergence_monotonicity(),
+        visibility_cache_hits,
+        visibility_cache_misses,
     }
 }
 
@@ -374,13 +385,32 @@ pub fn sweep_table(
     }
 }
 
+/// Robot counts at or above this threshold run with the bounded
+/// [`LARGE_N_EVENT_CAP`] budget in [`scaling_table`].
+pub const LARGE_N_THRESHOLD: usize = 48;
+
+/// Event budget for the large-`n` rows of E1. The paper's algorithm does
+/// not reach the gathering postcondition at these sizes within any
+/// practical budget (see the livelock note in ROADMAP.md), so the rows
+/// measure event throughput and visibility-cache behaviour over a fixed
+/// window instead of time-to-gather.
+pub const LARGE_N_EVENT_CAP: usize = 60_000;
+
 /// E1 — gathering success and cost versus the number of robots.
 pub fn scaling_table(ns: &[usize], seeds: &[u64], jobs: usize) -> ExperimentTable {
     sweep_table(
         "e1",
         "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
         ns.iter()
-            .map(|&n| SpecGroup::per_seed(format!("n={n}"), seeds, |seed| RunSpec::new(n, seed)))
+            .map(|&n| {
+                SpecGroup::per_seed(format!("n={n}"), seeds, |seed| {
+                    let mut spec = RunSpec::new(n, seed);
+                    if n >= LARGE_N_THRESHOLD {
+                        spec.max_events = spec.max_events.min(LARGE_N_EVENT_CAP);
+                    }
+                    spec
+                })
+            })
             .collect(),
         jobs,
     )
@@ -499,7 +529,7 @@ mod tests {
             let _ = k.build(5);
         }
         for k in AdversaryKind::ALL {
-            let _ = k.build(1);
+            let _ = k.build(1, 5);
         }
     }
 

@@ -21,7 +21,11 @@
 //! * [`experiment`] — the parameter-sweep harness behind EXPERIMENTS.md and
 //!   the Criterion benches;
 //! * [`sweep`] — the parallel sweep engine: fans `RunSpec`s out over a
-//!   scoped worker pool and returns summaries in deterministic input order.
+//!   scoped worker pool and returns summaries in deterministic input order;
+//! * [`world`] — the incremental world state: ground-truth centers plus a
+//!   cached pairwise visibility matrix (lazy dirty-pair invalidation over a
+//!   spatial grid), cached hull/connectivity/validity, and a from-scratch
+//!   reference mode that pins the cached path to bit-identical results.
 //!
 //! ## Quick example
 //!
@@ -53,6 +57,8 @@ pub mod metrics;
 pub mod render;
 pub mod sweep;
 pub mod trace;
+pub mod world;
 
 pub use engine::{RunOutcome, SimConfig, Simulator};
 pub use metrics::Metrics;
+pub use world::{World, WorldMode};

@@ -1,5 +1,6 @@
 //! Per-run metrics.
 
+use fatrobots_geometry::hull::ConvexHull;
 use fatrobots_geometry::Point;
 use fatrobots_model::GeometricConfig;
 use fatrobots_scheduler::Event;
@@ -19,6 +20,53 @@ pub struct Sample {
     pub fully_visible: bool,
     /// `true` when the union of the discs was connected.
     pub connected: bool,
+}
+
+/// The configuration-level predicate values behind one [`Sample`],
+/// decoupled from *how* they were obtained: [`SamplePredicates::from_centers`]
+/// recomputes everything from scratch, while the incremental world state
+/// supplies them from its caches via [`SamplePredicates::from_hull`]. Both
+/// paths evaluate the same formulas on the same inputs, so the recorded
+/// samples are identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePredicates {
+    /// Area of the convex hull of the centers.
+    pub hull_area: f64,
+    /// `true` when every center is on the hull boundary.
+    pub all_on_hull: bool,
+    /// `true` when additionally no three consecutive hull centers are
+    /// collinear (full visibility in convex position).
+    pub fully_visible: bool,
+    /// `true` when the union of the discs is connected.
+    pub connected: bool,
+}
+
+impl SamplePredicates {
+    /// Evaluates every predicate from scratch on a center slice.
+    pub fn from_centers(centers: &[Point], collinearity_tol: f64) -> Self {
+        let hull = ConvexHull::from_points(centers);
+        let all_on_hull = centers.len() <= 2 || hull.all_on_hull();
+        let connected = GeometricConfig::is_connected_on(centers);
+        Self::from_hull(&hull, all_on_hull, connected, collinearity_tol)
+    }
+
+    /// Builds the predicates from an already-computed hull and
+    /// connectivity answer (the incremental world's cached values).
+    pub fn from_hull(
+        hull: &ConvexHull,
+        all_on_hull: bool,
+        connected: bool,
+        collinearity_tol: f64,
+    ) -> Self {
+        let fully_visible =
+            all_on_hull && consecutive_hull_triples_ok(&hull.boundary(), collinearity_tol);
+        SamplePredicates {
+            hull_area: hull.area(),
+            all_on_hull,
+            fully_visible,
+            connected,
+        }
+    }
 }
 
 /// Metrics collected by the simulator over one run.
@@ -77,26 +125,26 @@ impl Metrics {
     /// Evaluates the configuration-level predicates on the current centers
     /// and records a [`Sample`] plus the first-time markers.
     pub fn record_sample(&mut self, centers: &[Point], collinearity_tol: f64) {
-        let g = GeometricConfig::new(centers.to_vec());
-        let hull = g.hull();
-        let all_on_hull = g.all_on_hull();
-        let fully_visible =
-            all_on_hull && consecutive_hull_triples_ok(&hull.boundary(), collinearity_tol);
-        let connected = g.is_connected();
+        self.record_sample_predicates(SamplePredicates::from_centers(centers, collinearity_tol));
+    }
+
+    /// Records a [`Sample`] from already-evaluated predicates (the
+    /// incremental world's cached hull and connectivity).
+    pub fn record_sample_predicates(&mut self, p: SamplePredicates) {
         let sample = Sample {
             event: self.events,
-            hull_area: hull.area(),
-            all_on_hull,
-            fully_visible,
-            connected,
+            hull_area: p.hull_area,
+            all_on_hull: p.all_on_hull,
+            fully_visible: p.fully_visible,
+            connected: p.connected,
         };
-        if all_on_hull && self.first_all_on_hull.is_none() {
+        if p.all_on_hull && self.first_all_on_hull.is_none() {
             self.first_all_on_hull = Some(self.events);
         }
-        if fully_visible && self.first_fully_visible.is_none() {
+        if p.fully_visible && self.first_fully_visible.is_none() {
             self.first_fully_visible = Some(self.events);
         }
-        if connected && self.first_connected.is_none() {
+        if p.connected && self.first_connected.is_none() {
             self.first_connected = Some(self.events);
         }
         self.samples.push(sample);

@@ -1,0 +1,782 @@
+//! Incremental world state.
+//!
+//! The paper's model is event-serial by construction — exactly one robot
+//! acts per event — so between two consecutive Look snapshots at most one
+//! center has changed. [`World`] exploits this: it owns the ground-truth
+//! centers plus derived state that is **incrementally maintained** instead
+//! of being recomputed from scratch on every event:
+//!
+//! * a symmetric pairwise **visibility matrix**, invalidated pair-by-pair
+//!   when a move can actually have changed the pair's answer;
+//! * the **convex hull** (and the all-on-hull flag), the **connectivity**
+//!   predicate, the **validity** (no-overlap) predicate and the minimum
+//!   pairwise gap, each tagged with a configuration version and recomputed
+//!   lazily on first use after a move.
+//!
+//! ## The invalidation rule
+//!
+//! A cached visibility entry for the pair `(j, k)` is computed from the two
+//! endpoint centers plus the obstacles near their sight corridor (the
+//! capsule of radius [`VISIBILITY_PRUNE_RADIUS`] around the chord
+//! `c_j`–`c_k` — see `disc_sees_disc_among`). The entry must therefore be
+//! invalidated exactly when either endpoint moves, or some robot moves
+//! *into* or *out of* that corridor. Scanning all pairs per move would
+//! reintroduce the quadratic cost, so the corridor membership is indexed
+//! through the spatial grid:
+//!
+//! * when a pair is (re)computed, it registers itself in every grid cell of
+//!   the conservative cover of its corridor (the grid's capsule walk);
+//! * when robot `i` moves, only the registrations of the cell it left and
+//!   the cell it entered are drained, and exactly those pairs are marked
+//!   dirty.
+//!
+//! The cover is a superset of the cells that can hold a relevant obstacle
+//! (and always contains the endpoints' own cells), so a stale hit is
+//! impossible: any robot whose move can change the pair's answer — either
+//! endpoint, a robot leaving the corridor, a robot entering it — stamps a
+//! registered cell. Cache hits are O(1); a move dirties only the pairs
+//! registered on the two touched cells; the witness-segment search runs
+//! only for pairs that are actually dirty, against a grid-pruned obstacle
+//! slice.
+//!
+//! ## Bit-identical results
+//!
+//! The cached path answers every query through the *same* geometric kernels
+//! as the from-scratch path (`disc_sees_disc_among` with a conservatively
+//! pre-filtered obstacle slice is exactly `disc_sees_disc` over all
+//! centers; the hull, connectivity and sample predicates are evaluated by
+//! the same functions on the same inputs). A `World` in
+//! [`WorldMode::Scratch`] recomputes everything per query, which is how the
+//! determinism suite pins the equivalence event-for-event.
+
+use fatrobots_geometry::grid::{CellMap, UniformGrid};
+use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::visibility::{
+    disc_sees_disc_among, min_pairwise_gap, no_three_collinear, visible_set, VisibilityConfig,
+    VISIBILITY_PRUNE_RADIUS,
+};
+use fatrobots_geometry::{Point, Segment, Vec2, UNIT_RADIUS};
+use fatrobots_model::config::{gap_touches, TOUCH_TOL};
+use fatrobots_model::GeometricConfig;
+
+use crate::metrics::SamplePredicates;
+
+/// Edge length of the spatial-grid cells: two robot diameters, so corridor
+/// and contact queries touch a handful of cells while clusters of touching
+/// robots still share cells.
+const GRID_CELL: f64 = 4.0 * UNIT_RADIUS;
+
+/// Safety margin added to the swept-capsule query of the contact scan, far
+/// larger than the engine's contact tolerances (`1e-6`/`1e-9`) and far
+/// smaller than a cell.
+const CONTACT_QUERY_MARGIN: f64 = 1e-3;
+
+/// Minimum length before a cell registration list is ever compacted (dead
+/// entries dropped). Beyond it, compaction triggers when a list doubles
+/// past its size after the previous compaction, so the work is amortized
+/// O(1) per push while garbage from frequently recomputed pairs stays
+/// bounded.
+const REGISTRATION_COMPACT_LEN: usize = 64;
+
+/// How a [`World`] answers queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorldMode {
+    /// Cached pair matrix with grid-indexed dirty-pair invalidation (the
+    /// default).
+    Incremental,
+    /// Every query recomputes from scratch, exactly like the seed engine.
+    /// Used by the determinism suite as the reference behaviour.
+    Scratch,
+}
+
+/// One cached visibility entry (for the unordered pair it is indexed by).
+#[derive(Debug, Clone, Copy)]
+struct PairEntry {
+    seen: bool,
+    /// Bumped on every recompute; cell registrations carrying an older
+    /// generation are dead.
+    gen: u32,
+    dirty: bool,
+}
+
+/// One corridor registration: "pair `{a, b}` (entry `idx`, at generation
+/// `gen`) depends on this cell". The endpoints ride along so a drain can
+/// test the mover against the pair's chord without decoding `idx`.
+#[derive(Debug, Clone, Copy)]
+struct PairRef {
+    idx: u32,
+    gen: u32,
+    a: u32,
+    b: u32,
+}
+
+/// A cell's corridor registrations plus its amortized-compaction watermark:
+/// the list is swept for dead entries only when it doubles past its size
+/// after the previous sweep.
+#[derive(Debug, Default)]
+struct CellRegs {
+    refs: Vec<PairRef>,
+    compact_at: usize,
+}
+
+/// The simulator's ground-truth configuration plus incrementally maintained
+/// derived state. See the module docs for the design.
+#[derive(Debug)]
+pub struct World {
+    mode: WorldMode,
+    vis: VisibilityConfig,
+    centers: Vec<Point>,
+    grid: UniformGrid,
+    /// Configuration version: incremented once per applied move.
+    version: u64,
+    /// Triangular pair matrix, indexed by `pair_index`.
+    pairs: Vec<PairEntry>,
+    /// Corridor registrations per grid cell: the pairs to dirty when the
+    /// cell is touched by a move.
+    cell_pairs: CellMap<CellRegs>,
+    /// Lazily recomputed global state, each tagged with the version it was
+    /// computed at.
+    hull_cache: Option<(u64, ConvexHull, bool)>,
+    connected_cache: Option<(u64, bool)>,
+    valid_cache: Option<(u64, bool)>,
+    min_gap_cache: Option<(u64, Option<f64>)>,
+    /// Visibility-cache telemetry: pair lookups answered from the cache vs
+    /// recomputed.
+    hits: u64,
+    misses: u64,
+    /// Reusable query buffers.
+    cand_buf: Vec<usize>,
+    obs_buf: Vec<Point>,
+}
+
+impl World {
+    /// Creates the world for the given centers.
+    pub fn new(centers: Vec<Point>, vis: VisibilityConfig, mode: WorldMode) -> Self {
+        let n = centers.len();
+        let grid = UniformGrid::new(GRID_CELL, &centers);
+        World {
+            mode,
+            vis,
+            centers,
+            grid,
+            version: 0,
+            pairs: vec![
+                PairEntry {
+                    seen: false,
+                    gen: 0,
+                    dirty: true,
+                };
+                n * n.saturating_sub(1) / 2
+            ],
+            cell_pairs: CellMap::default(),
+            hull_cache: None,
+            connected_cache: None,
+            valid_cache: None,
+            min_gap_cache: None,
+            hits: 0,
+            misses: 0,
+            cand_buf: Vec::new(),
+            obs_buf: Vec::new(),
+        }
+    }
+
+    /// Number of robots.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// `true` when the world holds no robots.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// The query mode.
+    pub fn mode(&self) -> WorldMode {
+        self.mode
+    }
+
+    /// The ground-truth centers.
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Center of robot `i`.
+    pub fn center(&self, i: usize) -> Point {
+        self.centers[i]
+    }
+
+    /// Cache telemetry: `(hits, misses)` of the pairwise visibility cache.
+    /// Both are 0 in [`WorldMode::Scratch`].
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Moves robot `i` to `p`: bumps the configuration version, dirties
+    /// every pair registered on the cell the robot leaves and the cell it
+    /// enters, and rehashes the robot in the grid. Moving a robot to its
+    /// current position is a no-op (nothing can have changed).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn move_robot(&mut self, i: usize, p: Point) {
+        let old = self.centers[i];
+        if old == p {
+            return;
+        }
+        self.version += 1;
+        if self.mode == WorldMode::Incremental {
+            let from = self.grid.cell_of(old);
+            let to = self.grid.cell_of(p);
+            self.dirty_cell(from, i, old, p);
+            if to != from {
+                self.dirty_cell(to, i, old, p);
+            }
+        }
+        self.grid.move_point(i, p);
+        self.centers[i] = p;
+    }
+
+    /// Processes a cell's corridor registrations for a move of robot
+    /// `mover` from `old` to `new`: pairs whose answer can actually depend
+    /// on that move — the mover is an endpoint, or its old or new position
+    /// lies within the pruning radius of the pair's chord — are marked
+    /// dirty and dropped; unaffected live registrations are kept (the cell
+    /// cover is conservative, so most drains touch corridors the mover
+    /// never entered). Dead registrations (older generation, or pairs
+    /// already dirty) are dropped — a dirty pair re-registers when it is
+    /// next recomputed.
+    fn dirty_cell(
+        &mut self,
+        cell: fatrobots_geometry::grid::CellCoord,
+        mover: usize,
+        old: Point,
+        new: Point,
+    ) {
+        use std::collections::hash_map::Entry;
+        let Entry::Occupied(mut slot) = self.cell_pairs.entry(cell) else {
+            return;
+        };
+        let regs = slot.get_mut();
+        let pairs = &mut self.pairs;
+        let centers = &self.centers;
+        regs.refs.retain(|r| {
+            let entry = &mut pairs[r.idx as usize];
+            if entry.gen != r.gen || entry.dirty {
+                return false; // dead registration
+            }
+            let (a, b) = (r.a as usize, r.b as usize);
+            let affected = a == mover || b == mover || {
+                let chord = Segment::new(centers[a], centers[b]);
+                chord.distance_to(old) <= VISIBILITY_PRUNE_RADIUS
+                    || chord.distance_to(new) <= VISIBILITY_PRUNE_RADIUS
+            };
+            if affected {
+                entry.dirty = true;
+            }
+            !affected
+        });
+        if regs.refs.is_empty() {
+            slot.remove();
+        } else {
+            // The drain doubles as a sweep: reset the compaction watermark.
+            regs.compact_at = regs.refs.len() * 2;
+        }
+    }
+
+    /// Index of the unordered pair `{a, b}` in the triangular matrix.
+    fn pair_index(&self, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < self.len());
+        let n = self.len();
+        a * (2 * n - a - 1) / 2 + (b - a - 1)
+    }
+
+    /// Whether robots `i` and `j` see each other, answered from the cache
+    /// when the entry is clean and recomputed (through the grid-pruned pair
+    /// kernel) otherwise.
+    ///
+    /// # Panics
+    /// Panics if `i == j` or either index is out of bounds.
+    pub fn sees(&mut self, i: usize, j: usize) -> bool {
+        assert!(i != j, "a robot trivially sees itself");
+        if self.mode == WorldMode::Scratch {
+            return fatrobots_geometry::visibility::disc_sees_disc(i, j, &self.centers, &self.vis);
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let idx = self.pair_index(a, b);
+        if !self.pairs[idx].dirty {
+            self.hits += 1;
+            return self.pairs[idx].seen;
+        }
+        self.misses += 1;
+        {
+            let entry = &mut self.pairs[idx];
+            entry.gen = entry.gen.wrapping_add(1);
+            entry.dirty = false;
+        }
+        let seen = self.recompute_and_register_pair(a, b, idx);
+        self.pairs[idx].seen = seen;
+        seen
+    }
+
+    /// Recomputes one pair and re-registers it, in a single walk over the
+    /// corridor's conservative cell cover: each visited cell receives the
+    /// pair's registration and contributes its sites to the obstacle
+    /// slice. The exact post-filter trims the cover's slop — the kernel's
+    /// answer only depends on centers within [`VISIBILITY_PRUNE_RADIUS`] of
+    /// the chord, which `disc_sees_disc_among` documents as sufficient for
+    /// an answer identical to the exhaustive test (and makes the slice
+    /// order irrelevant: the kernel returns a boolean, not a witness).
+    fn recompute_and_register_pair(&mut self, a: usize, b: usize, idx: usize) -> bool {
+        let (ca, cb) = (self.centers[a], self.centers[b]);
+        let gen = self.pairs[idx].gen;
+        let pair_ref = PairRef {
+            idx: idx as u32,
+            gen,
+            a: a as u32,
+            b: b as u32,
+        };
+        let chord = Segment::new(ca, cb);
+        let mut obs = std::mem::take(&mut self.obs_buf);
+        obs.clear();
+        {
+            let pairs = &self.pairs;
+            let cell_pairs = &mut self.cell_pairs;
+            let grid = &self.grid;
+            let centers = &self.centers;
+            grid.for_each_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                let regs = cell_pairs.entry(cell).or_default();
+                if regs.refs.len() >= regs.compact_at.max(REGISTRATION_COMPACT_LEN) {
+                    regs.refs.retain(|r| {
+                        let e = &pairs[r.idx as usize];
+                        e.gen == r.gen && !e.dirty
+                    });
+                    regs.compact_at = regs.refs.len() * 2;
+                }
+                regs.refs.push(pair_ref);
+                if let Some(sites) = grid.sites_in(cell) {
+                    obs.extend(
+                        sites
+                            .iter()
+                            .filter(|&&k| k != a && k != b)
+                            .map(|&k| centers[k])
+                            .filter(|&c| chord.distance_to(c) <= VISIBILITY_PRUNE_RADIUS),
+                    );
+                }
+                true
+            });
+        }
+        let seen = disc_sees_disc_among(ca, cb, &obs, &self.vis);
+        self.obs_buf = obs;
+        seen
+    }
+
+    /// Indices of the robots visible to robot `i`, ascending — the cached
+    /// equivalent of `visible_set`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn visible_of(&mut self, i: usize) -> Vec<usize> {
+        assert!(i < self.len(), "robot index out of bounds");
+        if self.mode == WorldMode::Scratch {
+            return visible_set(i, &self.centers, &self.vis);
+        }
+        (0..self.len())
+            .filter(|&j| j != i)
+            .filter(|&j| self.sees(i, j))
+            .collect()
+    }
+
+    /// The convex hull of the centers plus the all-on-hull flag, cached per
+    /// configuration version.
+    fn hull_state(&mut self) -> &(u64, ConvexHull, bool) {
+        let stale = match (self.mode, &self.hull_cache) {
+            (WorldMode::Scratch, _) => true,
+            (_, Some((v, _, _))) => *v != self.version,
+            (_, None) => true,
+        };
+        if stale {
+            let hull = ConvexHull::from_points(&self.centers);
+            let all_on = self.len() <= 2 || hull.all_on_hull();
+            self.hull_cache = Some((self.version, hull, all_on));
+        }
+        self.hull_cache.as_ref().expect("hull cache just filled")
+    }
+
+    /// Convex hull of the centers (cached).
+    pub fn hull(&mut self) -> &ConvexHull {
+        &self.hull_state().1
+    }
+
+    /// `true` when every center lies on the hull boundary (cached).
+    pub fn all_on_hull(&mut self) -> bool {
+        self.hull_state().2
+    }
+
+    /// `true` when no two discs overlap beyond the touch tolerance.
+    /// Grid-local in incremental mode (overlap is a contact-radius
+    /// relation), identical in outcome to the global minimum-gap test.
+    pub fn is_valid(&mut self) -> bool {
+        if self.mode == WorldMode::Scratch {
+            return GeometricConfig::is_valid_on(&self.centers);
+        }
+        if let Some((v, ok)) = self.valid_cache {
+            if v == self.version {
+                return ok;
+            }
+        }
+        let mut cand = std::mem::take(&mut self.cand_buf);
+        let mut ok = true;
+        'outer: for i in 0..self.len() {
+            self.grid
+                .candidates_near_point(self.centers[i], 2.0 * UNIT_RADIUS, &mut cand);
+            for &j in cand.iter().filter(|&&j| j > i) {
+                // The same float expression as the reference (`gap >=
+                // -TOUCH_TOL` in `GeometricConfig::is_valid_on`): the
+                // algebraically equal `d < 2R - TOUCH_TOL` rounds
+                // differently at the boundary.
+                let gap = self.centers[i].distance(self.centers[j]) - 2.0 * UNIT_RADIUS;
+                if gap < -TOUCH_TOL {
+                    ok = false;
+                    break 'outer;
+                }
+            }
+        }
+        self.cand_buf = cand;
+        self.valid_cache = Some((self.version, ok));
+        ok
+    }
+
+    /// `true` when the union of the discs is connected (cached; the
+    /// tangency graph is built from grid neighbourhoods instead of all
+    /// pairs).
+    pub fn is_connected(&mut self) -> bool {
+        if self.mode == WorldMode::Scratch {
+            return GeometricConfig::is_connected_on(&self.centers);
+        }
+        if let Some((v, ok)) = self.connected_cache {
+            if v == self.version {
+                return ok;
+            }
+        }
+        let n = self.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut cand = std::mem::take(&mut self.cand_buf);
+        for i in 0..n {
+            self.grid.candidates_near_point(
+                self.centers[i],
+                2.0 * UNIT_RADIUS + TOUCH_TOL,
+                &mut cand,
+            );
+            for &j in cand.iter().filter(|&&j| j > i) {
+                let gap = self.centers[i].distance(self.centers[j]) - 2.0 * UNIT_RADIUS;
+                if gap_touches(gap) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        self.cand_buf = cand;
+        let root = if n == 0 { 0 } else { find(&mut parent, 0) };
+        let ok = n <= 1 || (0..n).all(|i| find(&mut parent, i) == root);
+        self.connected_cache = Some((self.version, ok));
+        ok
+    }
+
+    /// Minimum boundary-to-boundary gap over all pairs (cached lazily;
+    /// `None` for fewer than two robots). Not on the per-event hot path —
+    /// the recompute is the plain global scan.
+    pub fn min_pairwise_gap(&mut self) -> Option<f64> {
+        if self.mode == WorldMode::Scratch {
+            return min_pairwise_gap(&self.centers);
+        }
+        if let Some((v, gap)) = self.min_gap_cache {
+            if v == self.version {
+                return gap;
+            }
+        }
+        let gap = min_pairwise_gap(&self.centers);
+        self.min_gap_cache = Some((self.version, gap));
+        gap
+    }
+
+    /// The gathering predicate (Definition 1): connected and fully visible.
+    /// Exactly [`GeometricConfig::is_gathered_on`], with the sampled
+    /// full-visibility fallback answered from the pair cache when the
+    /// world's visibility parameters are the default ones that predicate
+    /// uses.
+    pub fn is_gathered(&mut self, collinearity_tol: f64) -> bool {
+        if self.mode == WorldMode::Scratch {
+            return GeometricConfig::is_gathered_on(&self.centers, collinearity_tol);
+        }
+        if !self.is_connected() {
+            return false;
+        }
+        if self.all_on_hull() && no_three_collinear(&self.centers, collinearity_tol) {
+            return true;
+        }
+        if self.vis == VisibilityConfig::default() {
+            let n = self.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if !self.sees(i, j) {
+                        return false;
+                    }
+                }
+            }
+            true
+        } else {
+            GeometricConfig::is_fully_visible_sampled_on(
+                &self.centers,
+                &VisibilityConfig::default(),
+            )
+        }
+    }
+
+    /// The configuration-level predicates behind one metrics sample, from
+    /// the cached hull and connectivity.
+    pub fn sample_predicates(&mut self, collinearity_tol: f64) -> SamplePredicates {
+        if self.mode == WorldMode::Scratch {
+            return SamplePredicates::from_centers(&self.centers, collinearity_tol);
+        }
+        let connected = self.is_connected();
+        let (_, hull, all_on) = self.hull_state();
+        SamplePredicates::from_hull(hull, *all_on, connected, collinearity_tol)
+    }
+
+    /// Fills `out` with the (ascending) indices of every robot that could
+    /// stop robot `i` within `allowed` travel from `start` along the unit
+    /// direction `dir`: a superset of the discs within contact range of the
+    /// swept capsule. In scratch mode this is simply every other robot.
+    pub fn contact_candidates(
+        &mut self,
+        i: usize,
+        start: Point,
+        dir: Vec2,
+        allowed: f64,
+        out: &mut Vec<usize>,
+    ) {
+        if self.mode == WorldMode::Scratch {
+            out.clear();
+            out.extend((0..self.len()).filter(|&j| j != i));
+            return;
+        }
+        let end = start + dir * (allowed + CONTACT_QUERY_MARGIN);
+        self.grid.candidates_near_segment(
+            start,
+            end,
+            2.0 * UNIT_RADIUS + CONTACT_QUERY_MARGIN,
+            out,
+        );
+        out.retain(|&j| j != i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn world(centers: Vec<Point>, mode: WorldMode) -> World {
+        World::new(centers, VisibilityConfig::default(), mode)
+    }
+
+    /// Every derived answer of an incremental world must equal the
+    /// from-scratch answer on the same centers.
+    fn assert_matches_scratch(w: &mut World) {
+        let centers = w.centers().to_vec();
+        let vis = VisibilityConfig::default();
+        for i in 0..centers.len() {
+            assert_eq!(
+                w.visible_of(i),
+                visible_set(i, &centers, &vis),
+                "visible set of robot {i} diverged"
+            );
+        }
+        assert_eq!(w.is_valid(), GeometricConfig::is_valid_on(&centers));
+        assert_eq!(w.is_connected(), GeometricConfig::is_connected_on(&centers));
+        assert_eq!(w.all_on_hull(), GeometricConfig::all_on_hull_on(&centers));
+        assert_eq!(
+            w.is_gathered(1e-9),
+            GeometricConfig::is_gathered_on(&centers, 1e-9)
+        );
+        assert_eq!(w.min_pairwise_gap(), min_pairwise_gap(&centers));
+    }
+
+    #[test]
+    fn fresh_world_matches_scratch_everywhere() {
+        let mut w = world(
+            vec![
+                p(0.0, 0.0),
+                p(3.0, 0.5),
+                p(6.0, -0.5),
+                p(2.0, 4.0),
+                p(5.0, 3.0),
+            ],
+            WorldMode::Incremental,
+        );
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn moves_invalidate_exactly_what_they_must() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(10.0, 12.0)],
+            WorldMode::Incremental,
+        );
+        assert_matches_scratch(&mut w);
+        // Slide the middle robot off the 0–2 corridor: 0 and 2 regain sight.
+        w.move_robot(1, p(10.0, 5.0));
+        assert_matches_scratch(&mut w);
+        assert!(w.sees(0, 2));
+        // And back on: they lose it again.
+        w.move_robot(1, p(10.0, 0.0));
+        assert_matches_scratch(&mut w);
+        assert!(!w.sees(0, 2));
+    }
+
+    #[test]
+    fn unrelated_pairs_hit_the_cache_after_a_move() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(6.0, 0.0), p(100.0, 100.0), p(106.0, 100.0)],
+            WorldMode::Incremental,
+        );
+        // Warm every pair.
+        for i in 0..4 {
+            let _ = w.visible_of(i);
+        }
+        let (_, misses_before) = w.cache_stats();
+        // A far-away move cannot touch the 0–1 corridor.
+        w.move_robot(2, p(101.0, 100.0));
+        assert!(w.sees(0, 1));
+        let (hits, misses) = w.cache_stats();
+        assert_eq!(
+            misses, misses_before,
+            "the 0-1 pair must be answered from the cache"
+        );
+        assert!(hits > 0);
+        // But pairs involving the mover are recomputed.
+        assert!(w.sees(2, 3));
+        let (_, misses_after) = w.cache_stats();
+        assert_eq!(misses_after, misses_before + 1);
+    }
+
+    #[test]
+    fn scratch_mode_reports_no_cache_traffic() {
+        let mut w = world(vec![p(0.0, 0.0), p(5.0, 0.0)], WorldMode::Scratch);
+        assert!(w.sees(0, 1));
+        let _ = w.visible_of(0);
+        assert_eq!(w.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn move_to_same_position_is_a_noop() {
+        let mut w = world(vec![p(0.0, 0.0), p(5.0, 0.0)], WorldMode::Incremental);
+        let _ = w.visible_of(0);
+        let (_, misses) = w.cache_stats();
+        w.move_robot(0, p(0.0, 0.0));
+        let _ = w.visible_of(0);
+        let (hits, misses_after) = w.cache_stats();
+        assert_eq!(misses_after, misses, "a no-op move must not invalidate");
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn single_robot_world_is_trivially_fine() {
+        let mut w = world(vec![p(1.0, 1.0)], WorldMode::Incremental);
+        assert!(w.visible_of(0).is_empty());
+        assert!(w.is_valid());
+        assert!(w.is_connected());
+        assert_eq!(w.min_pairwise_gap(), None);
+    }
+
+    #[test]
+    fn overlap_is_detected_incrementally() {
+        let mut w = world(vec![p(0.0, 0.0), p(5.0, 0.0)], WorldMode::Incremental);
+        assert!(w.is_valid());
+        w.move_robot(1, p(1.0, 0.0));
+        assert!(!w.is_valid());
+        assert!(w.min_pairwise_gap().unwrap() < 0.0);
+    }
+
+    #[test]
+    fn long_jumps_across_many_cells_invalidate_both_endpoints() {
+        // Robot 2 jumps from far away straight onto the 0–1 corridor: the
+        // pair (0, 1) was computed with an empty corridor, and the only
+        // cells that see the move are the jump's endpoints.
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 50.0)],
+            WorldMode::Incremental,
+        );
+        assert!(w.sees(0, 1));
+        w.move_robot(2, p(5.0, 0.0));
+        assert!(!w.sees(0, 1), "the newcomer must block the sight line");
+        assert_matches_scratch(&mut w);
+        // And jumping away again restores it.
+        w.move_robot(2, p(5.0, 50.0));
+        assert!(w.sees(0, 1));
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn repeated_recomputation_does_not_leak_registrations() {
+        // Oscillate one robot through a corridor many times; the far cells
+        // of the corridor accumulate registrations that the compaction
+        // bound must keep finite.
+        let mut w = world(
+            vec![p(0.0, 0.0), p(40.0, 0.0), p(20.0, 3.0)],
+            WorldMode::Incremental,
+        );
+        for k in 0..500 {
+            let y = if k % 2 == 0 { 0.0 } else { 3.0 };
+            w.move_robot(2, p(20.0, y));
+            let _ = w.visible_of(0);
+        }
+        let worst = w
+            .cell_pairs
+            .values()
+            .map(|r| r.refs.len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            worst <= 2 * REGISTRATION_COMPACT_LEN,
+            "registration lists must stay bounded (worst {worst})"
+        );
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn contact_candidates_cover_the_swept_path() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 30.0)],
+            WorldMode::Incremental,
+        );
+        let mut out = Vec::new();
+        w.contact_candidates(0, p(0.0, 0.0), Vec2::new(1.0, 0.0), 9.0, &mut out);
+        assert!(out.contains(&1), "the disc ahead must be a candidate");
+        assert!(!out.contains(&0), "the mover itself is excluded");
+        let mut scratch = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(5.0, 30.0)],
+            WorldMode::Scratch,
+        );
+        scratch.contact_candidates(0, p(0.0, 0.0), Vec2::new(1.0, 0.0), 9.0, &mut out);
+        assert_eq!(out, vec![1, 2], "scratch mode scans everyone");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests pinning the incremental world state to the from-scratch
+//! reference: after an arbitrary sequence of randomized single-robot moves,
+//! every cached answer must equal the answer recomputed from zero on the
+//! current centers.
+
+use fatrobots_geometry::visibility::{min_pairwise_gap, visible_set, VisibilityConfig};
+use fatrobots_geometry::Point;
+use fatrobots_model::GeometricConfig;
+use fatrobots_sim::world::{World, WorldMode};
+use proptest::prelude::*;
+
+/// Base configurations: robots on distinct coarse grid cells with jitter —
+/// dense enough for occlusions, and moves can legally pile robots close
+/// together (the visibility matrix is defined regardless of validity).
+fn base_centers(max_n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set((0u32..6, 0u32..6), 3..=max_n).prop_flat_map(|cells| {
+        let cells: Vec<(u32, u32)> = cells.into_iter().collect();
+        let n = cells.len();
+        prop::collection::vec((-0.4f64..0.4, -0.4f64..0.4), n).prop_map(move |jitter| {
+            cells
+                .iter()
+                .zip(jitter)
+                .map(|(&(i, j), (dx, dy))| Point::new(i as f64 * 3.0 + dx, j as f64 * 3.0 + dy))
+                .collect()
+        })
+    })
+}
+
+/// A move script: which robot moves next, and where it lands (absolute
+/// coordinates spanning same-cell nudges, corridor crossings, and long
+/// jumps across the whole arena).
+fn moves(len: usize) -> impl Strategy<Value = Vec<(usize, f64, f64)>> {
+    prop::collection::vec((0usize..64, -2.0f64..20.0, -2.0f64..20.0), 1..=len)
+}
+
+/// Every incremental answer equals its from-scratch counterpart.
+fn assert_world_matches_scratch(
+    world: &mut World,
+    centers: &[Point],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let vis = VisibilityConfig::default();
+    for i in 0..centers.len() {
+        prop_assert_eq!(world.visible_of(i), visible_set(i, centers, &vis));
+    }
+    prop_assert_eq!(world.is_valid(), GeometricConfig::is_valid_on(centers));
+    prop_assert_eq!(
+        world.is_connected(),
+        GeometricConfig::is_connected_on(centers)
+    );
+    prop_assert_eq!(
+        world.all_on_hull(),
+        GeometricConfig::all_on_hull_on(centers)
+    );
+    prop_assert_eq!(world.min_pairwise_gap(), min_pairwise_gap(centers));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: the incremental visibility matrix (and every
+    /// other cached predicate) stays equal to a from-scratch recomputation
+    /// after arbitrary randomized single-robot moves.
+    #[test]
+    fn incremental_world_matches_scratch_after_moves(
+        centers in base_centers(9),
+        script in moves(14),
+    ) {
+        let mut world = World::new(centers.clone(), VisibilityConfig::default(), WorldMode::Incremental);
+        let mut centers = centers;
+        // Warm part of the cache so moves invalidate *existing* entries,
+        // not just fill cold ones.
+        let _ = world.visible_of(0);
+        for (pick, x, y) in script {
+            let i = pick % centers.len();
+            let p = Point::new(x, y);
+            world.move_robot(i, p);
+            centers[i] = p;
+            assert_world_matches_scratch(&mut world, &centers)?;
+        }
+    }
+
+    /// Interleaving queries between moves (so entries are computed at many
+    /// different configuration versions) never desynchronises the cache.
+    #[test]
+    fn interleaved_queries_stay_consistent(
+        centers in base_centers(7),
+        script in moves(10),
+    ) {
+        let mut world = World::new(centers.clone(), VisibilityConfig::default(), WorldMode::Incremental);
+        let mut centers = centers;
+        for (step, (pick, x, y)) in script.into_iter().enumerate() {
+            let i = pick % centers.len();
+            // Query a rotating robot *before* the move so the cache holds a
+            // mix of generations.
+            let probe = step % centers.len();
+            let _ = world.visible_of(probe);
+            let p = Point::new(x, y);
+            world.move_robot(i, p);
+            centers[i] = p;
+        }
+        assert_world_matches_scratch(&mut world, &centers)?;
+    }
+}

@@ -20,7 +20,7 @@ fn gather(n: usize, seed: u64, shape: Shape, adversary: AdversaryKind) -> (bool,
     let mut sim = Simulator::new(
         centers,
         Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
-        adversary.build(seed),
+        adversary.build(seed, n),
         SimConfig {
             max_events: spec.max_events,
             ..SimConfig::default()

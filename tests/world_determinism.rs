@@ -1,0 +1,96 @@
+//! The equivalence pin for the incremental world state: a `World`-backed
+//! run must replay **event-for-event identical** to a from-scratch
+//! reference recomputation, across every `Shape` × `AdversaryKind`
+//! combination of the experiment matrix.
+//!
+//! The incremental engine ([`WorldMode::Incremental`], the default) answers
+//! Look snapshots, validity, connectivity and the gathering predicate from
+//! caches with grid-indexed dirty-pair invalidation; the reference engine
+//! ([`WorldMode::Scratch`]) recomputes everything per query exactly like
+//! the seed engine did. Identical event streams, final centers, outcomes
+//! and metrics prove the caches never change observable behaviour.
+
+use fatrobots::prelude::*;
+use fatrobots::sim::experiment::{AdversaryKind, StrategyKind};
+use fatrobots::sim::world::WorldMode;
+use fatrobots::sim::RunOutcome;
+
+fn run_with_mode(
+    n: usize,
+    seed: u64,
+    shape: Shape,
+    adversary: AdversaryKind,
+    mode: WorldMode,
+) -> (RunOutcome, Vec<Point>, Vec<fatrobots::scheduler::Event>) {
+    let centers = shape.generate(n, seed);
+    let mut sim = Simulator::new(
+        centers,
+        StrategyKind::Paper.build(n),
+        adversary.build(seed, n),
+        SimConfig {
+            max_events: 12_000,
+            record_trace: true,
+            world_mode: mode,
+            ..SimConfig::default()
+        },
+    );
+    let outcome = sim.run();
+    (
+        outcome,
+        sim.centers().to_vec(),
+        sim.trace().events().to_vec(),
+    )
+}
+
+#[test]
+fn world_backed_runs_replay_identically_across_the_matrix() {
+    for shape in Shape::ALL {
+        for adversary in AdversaryKind::ALL {
+            let (cached_outcome, cached_centers, cached_events) =
+                run_with_mode(5, 2, shape, adversary, WorldMode::Incremental);
+            let (scratch_outcome, scratch_centers, scratch_events) =
+                run_with_mode(5, 2, shape, adversary, WorldMode::Scratch);
+            let label = format!("shape={} adversary={}", shape.name(), adversary.name());
+            assert_eq!(
+                cached_events, scratch_events,
+                "event stream diverged for {label}"
+            );
+            assert_eq!(
+                cached_centers, scratch_centers,
+                "final centers diverged for {label}"
+            );
+            assert_eq!(
+                cached_outcome, scratch_outcome,
+                "run outcome (incl. metrics and samples) diverged for {label}"
+            );
+            assert!(
+                !cached_events.is_empty(),
+                "the {label} run must actually execute events"
+            );
+        }
+    }
+}
+
+#[test]
+fn larger_asynchronous_run_replays_identically() {
+    // One deeper spot-check past the matrix: more robots, the seeded
+    // random-async schedule, and enough events to cycle the cache through
+    // many generations.
+    let (cached_outcome, cached_centers, cached_events) = run_with_mode(
+        9,
+        7,
+        Shape::Random,
+        AdversaryKind::RandomAsync,
+        WorldMode::Incremental,
+    );
+    let (scratch_outcome, scratch_centers, scratch_events) = run_with_mode(
+        9,
+        7,
+        Shape::Random,
+        AdversaryKind::RandomAsync,
+        WorldMode::Scratch,
+    );
+    assert_eq!(cached_events, scratch_events);
+    assert_eq!(cached_centers, scratch_centers);
+    assert_eq!(cached_outcome, scratch_outcome);
+}
