@@ -1,0 +1,165 @@
+//! E10 — Compute-kernel latency: `decide()` on hull-, interior- and
+//! converge-shaped views, scratch-arena path vs the allocating traced path.
+//!
+//! Three view families cover the three expensive regions of the Compute
+//! state graph (Figure 4):
+//!
+//! * **hull** — the observer is on the hull of a view with an interior
+//!   robot and a partial view, so the decision runs the band tests plus the
+//!   `onCH2` projection of Procedure `NotOnStraightLine`;
+//! * **interior** — the observer is strictly inside the hull, so the
+//!   decision scans `Find-Points` candidates over the whole boundary;
+//! * **converge** — every robot is on the hull in separated clusters, so
+//!   the decision builds the component partition of Procedure
+//!   `NotConnected`.
+//!
+//! Each family is measured twice per size: `scratch` is the engine's hot
+//! path (`run_with`, reusing one `ComputeScratch` arena — no steady-state
+//! allocation), `traced` is the pre-arena shape of the pipeline (fresh
+//! buffers plus trace recording per decision). The `whole_run` rows time a
+//! complete bounded simulation so the Compute win composes with the
+//! snapshot-cache numbers of the `snapshot_cache` bench.
+//!
+//! Set `FATROBOTS_BENCH_QUICK=1` (the CI bench-report job does) to run a
+//! reduced sample count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fatrobots_core::{AlgorithmParams, ComputeScratch, ComputeState, LocalAlgorithm};
+use fatrobots_geometry::Point;
+use fatrobots_model::LocalView;
+use fatrobots_sim::experiment::{AdversaryKind, RunSpec, StrategyKind};
+use fatrobots_sim::init::Shape;
+
+/// `true` when the CI quick mode is requested.
+fn quick() -> bool {
+    std::env::var_os("FATROBOTS_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+/// `n` points on a circle large enough that no two robots overlap, with a
+/// small angular offset so no triple is exactly collinear.
+fn circle(n: usize, radius: f64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64 + 0.1;
+            Point::new(radius * a.cos(), radius * a.sin())
+        })
+        .collect()
+}
+
+/// A hull-shaped view: the observer on the hull, one robot pulled into the
+/// interior, and one robot missing from the view (`|V| < n`), so the
+/// decision takes the projection path of Procedure `NotOnStraightLine`.
+fn hull_view(n: usize) -> LocalView {
+    let pts = circle(n, n as f64);
+    let me = pts[0];
+    let mut others: Vec<Point> = pts[1..n - 1].to_vec();
+    // Pull one robot into the hull interior.
+    let interior_idx = others.len() / 2;
+    let pulled = others[interior_idx];
+    others[interior_idx] = Point::new(pulled.x * 0.2, pulled.y * 0.2);
+    LocalView::new(me, others, n)
+}
+
+/// An interior-shaped view: the observer strictly inside the hull of the
+/// others, nobody touching, so the decision scans `Find-Points` candidates.
+fn interior_view(n: usize) -> LocalView {
+    let pts = circle(n - 1, n as f64);
+    let me = Point::new(0.5, 0.3);
+    LocalView::new(me, pts, n)
+}
+
+/// A converge-shaped view: all robots on the hull in four separated,
+/// equally sized clusters of touching robots, so the decision builds the
+/// component partition of Procedure `NotConnected`.
+fn converge_view(n: usize) -> LocalView {
+    let radius = 10.0 * n as f64;
+    let touch_step = 2.0 * (1.0 / radius).asin();
+    let groups = 4;
+    let per_group = n / groups;
+    let mut pts = Vec::with_capacity(n);
+    for g in 0..groups {
+        let start = g as f64 * std::f64::consts::FRAC_PI_2 + 0.05;
+        for k in 0..per_group {
+            let a = start + k as f64 * touch_step;
+            pts.push(Point::new(radius * a.cos(), radius * a.sin()));
+        }
+    }
+    // Round n down to a multiple of the group count for the view.
+    let me = pts[0];
+    let others = pts[1..].to_vec();
+    let n_view = others.len() + 1;
+    LocalView::new(me, others, n_view)
+}
+
+/// Sanity-pins each family to the Compute region it is meant to exercise,
+/// so a geometry regression cannot silently turn the bench into a
+/// measurement of the wrong procedures.
+fn assert_family_shape(view: &LocalView, expected: ComputeState) {
+    let algo = LocalAlgorithm::new(AlgorithmParams::for_n(view.n()));
+    let out = algo.run_traced(view);
+    assert!(
+        out.trace.contains(&expected),
+        "bench view does not reach {expected} (trace {:?})",
+        out.trace
+    );
+}
+
+/// One bench view family: label, constructor, and the Compute state it
+/// must reach.
+type ViewFamily = (&'static str, fn(usize) -> LocalView, ComputeState);
+
+fn bench_compute_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_kernels");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    let families: [ViewFamily; 3] = [
+        ("hull", hull_view, ComputeState::NotOnStraightLine),
+        ("interior", interior_view, ComputeState::NotOnConvexHull),
+        ("converge", converge_view, ComputeState::NotConnected),
+    ];
+    for &(name, make, expected) in &families {
+        for &n in &[8usize, 32, 96] {
+            let view = make(n);
+            assert_family_shape(&view, expected);
+            let algo = LocalAlgorithm::new(AlgorithmParams::for_n(view.n()));
+
+            // The engine's path: one arena reused across every decision.
+            let mut scratch = ComputeScratch::default();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/scratch"), format!("n={n}")),
+                &view,
+                |b, view| b.iter(|| black_box(algo.run_with(view, &mut scratch))),
+            );
+            // The pre-arena pipeline: fresh buffers plus a trace per call.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/traced"), format!("n={n}")),
+                &view,
+                |b, view| b.iter(|| black_box(algo.run_traced(view).decision)),
+            );
+        }
+    }
+    group.finish();
+
+    // Whole-run rows: a bounded end-to-end simulation, so the Compute win
+    // composes with the snapshot-cache numbers (same engine, same seeds).
+    let mut whole = c.benchmark_group("compute_whole_run");
+    whole.sample_size(if quick() { 2 } else { 10 });
+    for &(n, max_events) in &[(8usize, 20_000usize), (32, 12_000), (96, 6_000)] {
+        let spec = RunSpec {
+            shape: Shape::Random,
+            adversary: AdversaryKind::RoundRobin,
+            strategy: StrategyKind::Paper,
+            max_events,
+            ..RunSpec::new(n, 3)
+        };
+        whole.bench_with_input(
+            BenchmarkId::new("run", format!("n={n}/events={max_events}")),
+            &spec,
+            |b, spec| b.iter(|| black_box(fatrobots_sim::experiment::run(spec).events)),
+        );
+    }
+    whole.finish();
+}
+
+criterion_group!(benches, bench_compute_kernels);
+criterion_main!(benches);

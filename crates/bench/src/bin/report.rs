@@ -6,20 +6,27 @@
 //! cargo run --release -p fatrobots-bench --bin report -- --quick      # smaller sweeps
 //! cargo run --release -p fatrobots-bench --bin report -- --jobs 4     # parallel sweeps
 //! cargo run --release -p fatrobots-bench --bin report -- --json out.json
+//! cargo run --release -p fatrobots-bench --bin report -- --baseline old.json
 //! ```
 //!
-//! Sweeps are dispatched through `fatrobots_sim::sweep`, so table output is
+//! Sweeps are dispatched through one shared `fatrobots_sim::sweep::SweepPool`
+//! (spawned once per invocation, reused by every table), so table output is
 //! byte-identical for every `--jobs` value. Unknown flags are an error (exit
-//! code 2) — see `--help`.
+//! code 2) — see `--help`. With `--baseline` the freshly computed rows are
+//! diffed against a previous `bench_report.json` and the process exits with
+//! code 1 when any row regressed beyond the threshold.
 
 use std::process::ExitCode;
 
-use fatrobots_bench::{print_table, report_json, QUICK_SEEDS, STANDARD_SEEDS};
-use fatrobots_sim::experiment::{
-    adversary_table, baseline_table, delta_table, expansion_table, scaling_table, shape_table,
-    ExperimentTable,
+use fatrobots_bench::{
+    diff_against_baseline, json, print_table, report_json, BASELINE_EVENTS_THRESHOLD, QUICK_SEEDS,
+    STANDARD_SEEDS,
 };
-use fatrobots_sim::sweep;
+use fatrobots_sim::experiment::{
+    adversary_table_spec, baseline_table_spec, delta_table_spec, expansion_table_spec,
+    scaling_table_spec, shape_table_spec, ExperimentTable, TableSpec,
+};
+use fatrobots_sim::sweep::{self, SweepPool};
 
 const USAGE: &str = "\
 Usage: report [OPTIONS]
@@ -41,6 +48,10 @@ Options:
   --jobs <N>     worker threads for the sweeps (default: available cores;
                  output is byte-identical for every N)
   --json <PATH>  also write every run and aggregate row to PATH as JSON
+  --baseline <PATH>
+                 diff the fresh rows against a previous bench_report.json:
+                 prints per-row deltas and exits 1 when a row's gathered
+                 rate dropped or its mean events grew more than 10%
   -h, --help     print this help and exit
 ";
 
@@ -49,6 +60,7 @@ struct Cli {
     quick: bool,
     jobs: usize,
     json: Option<String>,
+    baseline: Option<String>,
     figures: bool,
     /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
     selected: Vec<&'static str>,
@@ -60,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         quick: false,
         jobs: sweep::default_jobs(),
         json: None,
+        baseline: None,
         figures: false,
         selected: Vec::new(),
     };
@@ -92,6 +105,10 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 let value = iter.next().ok_or("--json requires a path")?;
                 cli.json = Some(value.clone());
             }
+            "--baseline" => {
+                let value = iter.next().ok_or("--baseline requires a path")?;
+                cli.baseline = Some(value.clone());
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -103,7 +120,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     Ok(Some(cli))
 }
 
-fn build_table(id: &str, quick: bool, seeds: &[u64], jobs: usize) -> ExperimentTable {
+fn build_table_spec(id: &str, quick: bool, seeds: &[u64]) -> TableSpec {
     match id {
         "e1" => {
             // The large-n rows (48, 96) run with scaling_table's bounded
@@ -114,13 +131,13 @@ fn build_table(id: &str, quick: bool, seeds: &[u64], jobs: usize) -> ExperimentT
             } else {
                 &[3, 5, 6, 8, 10, 12, 48, 96]
             };
-            scaling_table(ns, seeds, jobs)
+            scaling_table_spec(ns, seeds)
         }
-        "e2e3" => expansion_table(6, seeds, jobs),
-        "e4" => adversary_table(6, seeds, jobs),
-        "e5" => baseline_table(6, seeds, jobs),
-        "e6" => delta_table(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds, jobs),
-        "e7" => shape_table(6, seeds, jobs),
+        "e2e3" => expansion_table_spec(6, seeds),
+        "e4" => adversary_table_spec(6, seeds),
+        "e5" => baseline_table_spec(6, seeds),
+        "e6" => delta_table_spec(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds),
+        "e7" => shape_table_spec(6, seeds),
         other => unreachable!("unknown table id {other}"),
     }
 }
@@ -154,6 +171,37 @@ fn main() -> ExitCode {
         }
     }
 
+    // Likewise read and validate the baseline before sweeping.
+    let baseline = match &cli.baseline {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("report: cannot read baseline '{path}': {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match json::parse(&text) {
+                Ok(doc) => {
+                    // Reject unsupported schemas before any sweep runs, not
+                    // after minutes of table building.
+                    if !fatrobots_bench::report_supported(&doc) {
+                        eprintln!(
+                            "report: baseline '{path}' has a missing or unsupported schema_version"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Some(doc)
+                }
+                Err(err) => {
+                    eprintln!("report: baseline '{path}' is not valid JSON: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
     let seeds: &[u64] = if cli.quick {
         &QUICK_SEEDS
     } else {
@@ -173,9 +221,12 @@ fn main() -> ExitCode {
         cli.selected.clone()
     };
 
-    let mut tables = Vec::new();
+    // One worker pool for the whole invocation: every table's groups share
+    // it instead of spawning and joining a fresh pool per table.
+    let mut pool = SweepPool::new(cli.jobs);
+    let mut tables: Vec<ExperimentTable> = Vec::new();
     for id in &ids {
-        let table = build_table(id, cli.quick, seeds, cli.jobs);
+        let table = build_table_spec(id, cli.quick, seeds).execute_on(&mut pool);
         print_table(&table);
         tables.push(table);
     }
@@ -193,6 +244,26 @@ fn main() -> ExitCode {
             "report: wrote {path} ({} tables, {runs} runs)",
             tables.len()
         );
+    }
+
+    if let Some(doc) = &baseline {
+        match diff_against_baseline(&tables, doc, BASELINE_EVENTS_THRESHOLD) {
+            Ok(diff) => {
+                println!("\n== baseline diff ==");
+                print!("{}", diff.text);
+                if diff.regressions > 0 {
+                    eprintln!(
+                        "report: {} row(s) regressed beyond the threshold",
+                        diff.regressions
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(message) => {
+                eprintln!("report: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     ExitCode::SUCCESS

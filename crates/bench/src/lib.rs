@@ -46,6 +46,108 @@ pub fn report_supported(doc: &JsonValue) -> bool {
     )
 }
 
+/// Relative `mean_events` increase beyond which a baseline comparison
+/// counts as a regression (10%). Gathered-rate drops of any size are always
+/// regressions — a run that stopped gathering is broken, not slow.
+pub const BASELINE_EVENTS_THRESHOLD: f64 = 0.10;
+
+/// Outcome of diffing freshly executed tables against a previous
+/// `bench_report.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDiff {
+    /// Human-readable per-row delta lines.
+    pub text: String,
+    /// Number of rows that regressed beyond the thresholds.
+    pub regressions: usize,
+}
+
+/// Looks up a numeric field of a JSON object as `f64` (accepting both `Int`
+/// and `Num` encodings).
+fn json_f64(obj: &JsonValue, key: &str) -> Option<f64> {
+    match obj.get(key) {
+        Some(&JsonValue::Num(v)) => Some(v),
+        Some(&JsonValue::Int(v)) => Some(v as f64),
+        _ => None,
+    }
+}
+
+/// The aggregate record of table `id` / group `label` in a parsed report.
+fn baseline_aggregate<'a>(doc: &'a JsonValue, id: &str, label: &str) -> Option<&'a JsonValue> {
+    let tables = doc.get("tables")?.as_arr()?;
+    let table = tables
+        .iter()
+        .find(|t| t.get("id").and_then(JsonValue::as_str) == Some(id))?;
+    let groups = table.get("groups")?.as_arr()?;
+    groups
+        .iter()
+        .find(|g| g.get("label").and_then(JsonValue::as_str) == Some(label))?
+        .get("aggregate")
+}
+
+/// Diffs freshly executed tables against a previously written
+/// `bench_report.json` document.
+///
+/// Per row (table id + group label) the gathered rate and mean event count
+/// are compared: any drop in the gathered rate is a regression, and a
+/// relative increase of `mean_events` beyond `events_threshold` is a
+/// regression. Rows absent from the baseline are reported as new and never
+/// regress. Returns `Err` for documents whose schema this crate cannot
+/// read.
+pub fn diff_against_baseline(
+    tables: &[ExperimentTable],
+    baseline: &JsonValue,
+    events_threshold: f64,
+) -> Result<BaselineDiff, String> {
+    if !report_supported(baseline) {
+        return Err(format!(
+            "baseline schema_version is missing or unsupported (this build reads {REPORT_SCHEMA_MIN_SUPPORTED}..={REPORT_SCHEMA_VERSION})"
+        ));
+    }
+    let mut text = String::new();
+    let mut regressions = 0usize;
+    for table in tables {
+        for group in &table.groups {
+            let row = group.aggregate();
+            let label = format!("{}/{}", table.id, group.label);
+            let Some(base) = baseline_aggregate(baseline, table.id, &group.label) else {
+                text.push_str(&format!("{label:<28} (new row, no baseline)\n"));
+                continue;
+            };
+            let base_gathered = json_f64(base, "gathered_rate");
+            let base_events = json_f64(base, "mean_events");
+            let mut verdicts = Vec::new();
+            if let Some(bg) = base_gathered {
+                if row.gathered_rate < bg - 1e-9 {
+                    verdicts.push("gathered-rate REGRESSION");
+                    regressions += 1;
+                }
+            }
+            if let Some(be) = base_events {
+                if be > 0.0 && row.mean_events > be * (1.0 + events_threshold) {
+                    verdicts.push("events REGRESSION");
+                    regressions += 1;
+                }
+            }
+            let events_delta = match base_events {
+                Some(be) if be > 0.0 => {
+                    format!("{:+.1}%", (row.mean_events - be) / be * 100.0)
+                }
+                _ => "n/a".into(),
+            };
+            text.push_str(&format!(
+                "{label:<28} gathered {} -> {:.2}  events {} -> {:.1} ({events_delta}){}{}\n",
+                base_gathered.map_or("n/a".into(), |v| format!("{v:.2}")),
+                row.gathered_rate,
+                base_events.map_or("n/a".into(), |v| format!("{v:.1}")),
+                row.mean_events,
+                if verdicts.is_empty() { "" } else { "  " },
+                verdicts.join(", "),
+            ));
+        }
+    }
+    Ok(BaselineDiff { text, regressions })
+}
+
 /// Prints one experiment table with its title.
 pub fn print_table(table: &ExperimentTable) {
     println!("\n== {} ==", table.title);
@@ -242,6 +344,70 @@ mod tests {
         assert!(runs[0].get("visibility_cache_hits").is_some());
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
+    }
+
+    #[test]
+    fn baseline_self_diff_has_no_regressions() {
+        let table = scaling_table(&[3], &[1, 2], 2);
+        let doc = json::parse(&report_json(std::slice::from_ref(&table), true, 2)).unwrap();
+        let diff = diff_against_baseline(
+            std::slice::from_ref(&table),
+            &doc,
+            BASELINE_EVENTS_THRESHOLD,
+        )
+        .expect("self diff succeeds");
+        assert_eq!(diff.regressions, 0, "a report cannot regress vs itself");
+        assert!(diff.text.contains("e1/n=3"));
+        assert!(diff.text.contains("+0.0%"));
+    }
+
+    #[test]
+    fn baseline_diff_flags_gathered_and_event_regressions() {
+        let table = scaling_table(&[3], &[1], 1);
+        let row = table.rows().remove(0);
+        // A fabricated "better" baseline: everything gathered instantly.
+        let better = json::parse(&format!(
+            r#"{{"schema_version": 2, "tables": [
+                 {{"id": "e1", "groups": [
+                   {{"label": "{label}", "aggregate":
+                      {{"gathered_rate": {g}, "mean_events": {e}}}}}]}}]}}"#,
+            label = row.label,
+            g = row.gathered_rate + 0.5,
+            e = (row.mean_events / 10.0).max(1.0),
+        ))
+        .unwrap();
+        let diff = diff_against_baseline(
+            std::slice::from_ref(&table),
+            &better,
+            BASELINE_EVENTS_THRESHOLD,
+        )
+        .unwrap();
+        assert_eq!(
+            diff.regressions, 2,
+            "both metrics must regress:\n{}",
+            diff.text
+        );
+        assert!(diff.text.contains("REGRESSION"));
+
+        // Rows the baseline does not know are reported but never regress.
+        let empty = json::parse(r#"{"schema_version": 2, "tables": []}"#).unwrap();
+        let diff = diff_against_baseline(
+            std::slice::from_ref(&table),
+            &empty,
+            BASELINE_EVENTS_THRESHOLD,
+        )
+        .unwrap();
+        assert_eq!(diff.regressions, 0);
+        assert!(diff.text.contains("new row"));
+
+        // Unsupported schemas are an error, not a silent pass.
+        let future = json::parse(r#"{"schema_version": 99}"#).unwrap();
+        assert!(diff_against_baseline(
+            std::slice::from_ref(&table),
+            &future,
+            BASELINE_EVENTS_THRESHOLD
+        )
+        .is_err());
     }
 
     #[test]

@@ -114,6 +114,91 @@ fn json_report_is_parseable_with_one_record_per_run() {
 }
 
 #[test]
+fn baseline_self_diff_passes_and_regressions_fail() {
+    let dir = std::env::temp_dir();
+    let current = dir.join(format!("bench_baseline_cli_{}.json", std::process::id()));
+    let current_str = current.to_str().unwrap();
+
+    // First run writes the report; second run diffs against it. The sweeps
+    // are fully deterministic, so the self-diff must be regression-free.
+    let out = report(&["--quick", "--e7", "--jobs", "2", "--json", current_str]);
+    assert!(out.status.success());
+    let out = report(&["--quick", "--e7", "--jobs", "2", "--baseline", current_str]);
+    assert!(
+        out.status.success(),
+        "a deterministic report cannot regress against itself"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("== baseline diff =="));
+    assert!(stdout.contains("e7/"));
+    assert!(!stdout.contains("REGRESSION"));
+
+    // A fabricated "better" baseline makes the same sweep a regression:
+    // exit code 1 and marked rows.
+    let fabricated = dir.join(format!("bench_baseline_fab_{}.json", std::process::id()));
+    std::fs::write(
+        &fabricated,
+        r#"{"schema_version": 2, "tables": [
+             {"id": "e7", "groups": [
+               {"label": "circle",
+                "aggregate": {"gathered_rate": 2.0, "mean_events": 0.5}}]}]}"#,
+    )
+    .unwrap();
+    let out = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--baseline",
+        fabricated.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("REGRESSION"), "stdout: {stdout}");
+    assert!(String::from_utf8(out.stderr).unwrap().contains("regressed"));
+
+    let _ = std::fs::remove_file(&current);
+    let _ = std::fs::remove_file(&fabricated);
+}
+
+#[test]
+fn baseline_errors_are_reported_before_any_sweep() {
+    // Missing file: fails fast with exit 1 (not a usage error, not a sweep).
+    let out = report(&["--baseline", "/nonexistent-dir/none.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("cannot read baseline"));
+    assert!(out.stdout.is_empty(), "no tables may run on a bad baseline");
+
+    // Unparseable baseline: also exit 1, before sweeping.
+    let bad = std::env::temp_dir().join(format!("bench_baseline_bad_{}.json", std::process::id()));
+    std::fs::write(&bad, "not json at all").unwrap();
+    let out = report(&["--baseline", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("not valid JSON"));
+    let _ = std::fs::remove_file(&bad);
+
+    // An unsupported schema_version is rejected before any sweep runs.
+    let future =
+        std::env::temp_dir().join(format!("bench_baseline_v99_{}.json", std::process::id()));
+    std::fs::write(&future, r#"{"schema_version": 99}"#).unwrap();
+    let out = report(&["--baseline", future.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unsupported schema_version"));
+    assert!(out.stdout.is_empty(), "no tables may run on a bad baseline");
+    let _ = std::fs::remove_file(&future);
+
+    // --baseline without a value is a usage error.
+    let out = report(&["--baseline"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn json_write_failure_is_reported() {
     let out = report(&[
         "--quick",

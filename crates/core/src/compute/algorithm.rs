@@ -3,12 +3,12 @@
 
 use fatrobots_model::LocalView;
 
-use crate::compute::context::Ctx;
+use crate::compute::context::{ComputeScratch, Ctx};
 use crate::compute::state::{ComputeState, Decision, Step};
 use crate::compute::{converge, hull_procedures, interior_procedures};
 use crate::params::AlgorithmParams;
 
-/// The result of one Compute run: the decision plus the sequence of
+/// The result of one traced Compute run: the decision plus the sequence of
 /// algorithmic states visited (useful for tests that reproduce Figure 4 and
 /// for execution traces).
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +26,12 @@ pub struct ComputeOutcome {
 /// [`LocalAlgorithm::run`] depends only on the provided view (the robots are
 /// history-oblivious).
 ///
+/// [`LocalAlgorithm::run`] is the hot path: it returns just the
+/// [`Decision`], and [`LocalAlgorithm::run_with`] additionally reuses a
+/// caller-owned [`ComputeScratch`] so the steady-state decision performs no
+/// heap allocation. [`LocalAlgorithm::run_traced`] is the diagnostic path:
+/// it records the visited Compute states for tests and trace tooling.
+///
 /// ```
 /// use fatrobots_core::compute::{Decision, LocalAlgorithm};
 /// use fatrobots_core::AlgorithmParams;
@@ -39,7 +45,7 @@ pub struct ComputeOutcome {
 ///     vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(5.0, 12.0)],
 ///     4,
 /// );
-/// assert!(!algo.run(&view).decision.is_terminate());
+/// assert!(!algo.run(&view).is_terminate());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalAlgorithm {
@@ -57,32 +63,59 @@ impl LocalAlgorithm {
         self.params
     }
 
-    /// Runs the local algorithm on a view: the paper's
-    /// `p = A_i(V_i)`, with ⊥ represented by [`Decision::Terminate`].
-    pub fn run(&self, view: &LocalView) -> ComputeOutcome {
+    /// Runs the local algorithm on a view: the paper's `p = A_i(V_i)`, with
+    /// ⊥ represented by [`Decision::Terminate`]. Allocates fresh working
+    /// buffers; callers with a decision loop should prefer
+    /// [`Self::run_with`].
+    pub fn run(&self, view: &LocalView) -> Decision {
+        let mut scratch = ComputeScratch::default();
+        self.run_with(view, &mut scratch)
+    }
+
+    /// Runs the local algorithm reusing the caller's scratch arena: the
+    /// allocation-free steady-state path the simulator drives.
+    pub fn run_with(&self, view: &LocalView, scratch: &mut ComputeScratch) -> Decision {
+        let ctx = Ctx::with_scratch(view, self.params, std::mem::take(scratch));
+        let decision = drive(&ctx, |_| {});
+        *scratch = ctx.into_scratch();
+        decision
+    }
+
+    /// Runs the local algorithm and records the sequence of Compute states
+    /// visited — the diagnostic path for Figure-4 tests, the debug examples
+    /// and the render/trace tooling. The engine's event loop never pays for
+    /// this trace.
+    pub fn run_traced(&self, view: &LocalView) -> ComputeOutcome {
         let ctx = Ctx::new(view, self.params);
-        let mut state = ComputeState::Start;
-        let mut trace = vec![state];
-        // Figure 4 is a DAG of depth at most five; the bound below is purely
-        // defensive against a procedure bug introducing a cycle.
-        for _ in 0..ComputeState::ALL.len() {
-            let step = dispatch(state, &ctx);
-            match step {
-                Step::Next(next) => {
-                    debug_assert!(
-                        state.successors().contains(&next),
-                        "illegal Compute transition {state} -> {next}"
-                    );
-                    state = next;
-                    trace.push(state);
-                }
-                Step::Done(decision) => {
-                    return ComputeOutcome { decision, trace };
-                }
+        let mut trace = vec![ComputeState::Start];
+        let decision = drive(&ctx, |state| trace.push(state));
+        ComputeOutcome { decision, trace }
+    }
+}
+
+/// Walks the Compute state graph from `Start` to a decision, reporting each
+/// transition to `on_transition`.
+fn drive(ctx: &Ctx, mut on_transition: impl FnMut(ComputeState)) -> Decision {
+    let mut state = ComputeState::Start;
+    // Figure 4 is a DAG of depth at most five; the bound below is purely
+    // defensive against a procedure bug introducing a cycle.
+    for _ in 0..ComputeState::ALL.len() {
+        let step = dispatch(state, ctx);
+        match step {
+            Step::Next(next) => {
+                debug_assert!(
+                    state.successors().contains(&next),
+                    "illegal Compute transition {state} -> {next}"
+                );
+                state = next;
+                on_transition(state);
+            }
+            Step::Done(decision) => {
+                return decision;
             }
         }
-        unreachable!("the Compute state graph is acyclic; dispatch cannot loop")
     }
+    unreachable!("the Compute state graph is acyclic; dispatch cannot loop")
 }
 
 /// Runs the procedure associated with one Compute state.
@@ -127,7 +160,7 @@ mod tests {
         let centers = [p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0_f64.sqrt())];
         for i in 0..3 {
             let others: Vec<Point> = (0..3).filter(|&j| j != i).map(|j| centers[j]).collect();
-            let out = algo(3).run(&LocalView::new(centers[i], others, 3));
+            let out = algo(3).run_traced(&LocalView::new(centers[i], others, 3));
             assert_eq!(out.decision, Decision::Terminate);
             assert_eq!(
                 out.trace,
@@ -149,7 +182,7 @@ mod tests {
         let centers = [p(0.0, 0.0), p(20.0, 0.0), p(10.0, 17.0)];
         for i in 0..3 {
             let others: Vec<Point> = (0..3).filter(|&j| j != i).map(|j| centers[j]).collect();
-            let out = algo(3).run(&LocalView::new(centers[i], others, 3));
+            let out = algo(3).run_traced(&LocalView::new(centers[i], others, 3));
             assert!(!out.decision.is_terminate());
             assert!(out.trace.contains(&ComputeState::NotConnected));
         }
@@ -159,7 +192,7 @@ mod tests {
     fn interior_robot_heads_for_the_hull() {
         let me = p(10.0, 10.0);
         let others = vec![p(0.0, 0.0), p(20.0, 0.0), p(20.0, 20.0), p(0.0, 20.0)];
-        let out = algo(5).run(&LocalView::new(me, others, 5));
+        let out = algo(5).run_traced(&LocalView::new(me, others, 5));
         let target = out.decision.target().expect("interior robots move");
         assert!(!target.approx_eq(me));
         assert_eq!(*out.trace.last().unwrap(), ComputeState::NotChange);
@@ -178,7 +211,7 @@ mod tests {
             p(0.0, 10.0),
             p(6.0, 5.0),
         ];
-        let out = algo(6).run(&LocalView::new(me, others, 6));
+        let out = algo(6).run_traced(&LocalView::new(me, others, 6));
         assert_eq!(*out.trace.last().unwrap(), ComputeState::SeeTwoRobot);
         let target = out.decision.target().unwrap();
         assert!(
@@ -213,7 +246,7 @@ mod tests {
             ),
         ];
         for view in views {
-            let out = algo(view.n()).run(&view);
+            let out = algo(view.n()).run_traced(&view);
             for w in out.trace.windows(2) {
                 assert!(
                     w[0].successors().contains(&w[1]),
@@ -230,14 +263,20 @@ mod tests {
     #[test]
     fn single_robot_terminates_immediately() {
         let out = algo(1).run(&LocalView::new(p(3.0, 4.0), vec![], 1));
-        assert_eq!(out.decision, Decision::Terminate);
+        assert_eq!(out, Decision::Terminate);
     }
 
     #[test]
     fn two_touching_robots_terminate() {
         let out = algo(2).run(&LocalView::new(p(0.0, 0.0), vec![p(2.0, 0.0)], 2));
-        assert_eq!(out.decision, Decision::Terminate);
+        assert_eq!(out, Decision::Terminate);
         let apart = algo(2).run(&LocalView::new(p(0.0, 0.0), vec![p(9.0, 0.0)], 2));
-        assert!(!apart.decision.is_terminate());
+        assert!(!apart.is_terminate());
+
+        // The traced and traceless paths agree decision-for-decision.
+        let view = LocalView::new(p(0.0, 0.0), vec![p(9.0, 0.0)], 2);
+        assert_eq!(algo(2).run(&view), algo(2).run_traced(&view).decision);
+        let mut scratch = ComputeScratch::default();
+        assert_eq!(algo(2).run_with(&view, &mut scratch), apart);
     }
 }

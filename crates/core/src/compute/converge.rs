@@ -23,7 +23,6 @@
 //! such choice is noted inline.
 
 use fatrobots_geometry::Point;
-use fatrobots_model::GeometricConfig;
 
 use crate::compute::context::Ctx;
 use crate::compute::state::{ComputeState, Decision, Step};
@@ -34,10 +33,11 @@ const GAP_TOL: f64 = 1e-6;
 
 /// Procedure `AllOnConvexHull` (Section 4.2.3): flood-fill the tangency
 /// graph of the view; all robots in one component means the configuration is
-/// connected.
+/// connected. The flood fill runs over the context's scratch-backed
+/// union-find storage and agrees exactly with
+/// `GeometricConfig::is_connected`.
 pub fn all_on_convex_hull(ctx: &Ctx) -> Step {
-    let g = GeometricConfig::new(ctx.all().to_vec());
-    if g.is_connected() {
+    if ctx.view_connected() {
         Step::Next(ComputeState::Connected)
     } else {
         Step::Next(ComputeState::NotConnected)
@@ -76,62 +76,86 @@ pub fn not_connected(ctx: &Ctx) -> Step {
         return Step::Done(Decision::MoveTo(me));
     }
 
-    let partition = connected_components(ctx.all(), params.gap_threshold());
-    let my_idx = match partition.component_of(me) {
-        Some(i) => i,
-        None => return Step::Done(Decision::MoveTo(me)),
-    };
+    /// What the partition analysis decided; the move itself is emitted
+    /// after the scratch partition borrow ends.
+    enum Verdict {
+        Stay,
+        Hop,
+        Symmetric,
+    }
 
-    if partition.is_single() {
-        // Every hull gap is already below 1/2n. Responsibility for closing
-        // the remaining slack is directional: each robot closes the gap to
-        // its *clockwise* hull neighbour and otherwise holds still. Exactly
-        // one robot is responsible for each gap, so the chain zips up
-        // without the rotation that symmetric chasing would cause.
-        if ctx.touching(me, right) {
-            return Step::Done(Decision::MoveTo(me));
+    // In this state every robot of the view is on the hull, so the
+    // partition of the view equals the partition of its boundary — built in
+    // the context's scratch storage (Function `Connected-Components` over
+    // `onCH(V_i)`).
+    let verdict = ctx.with_partition(|partition, onch| {
+        let my_idx = match partition.component_of(onch, me) {
+            Some(i) => i,
+            None => return Verdict::Stay,
+        };
+
+        if partition.is_single() {
+            // Every hull gap is already below 1/2n. Responsibility for
+            // closing the remaining slack is directional: each robot closes
+            // the gap to its *clockwise* hull neighbour and otherwise holds
+            // still. Exactly one robot is responsible for each gap, so the
+            // chain zips up without the rotation that symmetric chasing
+            // would cause.
+            return if ctx.touching(me, right) {
+                Verdict::Stay
+            } else {
+                Verdict::Hop
+            };
         }
-        return Step::Done(hop_to_right_neighbor(ctx, right));
-    }
 
-    let sizes = partition.sizes();
-    let min_size = *sizes.iter().min().expect("non-empty partition");
-    let max_size = *sizes.iter().max().expect("non-empty partition");
-    let my_component = &partition.components()[my_idx];
-    let i_am_rightmost = my_component.rightmost().approx_eq(me);
+        let min_size = partition.sizes().min().expect("non-empty partition");
+        let max_size = partition.sizes().max().expect("non-empty partition");
+        let i_am_rightmost = partition.rightmost(onch, my_idx).approx_eq(me);
 
-    if min_size != max_size {
-        // Case A (Lemma 23): the rightmost robot of a smallest component
-        // migrates to the component on its right; everybody else waits.
-        if sizes[my_idx] == min_size && i_am_rightmost {
-            return Step::Done(hop_to_right_neighbor(ctx, right));
+        if min_size != max_size {
+            // Case A (Lemma 23): the rightmost robot of a smallest component
+            // migrates to the component on its right; everybody else waits.
+            return if partition.size(my_idx) == min_size && i_am_rightmost {
+                Verdict::Hop
+            } else {
+                Verdict::Stay
+            };
         }
-        return Step::Done(Decision::MoveTo(me));
-    }
 
-    // All components have the same size: decide by the clockwise gaps.
-    let gaps: Vec<f64> = (0..partition.len())
-        .map(|i| partition.right_gap(i))
-        .collect();
-    let min_gap = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_gap = gaps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-
-    if max_gap - min_gap > GAP_TOL {
-        // Case B: the rightmost robot of a component with the smallest
-        // clockwise gap migrates.
-        if gaps[my_idx] <= min_gap + GAP_TOL && i_am_rightmost {
-            return Step::Done(hop_to_right_neighbor(ctx, right));
+        // All components have the same size: decide by the clockwise gaps.
+        let mut min_gap = f64::INFINITY;
+        let mut max_gap = f64::NEG_INFINITY;
+        for i in 0..partition.len() {
+            let gap = partition.right_gap(onch, i);
+            min_gap = min_gap.min(gap);
+            max_gap = max_gap.max(gap);
         }
-        return Step::Done(Decision::MoveTo(me));
-    }
 
-    // Case C: full symmetry — everyone converges towards the inside of the
-    // hull (the paper's `CD` construction), robots already in contact hold
-    // still.
-    if !ctx.touching_me().is_empty() {
-        return Step::Done(Decision::MoveTo(me));
+        if max_gap - min_gap > GAP_TOL {
+            // Case B: the rightmost robot of a component with the smallest
+            // clockwise gap migrates.
+            return if partition.right_gap(onch, my_idx) <= min_gap + GAP_TOL && i_am_rightmost {
+                Verdict::Hop
+            } else {
+                Verdict::Stay
+            };
+        }
+        Verdict::Symmetric
+    });
+
+    match verdict {
+        Verdict::Stay => Step::Done(Decision::MoveTo(me)),
+        Verdict::Hop => Step::Done(hop_to_right_neighbor(ctx, right)),
+        // Case C: full symmetry — everyone converges towards the inside of
+        // the hull (the paper's `CD` construction), robots already in
+        // contact hold still.
+        Verdict::Symmetric => {
+            if ctx.touching_me().next().is_some() {
+                return Step::Done(Decision::MoveTo(me));
+            }
+            Step::Done(symmetric_converge_move(ctx, left, right))
+        }
     }
-    Step::Done(symmetric_converge_move(ctx, left, right))
 }
 
 /// The migration move of cases A and B: `Move-to-Point` towards the robot's
@@ -165,14 +189,12 @@ fn hop_to_right_neighbor(ctx: &Ctx, right: Point) -> Decision {
     // for one step; once clear of the contact, subsequent cycles hop
     // directly. This keeps the migration of Lemma 23 live when components
     // have already formed touching chains.
-    let touchers = ctx.touching_me();
-    let blocked = touchers.iter().any(|&t| dir.dot(t - me) > 1e-9);
+    let blocked = ctx.touching_me().any(|t| dir.dot(t - me) > 1e-9);
     if !blocked {
         return Decision::MoveTo(ideal);
     }
-    let nearest_blocker = touchers
-        .iter()
-        .copied()
+    let nearest_blocker = ctx
+        .touching_me()
         .filter(|&t| dir.dot(t - me) > 1e-9)
         .max_by(|a, b| {
             dir.dot(*a - me)
@@ -188,7 +210,7 @@ fn hop_to_right_neighbor(ctx: &Ctx, right: Point) -> Decision {
     };
     // Give up (wait) when even the tangential slide presses into another
     // touching robot: the robot is wedged and somebody else must move first.
-    if touchers.iter().any(|&t| tangent.dot(t - me) > 1e-9) {
+    if ctx.touching_me().any(|t| tangent.dot(t - me) > 1e-9) {
         return Decision::MoveTo(me);
     }
     Decision::MoveTo(me + tangent * ctx.params().step())

@@ -28,8 +28,8 @@ pub fn on_convex_hull(ctx: &Ctx) -> Step {
         // below would otherwise degenerate (a robot's two hull neighbours
         // coincide).
         if ctx.onch_len() >= 3 {
-            for &q in ctx.onch() {
-                if let Some((left, right)) = ctx.hull_neighbors_of(q) {
+            for (i, &q) in ctx.onch().iter().enumerate() {
+                if let Some((left, right)) = ctx.onch_neighbors_at(i) {
                     if crate::functions::in_straight_line_2(left, q, right, tol) {
                         return Step::Next(ComputeState::NotAllOnConvexHull);
                     }
@@ -70,14 +70,12 @@ pub fn on_straight_line(ctx: &Ctx) -> Step {
 /// With `only_as_middle` the observer itself must be that middle robot.
 fn in_collinearity_band(ctx: &Ctx, only_as_middle: bool) -> bool {
     let band = ctx.params().band();
-    ctx.hull_triples_containing(ctx.me())
-        .into_iter()
-        .any(|(a, b, c)| {
-            if only_as_middle && !b.approx_eq(ctx.me()) {
-                return false;
-            }
-            ctx.distance_to_chord(b, a, c) <= band
-        })
+    ctx.hull_triples_containing(ctx.me()).any(|(a, b, c)| {
+        if only_as_middle && !b.approx_eq(ctx.me()) {
+            return false;
+        }
+        ctx.distance_to_chord(b, a, c) <= band
+    })
 }
 
 /// Procedure `NotOnStraightLine` (Section 4.2.7): decide whether there is
@@ -99,8 +97,7 @@ pub fn not_on_straight_line(ctx: &Ctx) -> Step {
     if ctx.view_size() == ctx.n() {
         let has_room = ctx
             .hull_adjacent_pairs()
-            .iter()
-            .any(|(a, b)| a.distance(*b) >= diameter);
+            .any(|(a, b)| a.distance(b) >= diameter);
         return Step::Next(if has_room {
             ComputeState::SpaceForMore
         } else {
@@ -108,26 +105,43 @@ pub fn not_on_straight_line(ctx: &Ctx) -> Step {
         });
     }
     // |V_i| < n: project interior robots onto the hull and measure gaps of
-    // the augmented boundary set.
-    let mut onch2: Vec<Point> = ctx.onch().to_vec();
-    for &q in ctx.all() {
-        if q.approx_eq(ctx.me()) || ctx.onch().iter().any(|h| h.approx_eq(q)) {
-            continue;
+    // the augmented boundary set, assembled in the context's scratch
+    // buffer. Each point carries its precomputed boundary angle so the
+    // sort never calls `atan2` inside the comparator.
+    let has_room = ctx.with_aux_points(|ctx, onch2| {
+        let center = ctx.interior_point();
+        let key = |p: Point| (p - center).angle();
+        onch2.extend(ctx.onch().iter().map(|&p| (key(p), p)));
+        for &q in ctx.all() {
+            if q.approx_eq(ctx.me()) || ctx.onch().iter().any(|h| h.approx_eq(q)) {
+                continue;
+            }
+            if let Some(x) = ctx.ray_exit_point(ctx.me(), q) {
+                onch2.push((key(x), x));
+            }
         }
-        if let Some(x) = ctx.ray_exit_point(ctx.me(), q) {
-            onch2.push(x);
-        }
-    }
-    // Order the augmented set along the boundary by angle around the hull
-    // interior and measure consecutive distances.
-    let center = ctx.interior_point();
-    onch2.sort_by(|a, b| {
-        let aa = (*a - center).angle();
-        let ab = (*b - center).angle();
-        aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
+        // Order the augmented set along the boundary by angle around the
+        // hull interior and measure consecutive distances. Unstable sort
+        // (no allocation) with coordinates as the tie-break, so exact-angle
+        // ties — coincident projection points — still order
+        // deterministically.
+        onch2.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.1.x
+                        .partial_cmp(&b.1.x)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(
+                    a.1.y
+                        .partial_cmp(&b.1.y)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        });
+        let m = onch2.len();
+        (0..m).any(|i| onch2[i].1.distance(onch2[(i + 1) % m].1) >= diameter)
     });
-    let m = onch2.len();
-    let has_room = (0..m).any(|i| onch2[i].distance(onch2[(i + 1) % m]) >= diameter);
     Step::Next(if has_room {
         ComputeState::SpaceForMore
     } else {
@@ -218,7 +232,6 @@ pub fn see_two_robot(ctx: &Ctx) -> Step {
     let exit_distance = band + ctx.params().eps();
     let current = ctx
         .hull_triples_containing(me)
-        .into_iter()
         .filter(|(_, b, _)| b.approx_eq(me))
         .map(|(a, _, c)| ctx.distance_to_chord(me, a, c))
         .fold(f64::INFINITY, f64::min);
@@ -240,6 +253,7 @@ pub fn see_two_robot(ctx: &Ctx) -> Step {
 mod tests {
     use super::*;
     use crate::params::AlgorithmParams;
+    use fatrobots_geometry::Point;
     use fatrobots_model::LocalView;
 
     fn p(x: f64, y: f64) -> Point {

@@ -5,7 +5,7 @@ use fatrobots_geometry::{Point, Segment};
 
 use crate::compute::context::Ctx;
 use crate::compute::state::{ComputeState, Decision, Step};
-use crate::functions::find_points;
+use crate::functions::find_points_iter;
 
 /// Distance tolerance used when comparing robot proximities to a target spot
 /// (the paper's ties "have the same distance").
@@ -26,7 +26,7 @@ enum Proximity {
 
 /// Procedure `NotOnConvexHull` (Section 4.2.13): dispatch on tangency.
 pub fn not_on_convex_hull(ctx: &Ctx) -> Step {
-    if ctx.touching_me().is_empty() {
+    if ctx.touching_me().next().is_none() {
         Step::Next(ComputeState::NotTouching)
     } else {
         Step::Next(ComputeState::IsTouching)
@@ -39,17 +39,15 @@ pub fn not_on_convex_hull(ctx: &Ctx) -> Step {
 /// robots peels off towards the hull one robot at a time (Lemma 16).
 pub fn is_touching(ctx: &Ctx) -> Step {
     let me = ctx.me();
-    let all_touchers = ctx.touching_me();
     // The proximity contest of the paper decides which robot of a touching
     // clump gets to claim a hull spot. Only robots that are themselves still
     // *inside* the hull compete: a touching robot that is already on the
     // hull never moves towards a Find-Points spot, so treating it as a
     // competitor would block the interior robot forever.
-    let touchers: Vec<Point> = all_touchers
-        .iter()
-        .copied()
-        .filter(|t| !ctx.onch().iter().any(|h| h.approx_eq(*t)))
-        .collect();
+    let interior_touchers = || {
+        ctx.touching_me()
+            .filter(|t| !ctx.onch().iter().any(|h| h.approx_eq(*t)))
+    };
     // A touching robot can only leave the clump along a direction that does
     // not immediately press into one of the robots it touches (its very
     // first infinitesimal step would otherwise be a collision and the move
@@ -62,15 +60,12 @@ pub fn is_touching(ctx: &Ctx) -> Step {
             return false;
         }
         let dir = dir.normalized();
-        all_touchers.iter().all(|&t| dir.dot(t - me) <= 1e-9)
+        ctx.touching_me().all(|t| dir.dot(t - me) <= 1e-9)
     };
 
-    let candidates: Vec<Point> = find_points(ctx.onch(), ctx.n())
-        .into_iter()
-        .filter(|&p| escapable(p))
-        .collect();
-    if let Some(best) = closest_point(&candidates, me) {
-        return match proximity(ctx, me, &touchers, best) {
+    let candidates = find_points_iter(ctx.onch(), ctx.n()).filter(|&p| escapable(p));
+    if let Some(best) = closest_point(candidates, me) {
+        return match proximity(ctx, me, interior_touchers(), best) {
             Proximity::Blocked => Step::Done(Decision::MoveTo(me)),
             // Aim directly for the Find-Points candidate: by Lemma 1 a disc
             // placed there joins the hull without pushing anyone off it.
@@ -87,7 +82,7 @@ pub fn is_touching(ctx: &Ctx) -> Step {
             if !escapable(target) {
                 return Step::Done(Decision::MoveTo(me));
             }
-            match proximity(ctx, me, &touchers, target) {
+            match proximity(ctx, me, interior_touchers(), target) {
                 Proximity::Blocked => Step::Done(Decision::MoveTo(me)),
                 Proximity::Closest | Proximity::TieWinner => Step::Done(Decision::MoveTo(target)),
             }
@@ -98,7 +93,7 @@ pub fn is_touching(ctx: &Ctx) -> Step {
 /// Procedure `NotTouching` (Section 4.2.15): can the robot reach the hull
 /// without changing it?
 pub fn not_touching(ctx: &Ctx) -> Step {
-    if find_points(ctx.onch(), ctx.n()).is_empty() {
+    if find_points_iter(ctx.onch(), ctx.n()).next().is_none() {
         Step::Next(ComputeState::ToChange)
     } else {
         Step::Next(ComputeState::NotChange)
@@ -127,15 +122,14 @@ pub fn to_change(ctx: &Ctx) -> Step {
 /// cycle.
 pub fn not_change(ctx: &Ctx) -> Step {
     let me = ctx.me();
-    let candidates = find_points(ctx.onch(), ctx.n());
-    match closest_point(&candidates, me) {
+    match closest_point(find_points_iter(ctx.onch(), ctx.n()), me) {
         None => Step::Done(Decision::MoveTo(me)),
         Some(best) => Step::Done(Decision::MoveTo(best)),
     }
 }
 
-fn closest_point(points: &[Point], to: Point) -> Option<Point> {
-    points.iter().copied().min_by(|a, b| {
+fn closest_point(points: impl Iterator<Item = Point>, to: Point) -> Option<Point> {
+    points.min_by(|a, b| {
         a.distance(to)
             .partial_cmp(&b.distance(to))
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -146,7 +140,6 @@ fn closest_point(points: &[Point], to: Point) -> Option<Point> {
 /// is closest to `from`, if any.
 fn closest_wide_edge(ctx: &Ctx, from: Point) -> Option<(Point, Point)> {
     ctx.hull_adjacent_pairs()
-        .into_iter()
         .filter(|(a, b)| a.distance(*b) >= 2.0)
         .min_by(|&(a1, b1), &(a2, b2)| {
             let d1 = Segment::new(a1, b1).distance_to(from);
@@ -163,21 +156,16 @@ fn closest_wide_edge(ctx: &Ctx, from: Point) -> Option<(Point, Point)> {
 /// "rightmost" as the largest component along the clockwise perpendicular of
 /// the outward direction; exact ties fall back to lexicographic order of the
 /// coordinates, which is still a common, deterministic rule for all robots.
-fn proximity(ctx: &Ctx, me: Point, touchers: &[Point], target: Point) -> Proximity {
+fn proximity<I>(ctx: &Ctx, me: Point, touchers: I, target: Point) -> Proximity
+where
+    I: Iterator<Item = Point> + Clone,
+{
     let my_d = me.distance(target);
     if touchers
-        .iter()
+        .clone()
         .any(|t| t.distance(target) < my_d - PROXIMITY_TOL)
     {
         return Proximity::Blocked;
-    }
-    let tied: Vec<Point> = touchers
-        .iter()
-        .copied()
-        .filter(|t| (t.distance(target) - my_d).abs() <= PROXIMITY_TOL)
-        .collect();
-    if tied.is_empty() {
-        return Proximity::Closest;
     }
     let outward = {
         let d = target - ctx.interior_point();
@@ -193,14 +181,17 @@ fn proximity(ctx: &Ctx, me: Point, touchers: &[Point], target: Point) -> Proximi
         (v.dot(rightward), q.x, q.y)
     };
     let mine = score(me);
-    let i_win = tied.iter().all(|&t| {
-        let other = score(t);
-        mine > other
-    });
-    if i_win {
+    let mut any_tied = false;
+    for t in touchers.filter(|t| (t.distance(target) - my_d).abs() <= PROXIMITY_TOL) {
+        any_tied = true;
+        if mine <= score(t) {
+            return Proximity::Blocked;
+        }
+    }
+    if any_tied {
         Proximity::TieWinner
     } else {
-        Proximity::Blocked
+        Proximity::Closest
     }
 }
 
@@ -331,8 +322,8 @@ mod tests {
         let target = p(10.0, -1.0 / 6.0);
         let ctx_a = interior_ctx(a, vec![b], 6);
         let ctx_b = interior_ctx(b, vec![a], 6);
-        let a_wins = proximity(&ctx_a, a, &[b], target) != Proximity::Blocked;
-        let b_wins = proximity(&ctx_b, b, &[a], target) != Proximity::Blocked;
+        let a_wins = proximity(&ctx_a, a, [b].iter().copied(), target) != Proximity::Blocked;
+        let b_wins = proximity(&ctx_b, b, [a].iter().copied(), target) != Proximity::Blocked;
         assert!(
             a_wins != b_wins,
             "exactly one of two tied robots may claim the spot (a: {a_wins}, b: {b_wins})"

@@ -28,4 +28,5 @@ pub mod interior_procedures;
 pub mod state;
 
 pub use algorithm::{ComputeOutcome, LocalAlgorithm};
+pub use context::{ComputeScratch, Ctx};
 pub use state::{ComputeState, Decision, Step};

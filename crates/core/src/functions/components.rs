@@ -125,6 +125,141 @@ impl ComponentPartition {
     }
 }
 
+/// The component partition of a hull boundary, stored as `(start, len)`
+/// runs of indices into the caller's counter-clockwise boundary slice.
+///
+/// This is the flat, reusable form of [`ComponentPartition`] used by the
+/// Compute hot path: [`BoundaryPartition::rebuild`] performs no heap
+/// allocation once its buffers are warm, and every query is answered from
+/// the run table plus the boundary slice the caller already owns (the
+/// `Ctx`'s `onCH(V_i)`). For the same boundary it produces exactly the
+/// partition [`connected_components`] builds from the underlying centers:
+/// the same component order, members, rightmost/leftmost choices and gaps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoundaryPartition {
+    /// `(start index into the boundary, member count)` per component, in
+    /// the same counter-clockwise order as [`ComponentPartition`].
+    runs: Vec<(usize, usize)>,
+    /// Reused buffer for the gap-break indices.
+    breaks: Vec<usize>,
+    /// Length of the boundary slice the runs index into.
+    boundary_len: usize,
+    single_cycle: bool,
+}
+
+impl BoundaryPartition {
+    /// Rebuilds the partition of the given counter-clockwise hull boundary
+    /// in place, cutting the cyclic sequence at every gap larger than the
+    /// threshold (the grouping of Function `Connected-Components`).
+    pub fn rebuild(&mut self, onch_ccw: &[Point], gap_threshold: f64) {
+        self.runs.clear();
+        self.breaks.clear();
+        let m = onch_ccw.len();
+        self.boundary_len = m;
+        self.single_cycle = false;
+        if m == 0 {
+            return;
+        }
+        if m == 1 {
+            self.runs.push((0, 1));
+            self.single_cycle = true;
+            return;
+        }
+        let gap = |i: usize| onch_ccw[i].distance(onch_ccw[(i + 1) % m]) - 2.0 * UNIT_RADIUS;
+        self.breaks
+            .extend((0..m).filter(|&i| gap(i) > gap_threshold));
+        if self.breaks.is_empty() {
+            self.runs.push((0, m));
+            self.single_cycle = true;
+            return;
+        }
+        let k = self.breaks.len();
+        for w in 0..k {
+            // A component starts right after one break and ends at the next.
+            let start = (self.breaks[(w + k - 1) % k] + 1) % m;
+            let end = self.breaks[w]; // inclusive
+            let len = (end + m - start) % m + 1;
+            self.runs.push((start, len));
+        }
+        // Match connected_components' deterministic layout: components
+        // ordered by the position of their rightmost member in the
+        // boundary (which, absent approx-duplicate points, is the start
+        // index itself).
+        // Unstable sort (no allocation) with the start index as the final
+        // tie-break, reproducing the stable order exactly.
+        self.runs.sort_unstable_by_key(|&(start, _)| {
+            (
+                onch_ccw
+                    .iter()
+                    .position(|q| q.approx_eq(onch_ccw[start]))
+                    .unwrap_or(usize::MAX),
+                start,
+            )
+        });
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// `true` when the partition is empty (no boundary points).
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// `true` when every hull gap is at most the threshold, so all robots
+    /// form one cyclic component.
+    pub fn is_single(&self) -> bool {
+        self.single_cycle || self.runs.len() <= 1
+    }
+
+    /// Number of members of component `i`.
+    pub fn size(&self, i: usize) -> usize {
+        self.runs[i].1
+    }
+
+    /// Sizes of all components, in component order.
+    pub fn sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.runs.iter().map(|&(_, len)| len)
+    }
+
+    /// Index of the component containing `p`, scanning components and their
+    /// members in the same order as [`ComponentPartition::component_of`].
+    pub fn component_of(&self, onch_ccw: &[Point], p: Point) -> Option<usize> {
+        let m = self.boundary_len;
+        self.runs
+            .iter()
+            .position(|&(start, len)| (0..len).any(|o| onch_ccw[(start + o) % m].approx_eq(p)))
+    }
+
+    /// The rightmost (clockwise-most) member of component `i`.
+    pub fn rightmost(&self, onch_ccw: &[Point], i: usize) -> Point {
+        onch_ccw[self.runs[i].0]
+    }
+
+    /// The leftmost member of component `i`.
+    pub fn leftmost(&self, onch_ccw: &[Point], i: usize) -> Point {
+        let (start, len) = self.runs[i];
+        onch_ccw[(start + len - 1) % self.boundary_len]
+    }
+
+    /// Index of the component clockwise-adjacent to component `i`.
+    pub fn right_neighbor(&self, i: usize) -> usize {
+        let k = self.runs.len();
+        (i + k - 1) % k
+    }
+
+    /// Boundary gap (center distance minus 2) between component `i`'s
+    /// rightmost robot and its right-neighbour component's leftmost robot.
+    pub fn right_gap(&self, onch_ccw: &[Point], i: usize) -> f64 {
+        let j = self.right_neighbor(i);
+        self.rightmost(onch_ccw, i)
+            .distance(self.leftmost(onch_ccw, j))
+            - 2.0 * UNIT_RADIUS
+    }
+}
+
 /// Answer of the component-membership functions of Sections 3.5–3.7, kept in
 /// the paper's 1/2/3 form. The meaning of each variant depends on the
 /// function; see [`how_much_distance`], [`in_largest_component`] and
@@ -469,6 +604,46 @@ mod tests {
             how_much_distance(&single, Point::new(0.0, 0.0), 1e-6),
             ComponentAnswer::Two
         );
+    }
+
+    #[test]
+    fn boundary_partition_matches_connected_components_exactly() {
+        // The flat scratch partition used by the Compute hot path must
+        // reproduce the heavy partition structure-for-structure: same
+        // component count, order, members, endpoints and gaps.
+        let configs: Vec<(Vec<Point>, f64)> = vec![
+            (
+                circle_groups(60.0, &[3, 2, 1], &[0.0, 2.0, 4.0]),
+                1.0 / 12.0,
+            ),
+            (circle_groups(60.0, &[6], &[0.0]), 0.05),
+            (circle_groups(60.0, &[3, 1], &[0.0, 3.0]), 0.05),
+            (circle_groups(40.0, &[1, 1, 1], &[0.0, 0.5, 3.0]), 1.0 / 6.0),
+            (
+                circle_groups(60.0, &[4, 3, 2, 1], &[0.0, 1.5, 3.0, 4.5]),
+                1.0 / 20.0,
+            ),
+            (vec![Point::new(0.0, 0.0)], 0.1),
+            (vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)], 0.1),
+        ];
+        let mut flat = BoundaryPartition::default();
+        for (centers, threshold) in configs {
+            let heavy = connected_components(&centers, threshold);
+            let onch = ConvexHull::from_points(&centers).boundary();
+            flat.rebuild(&onch, threshold);
+            assert_eq!(flat.len(), heavy.len());
+            assert_eq!(flat.is_single(), heavy.is_single());
+            assert_eq!(flat.sizes().collect::<Vec<_>>(), heavy.sizes());
+            for (i, comp) in heavy.components().iter().enumerate() {
+                assert!(flat.rightmost(&onch, i).approx_eq(comp.rightmost()));
+                assert!(flat.leftmost(&onch, i).approx_eq(comp.leftmost()));
+                assert!((flat.right_gap(&onch, i) - heavy.right_gap(i)).abs() < 1e-12);
+            }
+            for &c in &centers {
+                assert_eq!(flat.component_of(&onch, c), heavy.component_of(c));
+            }
+            assert_eq!(flat.component_of(&onch, Point::new(1e6, 1e6)), None);
+        }
     }
 
     #[test]

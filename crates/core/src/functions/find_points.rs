@@ -40,28 +40,37 @@ use fatrobots_geometry::{Line, Point, UNIT_RADIUS};
 /// assert_eq!(pts.len(), 4);
 /// ```
 pub fn find_points(onch_ccw: &[Point], n: usize) -> Vec<Point> {
+    find_points_iter(onch_ccw, n).collect()
+}
+
+/// Iterator form of [`find_points`]: yields the same candidates in the same
+/// (edge) order without allocating. This is what the Compute hot path uses;
+/// a procedure that only needs the closest candidate or the empty check
+/// never materialises the list.
+pub fn find_points_iter(onch_ccw: &[Point], n: usize) -> impl Iterator<Item = Point> + Clone + '_ {
     assert!(n > 0, "the robot count n must be positive");
     let m = onch_ccw.len();
     let margin = 1.0 / n as f64;
-    let mut out = Vec::new();
-    if m < 2 {
-        return out;
-    }
-    if m == 2 {
-        let (a, b) = (onch_ccw[0], onch_ccw[1]);
-        if a.distance(b) >= 2.0 * UNIT_RADIUS {
-            let normal = (b - a).normalized().perp_cw();
-            out.push(a.midpoint(b) + normal * margin);
+    let count = match m {
+        0 | 1 => 0,
+        2 => 1,
+        _ => m,
+    };
+    (0..count).filter_map(move |i| {
+        if m == 2 {
+            let (a, b) = (onch_ccw[0], onch_ccw[1]);
+            if a.distance(b) >= 2.0 * UNIT_RADIUS {
+                let normal = (b - a).normalized().perp_cw();
+                return Some(a.midpoint(b) + normal * margin);
+            }
+            return None;
         }
-        return out;
-    }
-    for i in 0..m {
         let prev = onch_ccw[(i + m - 1) % m];
         let a = onch_ccw[i];
         let b = onch_ccw[(i + 1) % m];
         let next = onch_ccw[(i + 2) % m];
         if a.distance(b) < 2.0 * UNIT_RADIUS {
-            continue;
+            return None;
         }
         let outward = ConvexHull::outward_normal(a, b);
         let p = a.midpoint(b) + outward * margin;
@@ -81,10 +90,11 @@ pub fn find_points(onch_ccw: &[Point], n: usize) -> Vec<Point> {
             Line::through(b, next).signed_distance_to(p) >= margin
         };
         if ok_prev && ok_next {
-            out.push(p);
+            Some(p)
+        } else {
+            None
         }
-    }
-    out
+    })
 }
 
 /// The per-side quantity of Lemma 2: the minimum half-edge length

@@ -21,9 +21,9 @@ pub mod straight_line;
 
 pub use components::{
     connected_components, how_much_distance, in_largest_component, in_smallest_component,
-    ComponentAnswer, ComponentPartition, HullComponent,
+    BoundaryPartition, ComponentAnswer, ComponentPartition, HullComponent,
 };
-pub use find_points::{find_points, safe_distance, safe_distance_for_angle};
+pub use find_points::{find_points, find_points_iter, safe_distance, safe_distance_for_angle};
 pub use move_to_point::{move_to_point, MoveToPoint};
 pub use on_convex_hull::{on_convex_hull, OnConvexHullResult};
 pub use straight_line::in_straight_line_2;

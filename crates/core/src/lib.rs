@@ -35,7 +35,7 @@
 //! ];
 //! let algo = LocalAlgorithm::new(AlgorithmParams::for_n(3));
 //! let view = LocalView::new(centers[0], centers[1..].to_vec(), 3);
-//! assert_eq!(algo.run(&view).decision, Decision::Terminate);
+//! assert_eq!(algo.run(&view), Decision::Terminate);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -46,6 +46,6 @@ pub mod functions;
 pub mod params;
 pub mod strategy;
 
-pub use compute::{ComputeOutcome, ComputeState, Decision, LocalAlgorithm};
+pub use compute::{ComputeOutcome, ComputeScratch, ComputeState, Decision, LocalAlgorithm};
 pub use params::AlgorithmParams;
 pub use strategy::Strategy;

@@ -3,6 +3,7 @@
 
 use fatrobots_model::LocalView;
 
+use crate::compute::context::ComputeScratch;
 use crate::compute::{Decision, LocalAlgorithm};
 
 /// A local gathering strategy: a deterministic, memoryless map from a
@@ -13,13 +14,27 @@ pub trait Strategy {
     /// Decide what the robot should do given its current view.
     fn decide(&self, view: &LocalView) -> Decision;
 
+    /// Like [`Strategy::decide`], with a caller-owned scratch arena the
+    /// strategy may use for its working buffers. The engine calls this on
+    /// every Compute event with the simulator's arena; strategies without
+    /// reusable state (the baselines) fall back to [`Strategy::decide`] and
+    /// simply ignore it. Implementations must return exactly the decision
+    /// [`Strategy::decide`] would.
+    fn decide_with(&self, view: &LocalView, _scratch: &mut ComputeScratch) -> Decision {
+        self.decide(view)
+    }
+
     /// A short name used in experiment reports.
     fn name(&self) -> &'static str;
 }
 
 impl Strategy for LocalAlgorithm {
     fn decide(&self, view: &LocalView) -> Decision {
-        self.run(view).decision
+        self.run(view)
+    }
+
+    fn decide_with(&self, view: &LocalView, scratch: &mut ComputeScratch) -> Decision {
+        self.run_with(view, scratch)
     }
 
     fn name(&self) -> &'static str {

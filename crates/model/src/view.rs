@@ -71,6 +71,33 @@ impl LocalView {
         )
     }
 
+    /// Refills this view in place with the snapshot [`Self::from_visible`]
+    /// would build, reusing the view's own center storage. This is what the
+    /// engine calls on every Look event: each robot keeps one `LocalView`
+    /// for the lifetime of the run, so the steady-state snapshot performs no
+    /// heap allocation.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `visible` contains the observer; panics
+    /// if any index is out of bounds or `visible` does not leave room for
+    /// the observer.
+    pub fn refill_from_visible(&mut self, centers: &[Point], i: usize, visible: &[usize]) {
+        debug_assert!(
+            visible.iter().all(|&j| j != i),
+            "the visible set must not contain the observer"
+        );
+        assert!(
+            visible.len() < centers.len(),
+            "a robot sees at most n-1 other robots (saw {} of n={})",
+            visible.len(),
+            centers.len()
+        );
+        self.me = centers[i];
+        self.n = centers.len();
+        self.others.clear();
+        self.others.extend(visible.iter().map(|&j| centers[j]));
+    }
+
     /// Takes a snapshot assuming full visibility (every other robot is seen).
     /// Useful once the configuration is in convex position, where visibility
     /// is decided exactly by the no-three-collinear predicate and the
@@ -159,6 +186,27 @@ mod tests {
             let borrowed = LocalView::from_visible(g.centers(), i, &visible);
             assert_eq!(direct, borrowed);
         }
+    }
+
+    #[test]
+    fn refill_reuses_storage_and_matches_from_visible() {
+        let g = GeometricConfig::new(vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)]);
+        let vis = VisibilityConfig::default();
+        // One view refilled across every robot must always equal the
+        // freshly built snapshot.
+        let mut view = LocalView::new(p(0.0, 0.0), vec![], 3);
+        for i in 0..g.len() {
+            let visible = fatrobots_geometry::visibility::visible_set(i, g.centers(), &vis);
+            view.refill_from_visible(g.centers(), i, &visible);
+            assert_eq!(view, LocalView::from_visible(g.centers(), i, &visible));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn refill_rejects_oversized_visible_sets() {
+        let mut view = LocalView::new(p(0.0, 0.0), vec![], 2);
+        view.refill_from_visible(&[p(0.0, 0.0), p(5.0, 0.0)], 0, &[1, 1]);
     }
 
     #[test]

@@ -34,9 +34,26 @@ impl SystemSnapshot<'_> {
 
     /// Indices of robots that have not terminated.
     pub fn active(&self) -> Vec<usize> {
-        (0..self.len())
-            .filter(|&i| self.phases[i] != Phase::Terminate)
-            .collect()
+        self.active_iter().collect()
+    }
+
+    /// Iterator form of [`Self::active`]: the non-terminated robot indices
+    /// in ascending order, without allocating. The adversaries run once per
+    /// event, so their robot picks must not put a `Vec` on the per-event
+    /// path.
+    pub fn active_iter(&self) -> impl Iterator<Item = usize> + Clone + '_ {
+        (0..self.len()).filter(|&i| self.phases[i] != Phase::Terminate)
+    }
+
+    /// Number of robots that have not terminated.
+    pub fn active_count(&self) -> usize {
+        self.active_iter().count()
+    }
+
+    /// The `k`-th (0-based) non-terminated robot index, if any — the
+    /// allocation-free equivalent of `active()[k]`.
+    pub fn nth_active(&self, k: usize) -> Option<usize> {
+        self.active_iter().nth(k)
     }
 
     /// Remaining distance to the target for a robot in its Move phase.
@@ -102,11 +119,11 @@ impl RoundRobin {
 
 impl Adversary for RoundRobin {
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
-        let active = system.active();
-        if active.is_empty() {
+        let count = system.active_count();
+        if count == 0 {
             return None;
         }
-        let pick = active[self.cursor % active.len()];
+        let pick = system.nth_active(self.cursor % count)?;
         self.cursor = self.cursor.wrapping_add(1);
         Some(Directive {
             robot: RobotId(pick),
@@ -138,11 +155,11 @@ impl RandomAsync {
 
 impl Adversary for RandomAsync {
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
-        let active = system.active();
-        if active.is_empty() {
+        let count = system.active_count();
+        if count == 0 {
             return None;
         }
-        let pick = active[self.rng.gen_range(0..active.len())];
+        let pick = system.nth_active(self.rng.gen_range(0..count))?;
         let motion = if self.rng.gen_bool(0.5) {
             MotionControl::Full
         } else {
@@ -177,11 +194,11 @@ impl StopHappy {
 
 impl Adversary for StopHappy {
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
-        let active = system.active();
-        if active.is_empty() {
+        let count = system.active_count();
+        if count == 0 {
             return None;
         }
-        let pick = active[self.cursor % active.len()];
+        let pick = system.nth_active(self.cursor % count)?;
         self.cursor = self.cursor.wrapping_add(1);
         Some(Directive {
             robot: RobotId(pick),
@@ -213,11 +230,11 @@ impl SlowRobot {
 
 impl Adversary for SlowRobot {
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
-        let active = system.active();
-        if active.is_empty() {
+        let count = system.active_count();
+        if count == 0 {
             return None;
         }
-        let pick = active[self.cursor % active.len()];
+        let pick = system.nth_active(self.cursor % count)?;
         self.cursor = self.cursor.wrapping_add(1);
         let motion = if pick == self.victim {
             MotionControl::StopAfterDelta
@@ -253,20 +270,21 @@ impl CollisionSeeker {
 
 impl Adversary for CollisionSeeker {
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
-        let active = system.active();
-        if active.is_empty() {
+        let count = system.active_count();
+        if count == 0 {
             return None;
         }
-        let movers: Vec<usize> = active
-            .iter()
-            .copied()
-            .filter(|&i| system.phases[i] == Phase::Move)
-            .collect();
-        if movers.len() >= 2 {
+        let movers = || {
+            system
+                .active_iter()
+                .filter(|&i| system.phases[i] == Phase::Move)
+        };
+        if movers().count() >= 2 {
             // Schedule the mover closest to another mover.
-            let mut best = (movers[0], f64::INFINITY);
-            for &i in &movers {
-                for &j in &movers {
+            let first = movers().next().expect("at least two movers");
+            let mut best = (first, f64::INFINITY);
+            for i in movers() {
+                for j in movers() {
                     if i != j {
                         let d = system.centers[i].distance(system.centers[j]);
                         if d < best.1 {
@@ -280,7 +298,7 @@ impl Adversary for CollisionSeeker {
                 motion: MotionControl::Full,
             });
         }
-        let pick = active[self.cursor % active.len()];
+        let pick = system.nth_active(self.cursor % count)?;
         self.cursor = self.cursor.wrapping_add(1);
         Some(Directive {
             robot: RobotId(pick),

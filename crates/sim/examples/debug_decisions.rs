@@ -54,7 +54,7 @@ fn main() {
     let vis = VisibilityConfig::default();
     for i in 0..n {
         let view = LocalView::snapshot(&g, i, &vis);
-        let out = algo.run(&view);
+        let out = algo.run_traced(&view);
         let me = sim.centers()[i];
         let desc = match out.decision {
             fatrobots_core::Decision::Terminate => "TERMINATE".to_string(),

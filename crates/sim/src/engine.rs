@@ -11,7 +11,7 @@
 //! * the liveness conditions (minimum δ-progress per move),
 //! * physical validity (motion stops at first contact; discs never overlap).
 
-use fatrobots_core::{Decision, Strategy};
+use fatrobots_core::{ComputeScratch, Decision, Strategy};
 use fatrobots_geometry::visibility::VisibilityConfig;
 use fatrobots_geometry::{Point, UNIT_RADIUS};
 use fatrobots_model::{LocalView, Phase, RobotConfig, RobotId};
@@ -85,13 +85,19 @@ pub struct Simulator {
     config: SimConfig,
     world: World,
     phases: Vec<Phase>,
-    views: Vec<Option<LocalView>>,
+    /// One snapshot per robot, refilled in place on every Look event (the
+    /// contents are only meaningful between a robot's Look and Compute).
+    views: Vec<LocalView>,
     decisions: Vec<Option<Decision>>,
     targets: Vec<Option<Point>>,
     metrics: Metrics,
     trace: ExecutionTrace,
     /// Reusable buffer for the motion integrator's contact candidates.
     contact_buf: Vec<usize>,
+    /// Reusable buffer for the Look snapshots' visible-index sets.
+    visible_buf: Vec<usize>,
+    /// The Compute arena, reused across every decision of the run.
+    scratch: ComputeScratch,
 }
 
 impl Simulator {
@@ -113,18 +119,23 @@ impl Simulator {
             world.is_valid(),
             "the initial configuration must not contain overlapping robots"
         );
+        let views = (0..n)
+            .map(|i| LocalView::new(world.center(i), Vec::new(), n))
+            .collect();
         let mut sim = Simulator {
             strategy,
             adversary,
             config,
             world,
             phases: vec![Phase::Wait; n],
-            views: vec![None; n],
+            views,
             decisions: vec![None; n],
             targets: vec![None; n],
             metrics: Metrics::default(),
             trace: ExecutionTrace::default(),
             contact_buf: Vec::new(),
+            visible_buf: Vec::new(),
+            scratch: ComputeScratch::default(),
         };
         if sim.config.sample_every > 0 {
             let predicates = sim.world.sample_predicates(sim.config.collinearity_tol);
@@ -253,16 +264,16 @@ impl Simulator {
                 Event::Stop(RobotId(i))
             }
             Phase::Wait => {
-                let visible = self.world.visible_of(i);
-                self.views[i] = Some(LocalView::from_visible(self.world.centers(), i, &visible));
+                let mut visible = std::mem::take(&mut self.visible_buf);
+                self.world.visible_of_into(i, &mut visible);
+                self.views[i].refill_from_visible(self.world.centers(), i, &visible);
+                self.visible_buf = visible;
                 self.phases[i] = Phase::Look;
                 Event::Look(RobotId(i))
             }
             Phase::Look => {
-                let view = self.views[i]
-                    .as_ref()
-                    .expect("a robot in Look always has a snapshot");
-                self.decisions[i] = Some(self.strategy.decide(view));
+                self.decisions[i] =
+                    Some(self.strategy.decide_with(&self.views[i], &mut self.scratch));
                 self.phases[i] = Phase::Compute;
                 Event::Compute(RobotId(i))
             }
@@ -351,7 +362,6 @@ impl Simulator {
 
     fn finish_motion(&mut self, i: usize) {
         self.targets[i] = None;
-        self.views[i] = None;
         self.phases[i] = Phase::Wait;
     }
 }

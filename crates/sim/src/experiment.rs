@@ -356,33 +356,78 @@ impl ExperimentTable {
     }
 }
 
+/// A table before execution: identity, caption, and the labelled spec
+/// groups. Execute with [`TableSpec::execute`] (one-shot scoped sweep) or
+/// [`TableSpec::execute_on`] (a shared [`SweepPool`](crate::sweep::SweepPool)
+/// reused across tables, as the `report` binary does).
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Stable identifier (`e1` … `e7`).
+    pub id: &'static str,
+    /// Human-readable caption.
+    pub title: String,
+    /// One entry per table row.
+    pub groups: Vec<SpecGroup>,
+}
+
+impl TableSpec {
+    /// The groups flattened into one spec list, row-major. Flattening means
+    /// short and long rows share the same worker pool instead of
+    /// serialising on the slowest row.
+    fn flat_specs(&self) -> Vec<RunSpec> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.specs.iter().copied())
+            .collect()
+    }
+
+    /// Slices flat summaries back into their rows.
+    fn assemble(self, summaries: Vec<RunSummary>) -> ExperimentTable {
+        let mut summaries = summaries.into_iter();
+        let groups = self
+            .groups
+            .into_iter()
+            .map(|g| GroupResult {
+                label: g.label,
+                summaries: summaries.by_ref().take(g.specs.len()).collect(),
+            })
+            .collect();
+        ExperimentTable {
+            id: self.id,
+            title: self.title,
+            groups,
+        }
+    }
+
+    /// Executes the table as one flat sweep over `jobs` one-shot workers.
+    pub fn execute(self, jobs: usize) -> ExperimentTable {
+        let summaries = crate::sweep::run_sweep(&self.flat_specs(), jobs);
+        self.assemble(summaries)
+    }
+
+    /// Executes the table on a shared worker pool. The output is
+    /// byte-identical to [`TableSpec::execute`] with the pool's worker
+    /// count.
+    pub fn execute_on(self, pool: &mut crate::sweep::SweepPool) -> ExperimentTable {
+        let summaries = pool.run(&self.flat_specs());
+        self.assemble(summaries)
+    }
+}
+
 /// Executes a table's groups as one flat sweep over `jobs` workers and
-/// slices the summaries back into their rows. Flattening first means short
-/// and long rows share the same worker pool instead of serialising on the
-/// slowest row.
+/// slices the summaries back into their rows.
 pub fn sweep_table(
     id: &'static str,
     title: impl Into<String>,
     groups: Vec<SpecGroup>,
     jobs: usize,
 ) -> ExperimentTable {
-    let flat: Vec<RunSpec> = groups
-        .iter()
-        .flat_map(|g| g.specs.iter().copied())
-        .collect();
-    let mut summaries = crate::sweep::run_sweep(&flat, jobs).into_iter();
-    let groups = groups
-        .into_iter()
-        .map(|g| GroupResult {
-            label: g.label,
-            summaries: summaries.by_ref().take(g.specs.len()).collect(),
-        })
-        .collect();
-    ExperimentTable {
+    TableSpec {
         id,
         title: title.into(),
         groups,
     }
+    .execute(jobs)
 }
 
 /// Robot counts at or above this threshold run with the bounded
@@ -398,10 +443,17 @@ pub const LARGE_N_EVENT_CAP: usize = 60_000;
 
 /// E1 — gathering success and cost versus the number of robots.
 pub fn scaling_table(ns: &[usize], seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e1",
-        "E1 — gathering cost vs number of robots (random starts, random-async adversary)",
-        ns.iter()
+    scaling_table_spec(ns, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`scaling_table`].
+pub fn scaling_table_spec(ns: &[usize], seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e1",
+        title: "E1 — gathering cost vs number of robots (random starts, random-async adversary)"
+            .into(),
+        groups: ns
+            .iter()
             .map(|&n| {
                 SpecGroup::per_seed(format!("n={n}"), seeds, |seed| {
                     let mut spec = RunSpec::new(n, seed);
@@ -412,16 +464,22 @@ pub fn scaling_table(ns: &[usize], seeds: &[u64], jobs: usize) -> ExperimentTabl
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 /// E2/E3 — hull-expansion and convergence monotonicity per initial shape.
 pub fn expansion_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e2e3",
-        format!("E2/E3 — hull expansion & convergence monotonicity by initial shape (n = {n})"),
-        [Shape::Clusters, Shape::Line, Shape::Random]
+    expansion_table_spec(n, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`expansion_table`].
+pub fn expansion_table_spec(n: usize, seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e2e3",
+        title: format!(
+            "E2/E3 — hull expansion & convergence monotonicity by initial shape (n = {n})"
+        ),
+        groups: [Shape::Clusters, Shape::Line, Shape::Random]
             .iter()
             .map(|&shape| {
                 SpecGroup::per_seed(format!("shape={}", shape.name()), seeds, |seed| RunSpec {
@@ -430,16 +488,20 @@ pub fn expansion_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable 
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 /// E4 — behaviour under each adversary.
 pub fn adversary_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e4",
-        format!("E4 — behaviour under each adversary (n = {n}, random starts)"),
-        AdversaryKind::ALL
+    adversary_table_spec(n, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`adversary_table`].
+pub fn adversary_table_spec(n: usize, seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e4",
+        title: format!("E4 — behaviour under each adversary (n = {n}, random starts)"),
+        groups: AdversaryKind::ALL
             .iter()
             .map(|&adv| {
                 SpecGroup::per_seed(adv.name(), seeds, |seed| RunSpec {
@@ -448,16 +510,20 @@ pub fn adversary_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable 
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 /// E5 — the paper's algorithm versus the baselines, for a given `n`.
 pub fn baseline_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e5",
-        format!("E5 — the paper's algorithm vs the baselines (n = {n}, random starts)"),
-        StrategyKind::ALL
+    baseline_table_spec(n, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`baseline_table`].
+pub fn baseline_table_spec(n: usize, seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e5",
+        title: format!("E5 — the paper's algorithm vs the baselines (n = {n}, random starts)"),
+        groups: StrategyKind::ALL
             .iter()
             .map(|&strategy| {
                 SpecGroup::per_seed(strategy.name(), seeds, |seed| RunSpec {
@@ -473,16 +539,20 @@ pub fn baseline_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 /// E6 — sensitivity to the liveness distance δ.
 pub fn delta_table(n: usize, deltas: &[f64], seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e6",
-        format!("E6 — sensitivity to the liveness distance delta (n = {n})"),
-        deltas
+    delta_table_spec(n, deltas, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`delta_table`].
+pub fn delta_table_spec(n: usize, deltas: &[f64], seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e6",
+        title: format!("E6 — sensitivity to the liveness distance delta (n = {n})"),
+        groups: deltas
             .iter()
             .map(|&delta| {
                 SpecGroup::per_seed(format!("delta={delta}"), seeds, |seed| RunSpec {
@@ -491,16 +561,20 @@ pub fn delta_table(n: usize, deltas: &[f64], seeds: &[u64], jobs: usize) -> Expe
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 /// E7 — sensitivity to the initial configuration shape.
 pub fn shape_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
-    sweep_table(
-        "e7",
-        format!("E7 — sensitivity to the initial configuration shape (n = {n})"),
-        Shape::ALL
+    shape_table_spec(n, seeds).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`shape_table`].
+pub fn shape_table_spec(n: usize, seeds: &[u64]) -> TableSpec {
+    TableSpec {
+        id: "e7",
+        title: format!("E7 — sensitivity to the initial configuration shape (n = {n})"),
+        groups: Shape::ALL
             .iter()
             .map(|&shape| {
                 SpecGroup::per_seed(shape.name(), seeds, |seed| RunSpec {
@@ -509,8 +583,7 @@ pub fn shape_table(n: usize, seeds: &[u64], jobs: usize) -> ExperimentTable {
                 })
             })
             .collect(),
-        jobs,
-    )
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,17 @@
 //! summary into that spec's dedicated slot. Long and short runs therefore
 //! interleave freely across workers without any ordering machinery beyond
 //! the slot index.
+//!
+//! For one-shot sweeps, [`run_sweep`] spawns a scoped pool per call. A
+//! caller that dispatches *several* sweeps in one invocation (the `report`
+//! binary runs up to six experiment tables) uses a [`SweepPool`] instead:
+//! the workers are spawned once and fed batches over a channel, so the
+//! table groups share one pool rather than paying a thread spawn/join per
+//! `sweep_table` call. Both dispatchers return summaries in input order, so
+//! their output is byte-identical to the serial sweep.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Arc, Mutex};
 
 use crate::experiment::{run, RunSpec, RunSummary};
 
@@ -61,6 +69,125 @@ pub fn run_sweep(specs: &[RunSpec], jobs: usize) -> Vec<RunSummary> {
                 .expect("every claimed slot is filled before the scope joins")
         })
         .collect()
+}
+
+/// One unit of pool work: the slot index within the current batch plus the
+/// spec to execute.
+type PoolTask = (usize, RunSpec);
+
+/// One pool result: the slot index plus the run outcome — `Err` carries a
+/// worker panic payload to re-throw on the caller's thread.
+type PoolResult = (usize, std::thread::Result<RunSummary>);
+
+/// A persistent worker pool for multi-sweep invocations.
+///
+/// Workers are spawned once (at construction) and shared by every
+/// [`SweepPool::run`] call; each batch drains completely before the call
+/// returns, so batches never interleave and the summaries come back in
+/// input order — element-for-element equal to [`run_sweep`] with the same
+/// worker count, which is how the determinism tests pin it.
+///
+/// With `jobs <= 1` no threads are spawned and every batch runs inline on
+/// the calling thread.
+#[derive(Debug)]
+pub struct SweepPool {
+    /// Sender side of the task queue; `None` once the pool is shut down.
+    task_tx: Option<mpsc::Sender<PoolTask>>,
+    result_rx: mpsc::Receiver<PoolResult>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    jobs: usize,
+}
+
+impl SweepPool {
+    /// Spawns a pool with the given worker count (`0` is treated as 1; one
+    /// worker means inline execution, no threads).
+    pub fn new(jobs: usize) -> Self {
+        let jobs = jobs.max(1);
+        let (task_tx, task_rx) = mpsc::channel::<PoolTask>();
+        let (result_tx, result_rx) = mpsc::channel::<PoolResult>();
+        let task_rx = Arc::new(Mutex::new(task_rx));
+        let workers = if jobs == 1 {
+            Vec::new()
+        } else {
+            (0..jobs)
+                .map(|_| {
+                    let task_rx = Arc::clone(&task_rx);
+                    let result_tx = result_tx.clone();
+                    std::thread::spawn(move || loop {
+                        // Hold the queue lock only for the receive so other
+                        // workers can claim tasks while this one runs.
+                        let task = {
+                            let rx = task_rx.lock().expect("sweep task queue poisoned");
+                            rx.recv()
+                        };
+                        let Ok((slot, spec)) = task else { break };
+                        // Catch a panicking run and ship the payload back,
+                        // so the caller re-throws instead of waiting forever
+                        // for a slot that will never be filled. A send error
+                        // means the pool was dropped mid-batch (the caller
+                        // gave up); just exit.
+                        let outcome = std::panic::catch_unwind(|| run(&spec));
+                        let failed = outcome.is_err();
+                        if result_tx.send((slot, outcome)).is_err() || failed {
+                            break;
+                        }
+                    })
+                })
+                .collect()
+        };
+        SweepPool {
+            task_tx: Some(task_tx),
+            result_rx,
+            workers,
+            jobs,
+        }
+    }
+
+    /// The worker count this pool runs with.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every spec on the pool and returns the summaries in input
+    /// order.
+    ///
+    /// # Panics
+    /// Re-throws the panic of any run that panicked inside a worker (the
+    /// same behaviour as [`run_sweep`]'s scoped pool at join).
+    pub fn run(&mut self, specs: &[RunSpec]) -> Vec<RunSummary> {
+        if self.workers.is_empty() {
+            return specs.iter().map(run).collect();
+        }
+        let task_tx = self.task_tx.as_ref().expect("pool is live");
+        for (slot, &spec) in specs.iter().enumerate() {
+            task_tx.send((slot, spec)).expect("a sweep worker died");
+        }
+        let mut slots: Vec<Option<RunSummary>> = specs.iter().map(|_| None).collect();
+        for _ in 0..specs.len() {
+            let (slot, outcome) = self
+                .result_rx
+                .recv()
+                .expect("a sweep worker died before finishing its batch");
+            match outcome {
+                Ok(summary) => slots[slot] = Some(summary),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot is filled once the batch drains"))
+            .collect()
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's receive loop.
+        self.task_tx.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +269,46 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn pool_reused_across_batches_matches_run_sweep() {
+        // One pool dispatching several batches (the report binary's usage
+        // pattern) must produce exactly the per-call sweeps' output.
+        let specs = spec_matrix();
+        let (first, second) = specs.split_at(specs.len() / 2);
+        let mut pool = SweepPool::new(4);
+        assert_eq!(pool.jobs(), 4);
+        assert_eq!(pool.run(first), run_sweep(first, 4));
+        assert_eq!(pool.run(second), run_sweep(second, 1));
+        // And an empty batch is fine.
+        assert!(pool.run(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn pool_propagates_worker_panics() {
+        // n = 0 makes the run panic inside the worker; the pool must
+        // re-throw on the caller's thread instead of hanging on a slot
+        // that will never be filled.
+        let specs = vec![
+            RunSpec {
+                max_events: 10,
+                ..RunSpec::new(0, 1)
+            };
+            2
+        ];
+        let mut pool = SweepPool::new(2);
+        let _ = pool.run(&specs);
+    }
+
+    #[test]
+    fn single_job_pool_runs_inline() {
+        let specs = spec_matrix();
+        let mut pool = SweepPool::new(1);
+        assert_eq!(pool.run(&specs[..3]), run_sweep(&specs[..3], 1));
+        let mut zero = SweepPool::new(0);
+        assert_eq!(zero.jobs(), 1);
+        assert_eq!(zero.run(&specs[..1]), run_sweep(&specs[..1], 1));
     }
 }

@@ -50,7 +50,7 @@
 //! determinism suite pins the equivalence event-for-event.
 
 use fatrobots_geometry::grid::{CellMap, UniformGrid};
-use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::hull::{ConvexHull, HullScratch};
 use fatrobots_geometry::visibility::{
     disc_sees_disc_among, min_pairwise_gap, no_three_collinear, visible_set, VisibilityConfig,
     VISIBILITY_PRUNE_RADIUS,
@@ -135,8 +135,13 @@ pub struct World {
     /// cell is touched by a move.
     cell_pairs: CellMap<CellRegs>,
     /// Lazily recomputed global state, each tagged with the version it was
-    /// computed at.
-    hull_cache: Option<(u64, ConvexHull, bool)>,
+    /// computed at. The hull is rebuilt **in place** (its buffers and the
+    /// construction scratch are reused across version bumps): `hull_version`
+    /// is `None` until the first build.
+    hull: ConvexHull,
+    hull_scratch: HullScratch,
+    hull_version: Option<u64>,
+    hull_all_on: bool,
     connected_cache: Option<(u64, bool)>,
     valid_cache: Option<(u64, bool)>,
     min_gap_cache: Option<(u64, Option<f64>)>,
@@ -169,7 +174,10 @@ impl World {
                 n * n.saturating_sub(1) / 2
             ],
             cell_pairs: CellMap::default(),
-            hull_cache: None,
+            hull: ConvexHull::default(),
+            hull_scratch: HullScratch::default(),
+            hull_version: None,
+            hull_all_on: false,
             connected_cache: None,
             valid_cache: None,
             min_gap_cache: None,
@@ -376,40 +384,57 @@ impl World {
     /// # Panics
     /// Panics if `i` is out of bounds.
     pub fn visible_of(&mut self, i: usize) -> Vec<usize> {
-        assert!(i < self.len(), "robot index out of bounds");
-        if self.mode == WorldMode::Scratch {
-            return visible_set(i, &self.centers, &self.vis);
-        }
-        (0..self.len())
-            .filter(|&j| j != i)
-            .filter(|&j| self.sees(i, j))
-            .collect()
+        let mut out = Vec::new();
+        self.visible_of_into(i, &mut out);
+        out
     }
 
-    /// The convex hull of the centers plus the all-on-hull flag, cached per
-    /// configuration version.
-    fn hull_state(&mut self) -> &(u64, ConvexHull, bool) {
-        let stale = match (self.mode, &self.hull_cache) {
+    /// Fills `out` with the (ascending) indices of the robots visible to
+    /// robot `i` — [`Self::visible_of`] writing into caller-owned storage,
+    /// so the engine's per-Look cost is free of allocation.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn visible_of_into(&mut self, i: usize, out: &mut Vec<usize>) {
+        assert!(i < self.len(), "robot index out of bounds");
+        out.clear();
+        if self.mode == WorldMode::Scratch {
+            out.extend(visible_set(i, &self.centers, &self.vis));
+            return;
+        }
+        for j in 0..self.len() {
+            if j != i && self.sees(i, j) {
+                out.push(j);
+            }
+        }
+    }
+
+    /// Rebuilds the hull cache (in place, reusing its buffers) when stale,
+    /// and returns the all-on-hull flag.
+    fn refresh_hull(&mut self) -> bool {
+        let stale = match (self.mode, self.hull_version) {
             (WorldMode::Scratch, _) => true,
-            (_, Some((v, _, _))) => *v != self.version,
+            (_, Some(v)) => v != self.version,
             (_, None) => true,
         };
         if stale {
-            let hull = ConvexHull::from_points(&self.centers);
-            let all_on = self.len() <= 2 || hull.all_on_hull();
-            self.hull_cache = Some((self.version, hull, all_on));
+            self.hull
+                .rebuild_with(&self.centers, &mut self.hull_scratch);
+            self.hull_all_on = self.len() <= 2 || self.hull.all_on_hull();
+            self.hull_version = Some(self.version);
         }
-        self.hull_cache.as_ref().expect("hull cache just filled")
+        self.hull_all_on
     }
 
     /// Convex hull of the centers (cached).
     pub fn hull(&mut self) -> &ConvexHull {
-        &self.hull_state().1
+        self.refresh_hull();
+        &self.hull
     }
 
     /// `true` when every center lies on the hull boundary (cached).
     pub fn all_on_hull(&mut self) -> bool {
-        self.hull_state().2
+        self.refresh_hull()
     }
 
     /// `true` when no two discs overlap beyond the touch tolerance.
@@ -554,8 +579,8 @@ impl World {
             return SamplePredicates::from_centers(&self.centers, collinearity_tol);
         }
         let connected = self.is_connected();
-        let (_, hull, all_on) = self.hull_state();
-        SamplePredicates::from_hull(hull, *all_on, connected, collinearity_tol)
+        let all_on = self.refresh_hull();
+        SamplePredicates::from_hull(&self.hull, all_on, connected, collinearity_tol)
     }
 
     /// Fills `out` with the (ascending) indices of every robot that could

@@ -246,7 +246,7 @@ fn fig4_compute_state_graph() {
 
     let mut reached = std::collections::HashSet::new();
     for (n, view) in views {
-        let out = LocalAlgorithm::new(AlgorithmParams::for_n(n)).run(&view);
+        let out = LocalAlgorithm::new(AlgorithmParams::for_n(n)).run_traced(&view);
         assert_eq!(out.trace[0], ComputeState::Start);
         for w in out.trace.windows(2) {
             assert!(
@@ -292,7 +292,7 @@ fn fig5_collinearity_band() {
 
     let run_state = |me: Point| {
         let view = LocalView::new(me, others.clone(), n + 1); // one robot unseen → phase 1
-        LocalAlgorithm::new(AlgorithmParams::for_n(n + 1)).run(&view)
+        LocalAlgorithm::new(AlgorithmParams::for_n(n + 1)).run_traced(&view)
     };
     // Note: with n+1 robots the band is 1/(n+1); scale the probes to it.
     let band5 = AlgorithmParams::for_n(n + 1).band();

@@ -42,7 +42,7 @@ proptest! {
         let algo = LocalAlgorithm::new(AlgorithmParams::for_n(n));
         for i in 0..n {
             let view = LocalView::full_snapshot(&g, i);
-            if let Some(target) = algo.run(&view).decision.target() {
+            if let Some(target) = algo.run(&view).target() {
                 // Clamp the motion at the first contact, exactly like the
                 // engine's integrator.
                 let start = centers[i];
