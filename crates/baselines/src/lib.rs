@@ -72,6 +72,10 @@ impl Strategy for CentroidBaseline {
         Decision::MoveTo(centroid)
     }
 
+    fn memoizable(&self) -> bool {
+        true // a pure deterministic function of the view
+    }
+
     fn name(&self) -> &'static str {
         "centroid"
     }
@@ -107,6 +111,10 @@ impl Strategy for GreedyNearest {
         }
     }
 
+    fn memoizable(&self) -> bool {
+        true // a pure deterministic function of the view
+    }
+
     fn name(&self) -> &'static str {
         "greedy-nearest"
     }
@@ -137,6 +145,10 @@ impl Strategy for SmallN {
             return Decision::MoveTo(view.me());
         }
         GreedyNearest.decide(view)
+    }
+
+    fn memoizable(&self) -> bool {
+        true // a pure deterministic function of the view
     }
 
     fn name(&self) -> &'static str {

@@ -27,6 +27,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fatrobots_core::{AlgorithmParams, ComputeScratch, ComputeState, LocalAlgorithm};
 use fatrobots_geometry::Point;
 use fatrobots_model::LocalView;
+use fatrobots_scheduler::Liveness;
+use fatrobots_sim::engine::{SimConfig, Simulator};
 use fatrobots_sim::experiment::{AdversaryKind, RunSpec, StrategyKind};
 use fatrobots_sim::init::Shape;
 
@@ -142,9 +144,21 @@ fn bench_compute_kernels(c: &mut Criterion) {
 
     // Whole-run rows: a bounded end-to-end simulation, so the Compute win
     // composes with the snapshot-cache numbers (same engine, same seeds).
+    // `run` is the production engine (decision memoization on);
+    // `run_nocache` forces every Compute event through the full pipeline —
+    // the PR4-shaped event loop — so one bench invocation measures the
+    // output-sensitive speedup directly.
     let mut whole = c.benchmark_group("compute_whole_run");
     whole.sample_size(if quick() { 2 } else { 10 });
-    for &(n, max_events) in &[(8usize, 20_000usize), (32, 12_000), (96, 6_000)] {
+    // The n = 96 row runs E1's actual large-n event budget
+    // (`LARGE_N_EVENT_CAP`), so the row times the workload the experiment
+    // tables really sweep — deep into the moving-oscillation regime — not
+    // just the start-up transient.
+    for &(n, max_events) in &[
+        (8usize, 20_000usize),
+        (32, 12_000),
+        (96, fatrobots_sim::experiment::LARGE_N_EVENT_CAP),
+    ] {
         let spec = RunSpec {
             shape: Shape::Random,
             adversary: AdversaryKind::RoundRobin,
@@ -156,6 +170,26 @@ fn bench_compute_kernels(c: &mut Criterion) {
             BenchmarkId::new("run", format!("n={n}/events={max_events}")),
             &spec,
             |b, spec| b.iter(|| black_box(fatrobots_sim::experiment::run(spec).events)),
+        );
+        whole.bench_with_input(
+            BenchmarkId::new("run_nocache", format!("n={n}/events={max_events}")),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut sim = Simulator::new(
+                        spec.shape.generate(spec.n, spec.seed),
+                        spec.strategy.build(spec.n),
+                        spec.adversary.build(spec.seed, spec.n),
+                        SimConfig {
+                            max_events: spec.max_events,
+                            liveness: Liveness::new(spec.delta),
+                            decision_cache: false,
+                            ..SimConfig::default()
+                        },
+                    );
+                    black_box(sim.run().events)
+                })
+            },
         );
     }
     whole.finish();

@@ -51,7 +51,11 @@ Options:
   --baseline <PATH>
                  diff the fresh rows against a previous bench_report.json:
                  prints per-row deltas and exits 1 when a row's gathered
-                 rate dropped or its mean events grew more than 10%
+                 rate dropped or its mean events grew beyond the threshold
+  --baseline-threshold <PCT>
+                 relative mean-events increase (in percent) beyond which a
+                 row counts as a regression (default: 10; gathered-rate
+                 drops of any size always fail). Requires --baseline
   -h, --help     print this help and exit
 ";
 
@@ -61,6 +65,9 @@ struct Cli {
     jobs: usize,
     json: Option<String>,
     baseline: Option<String>,
+    /// Relative `mean_events` regression threshold, as a fraction (the
+    /// flag takes percent).
+    baseline_threshold: f64,
     figures: bool,
     /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
     selected: Vec<&'static str>,
@@ -73,9 +80,11 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         jobs: sweep::default_jobs(),
         json: None,
         baseline: None,
+        baseline_threshold: BASELINE_EVENTS_THRESHOLD,
         figures: false,
         selected: Vec::new(),
     };
+    let mut threshold_given = false;
     fn select(selected: &mut Vec<&'static str>, id: &'static str) {
         if !selected.contains(&id) {
             selected.push(id);
@@ -109,8 +118,25 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 let value = iter.next().ok_or("--baseline requires a path")?;
                 cli.baseline = Some(value.clone());
             }
+            "--baseline-threshold" => {
+                let value = iter
+                    .next()
+                    .ok_or("--baseline-threshold requires a percentage")?;
+                let pct = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--baseline-threshold wants a percentage >= 0, got '{value}'")
+                    })?;
+                cli.baseline_threshold = pct / 100.0;
+                threshold_given = true;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if threshold_given && cli.baseline.is_none() {
+        return Err("--baseline-threshold requires --baseline".into());
     }
     // Canonical order regardless of flag order, so `--e4 --e1` prints E1
     // first — same as the all-tables run.
@@ -247,7 +273,7 @@ fn main() -> ExitCode {
     }
 
     if let Some(doc) = &baseline {
-        match diff_against_baseline(&tables, doc, BASELINE_EVENTS_THRESHOLD) {
+        match diff_against_baseline(&tables, doc, cli.baseline_threshold) {
             Ok(diff) => {
                 println!("\n== baseline diff ==");
                 print!("{}", diff.text);

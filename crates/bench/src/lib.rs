@@ -31,7 +31,15 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   world's pair-cache telemetry). v2 is a pure field addition: every v1
 ///   key is still present with the same meaning, and readers written
 ///   against v1 keep working — see [`report_supported`].
-pub const REPORT_SCHEMA_VERSION: i64 = 2;
+/// * **v3** — per-run records additionally carry the output-sensitive
+///   event-loop telemetry: `decision_cache_hits` / `decision_cache_misses`
+///   (Compute events replayed from the per-robot decision memo vs. run
+///   through the pipeline) and `hull_repairs` / `hull_rebuilds` (world hull
+///   refreshes served by the single-mover in-place repair vs. full
+///   rebuilds). Again a pure field addition; v1 and v2 readers keep
+///   working, and [`diff_against_baseline`] happily diffs a v2 baseline
+///   against v3 tables (it only reads aggregate fields present since v1).
+pub const REPORT_SCHEMA_VERSION: i64 = 3;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -208,6 +216,19 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             "visibility_cache_misses".into(),
             JsonValue::Int(s.visibility_cache_misses as i64),
         ),
+        (
+            "decision_cache_hits".into(),
+            JsonValue::Int(s.decision_cache_hits as i64),
+        ),
+        (
+            "decision_cache_misses".into(),
+            JsonValue::Int(s.decision_cache_misses as i64),
+        ),
+        ("hull_repairs".into(), JsonValue::Int(s.hull_repairs as i64)),
+        (
+            "hull_rebuilds".into(),
+            JsonValue::Int(s.hull_rebuilds as i64),
+        ),
     ])
 }
 
@@ -244,7 +265,7 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 2,
+///   "schema_version": 3,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
 ///   "jobs": 2,
@@ -342,8 +363,44 @@ mod tests {
             Some(&JsonValue::Int(m)) if m > 0
         ));
         assert!(runs[0].get("visibility_cache_hits").is_some());
+        // v3: the output-sensitive loop's counters ride along too.
+        assert!(matches!(
+            runs[0].get("decision_cache_misses"),
+            Some(&JsonValue::Int(m)) if m > 0
+        ));
+        assert!(runs[0].get("decision_cache_hits").is_some());
+        assert!(runs[0].get("hull_repairs").is_some());
+        assert!(matches!(
+            runs[0].get("hull_rebuilds"),
+            Some(&JsonValue::Int(m)) if m > 0
+        ));
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
+    }
+
+    #[test]
+    fn v2_baselines_diff_cleanly_against_v3_tables() {
+        // The CI gate's compatibility story: a baseline written by the v2
+        // code (no decision-cache or hull fields anywhere) must still be
+        // accepted and diffed against freshly computed v3 tables.
+        let table = scaling_table(&[3], &[1], 1);
+        let row = table.rows().remove(0);
+        let v2 = json::parse(&format!(
+            r#"{{"schema_version": 2, "tables": [
+                 {{"id": "e1", "groups": [
+                   {{"label": "{label}", "aggregate":
+                      {{"gathered_rate": {g}, "mean_events": {e}}}}}]}}]}}"#,
+            label = row.label,
+            g = row.gathered_rate,
+            e = row.mean_events,
+        ))
+        .unwrap();
+        assert!(report_supported(&v2));
+        let diff =
+            diff_against_baseline(std::slice::from_ref(&table), &v2, BASELINE_EVENTS_THRESHOLD)
+                .expect("v2 baselines stay readable");
+        assert_eq!(diff.regressions, 0, "identical rows cannot regress");
+        assert!(diff.text.contains("e1/n=3"));
     }
 
     #[test]

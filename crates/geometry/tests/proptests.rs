@@ -1,6 +1,6 @@
 //! Property-based tests for the geometry substrate.
 
-use fatrobots_geometry::hull::{convex_hull, ConvexHull};
+use fatrobots_geometry::hull::{convex_hull, ConvexHull, HullScratch};
 use fatrobots_geometry::visibility::{disc_sees_disc, min_pairwise_gap, VisibilityConfig};
 use fatrobots_geometry::{Circle, Point, Segment, Vec2};
 use proptest::prelude::*;
@@ -90,6 +90,33 @@ proptest! {
             extended.push(centroid);
             let hull2 = ConvexHull::from_points(&extended);
             prop_assert!((hull.area() - hull2.area()).abs() < 1e-6);
+        }
+    }
+
+    /// The incremental-repair pin: after an arbitrary sequence of
+    /// single-point moves (interior shuffles, boundary crossings, exact
+    /// coincidences — the coordinate grid makes collisions and collinear
+    /// runs likely), a hull maintained by `repair_point_move` must be
+    /// structure-for-structure identical to a from-scratch build: same
+    /// vertices, same boundary indices, same input.
+    #[test]
+    fn single_point_repair_matches_full_rebuild(
+        pts in prop::collection::vec((0i32..8, 0i32..8), 2..24),
+        script in prop::collection::vec((0usize..64, 0i32..8, 0i32..8, -0.5f64..0.5, -0.5f64..0.5), 1..24),
+    ) {
+        let mut pts: Vec<Point> = pts
+            .into_iter()
+            .map(|(i, j)| Point::new(i as f64, j as f64))
+            .collect();
+        let mut hull = ConvexHull::default();
+        let mut scratch = HullScratch::default();
+        hull.rebuild_with(&pts, &mut scratch);
+        for (pick, i, j, dx, dy) in script {
+            let idx = pick % pts.len();
+            let to = Point::new(i as f64 + dx, j as f64 + dy);
+            pts[idx] = to;
+            prop_assert!(hull.repair_point_move(idx, to, &mut scratch));
+            prop_assert_eq!(&hull, &ConvexHull::from_points(&pts));
         }
     }
 

@@ -13,11 +13,29 @@ use crate::config::GeometricConfig;
 /// Per the paper, `V_i` is the *only* input of the local Compute algorithm;
 /// the robot additionally knows `n` and the common unit of distance (the
 /// disc radius), both of which are part of the model.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A view additionally carries a **version stamp** — provenance metadata
+/// set by the simulator ([`LocalView::stamp_version`]) recording the
+/// world's per-robot view version at snapshot time. The paper's `V_i` is
+/// exactly `(me, others, n)`; the stamp is bookkeeping for the engine's
+/// decision memoization (two snapshots of a robot carrying the same
+/// non-zero stamp are guaranteed identical) and deliberately does **not**
+/// participate in equality.
+#[derive(Debug, Clone)]
 pub struct LocalView {
     me: Point,
     others: Vec<Point>,
     n: usize,
+    /// 0 = never stamped; the engine stamps world versions, which start at 1.
+    version: u64,
+}
+
+impl PartialEq for LocalView {
+    /// View identity is the paper's `V_i = (me, others, n)`; the version
+    /// stamp is provenance, not content.
+    fn eq(&self, other: &Self) -> bool {
+        self.me == other.me && self.others == other.others && self.n == other.n
+    }
 }
 
 impl LocalView {
@@ -34,7 +52,12 @@ impl LocalView {
             others.len(),
             n
         );
-        LocalView { me, others, n }
+        LocalView {
+            me,
+            others,
+            n,
+            version: 0,
+        }
     }
 
     /// Takes the snapshot of robot `i` in configuration `g`, using the
@@ -94,8 +117,22 @@ impl LocalView {
         );
         self.me = centers[i];
         self.n = centers.len();
+        self.version = 0; // content changed: a stale stamp must never survive
         self.others.clear();
         self.others.extend(visible.iter().map(|&j| centers[j]));
+    }
+
+    /// Stamps this view with the simulator's per-robot view version (see
+    /// the type docs). [`Self::refill_from_visible`] resets the stamp to 0
+    /// (unstamped), so a forgotten stamp can never alias a previous one.
+    pub fn stamp_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// The version stamp: 0 when never stamped, otherwise the world's view
+    /// version for this robot at snapshot time.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Takes a snapshot assuming full visibility (every other robot is seen).
@@ -113,6 +150,7 @@ impl LocalView {
                 .map(|(_, &c)| c)
                 .collect(),
             n: g.len(),
+            version: 0,
         }
     }
 
@@ -200,6 +238,19 @@ mod tests {
             view.refill_from_visible(g.centers(), i, &visible);
             assert_eq!(view, LocalView::from_visible(g.centers(), i, &visible));
         }
+    }
+
+    #[test]
+    fn version_stamp_is_provenance_not_content() {
+        let mut view = LocalView::new(p(0.0, 0.0), vec![p(5.0, 0.0)], 2);
+        assert_eq!(view.version(), 0, "fresh views are unstamped");
+        view.stamp_version(7);
+        assert_eq!(view.version(), 7);
+        // Equality ignores the stamp: V_i is (me, others, n).
+        assert_eq!(view, LocalView::new(p(0.0, 0.0), vec![p(5.0, 0.0)], 2));
+        // A refill resets the stamp so it can never alias the previous one.
+        view.refill_from_visible(&[p(0.0, 0.0), p(5.0, 0.0)], 0, &[1]);
+        assert_eq!(view.version(), 0);
     }
 
     #[test]

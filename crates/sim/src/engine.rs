@@ -47,6 +47,15 @@ pub struct SimConfig {
     /// identical event stream; scratch mode exists as the reference
     /// behaviour for the determinism suite.
     pub world_mode: WorldMode,
+    /// Memoize decisions per robot, keyed on the world's view version (the
+    /// default): a Compute event whose robot provably has the same view as
+    /// at its previous decision replays that decision in O(1) instead of
+    /// running `Strategy::decide_with`. Semantics-preserving for any
+    /// [`Strategy`] that reports [`memoizable`](Strategy::memoizable) (the
+    /// strategy is a deterministic function of the view; the equivalence
+    /// suite pins the event streams). `false` forces every Compute through
+    /// the full pipeline — the reference behaviour for those pins.
+    pub decision_cache: bool,
 }
 
 impl Default for SimConfig {
@@ -59,6 +68,7 @@ impl Default for SimConfig {
             record_trace: false,
             sample_every: 50,
             world_mode: WorldMode::Incremental,
+            decision_cache: true,
         }
     }
 }
@@ -98,6 +108,17 @@ pub struct Simulator {
     visible_buf: Vec<usize>,
     /// The Compute arena, reused across every decision of the run.
     scratch: ComputeScratch,
+    /// `true` when decisions are memoized: the config asked for it and the
+    /// strategy declared itself a pure function of the view.
+    memoize: bool,
+    /// Per-robot memoized decision: the view version it was decided at,
+    /// and the decision itself. Replayed on Compute while the robot's view
+    /// version is unchanged.
+    decision_cache: Vec<Option<(u64, Decision)>>,
+    /// Decision-cache telemetry: Compute events answered by replaying the
+    /// memoized decision vs. running the Compute pipeline.
+    decision_hits: u64,
+    decision_misses: u64,
 }
 
 impl Simulator {
@@ -122,6 +143,7 @@ impl Simulator {
         let views = (0..n)
             .map(|i| LocalView::new(world.center(i), Vec::new(), n))
             .collect();
+        let memoize = config.decision_cache && strategy.memoizable();
         let mut sim = Simulator {
             strategy,
             adversary,
@@ -136,6 +158,10 @@ impl Simulator {
             contact_buf: Vec::new(),
             visible_buf: Vec::new(),
             scratch: ComputeScratch::default(),
+            memoize,
+            decision_cache: vec![None; n],
+            decision_hits: 0,
+            decision_misses: 0,
         };
         if sim.config.sample_every > 0 {
             let predicates = sim.world.sample_predicates(sim.config.collinearity_tol);
@@ -168,6 +194,20 @@ impl Simulator {
     /// visibility cache over the run so far.
     pub fn visibility_cache_stats(&self) -> (u64, u64) {
         self.world.cache_stats()
+    }
+
+    /// Decision-cache telemetry: `(hits, misses)` — Compute events answered
+    /// by replaying the memoized decision vs. running the Compute pipeline.
+    /// Both are 0 with the cache disabled.
+    pub fn decision_cache_stats(&self) -> (u64, u64) {
+        (self.decision_hits, self.decision_misses)
+    }
+
+    /// Hull-cache telemetry: `(repairs, rebuilds)` of the world's lazily
+    /// maintained hull — refreshes served by the single-mover in-place
+    /// repair vs. full rebuilds.
+    pub fn hull_repair_stats(&self) -> (u64, u64) {
+        self.world.hull_repair_stats()
     }
 
     /// Current robot phases.
@@ -267,13 +307,37 @@ impl Simulator {
                 let mut visible = std::mem::take(&mut self.visible_buf);
                 self.world.visible_of_into(i, &mut visible);
                 self.views[i].refill_from_visible(self.world.centers(), i, &visible);
+                // Stamp *after* the snapshot: `visible_of_into` recomputes
+                // every dirty pair of row `i`, and a recompute that flips a
+                // pair bumps the version — the stamp must include those
+                // bumps for the version⇒identical-view guarantee to hold.
+                self.views[i].stamp_version(self.world.view_version(i));
                 self.visible_buf = visible;
                 self.phases[i] = Phase::Look;
                 Event::Look(RobotId(i))
             }
             Phase::Look => {
-                self.decisions[i] =
-                    Some(self.strategy.decide_with(&self.views[i], &mut self.scratch));
+                // The decision is a pure function of the view (Section
+                // 4.1), and an unchanged view version guarantees an
+                // unchanged view: replay the memoized decision when the
+                // robot's world provably did not change since it last
+                // decided, skipping the Compute pipeline entirely.
+                let version = self.views[i].version();
+                let decision = match self.decision_cache[i] {
+                    Some((v, d)) if self.memoize && v == version => {
+                        self.decision_hits += 1;
+                        d
+                    }
+                    _ => {
+                        let d = self.strategy.decide_with(&self.views[i], &mut self.scratch);
+                        if self.memoize {
+                            self.decision_misses += 1;
+                            self.decision_cache[i] = Some((version, d));
+                        }
+                        d
+                    }
+                };
+                self.decisions[i] = Some(decision);
                 self.phases[i] = Phase::Compute;
                 Event::Compute(RobotId(i))
             }
@@ -498,6 +562,39 @@ mod tests {
     #[should_panic]
     fn overlapping_initial_configuration_is_rejected() {
         let _ = paper_sim(vec![p(0.0, 0.0), p(1.0, 0.0)], 10);
+    }
+
+    #[test]
+    fn decision_cache_accounts_for_every_compute_event() {
+        let centers = vec![p(0.0, 0.0), p(40.0, 0.0), p(20.0, 35.0)];
+        let mut sim = paper_sim(centers.clone(), 5_000);
+        let outcome = sim.run();
+        let (hits, misses) = sim.decision_cache_stats();
+        assert_eq!(
+            hits + misses,
+            outcome.metrics.computes as u64,
+            "every Compute event is either a replay or a fresh decision"
+        );
+        assert!(misses > 0, "the first decision of a robot cannot be a hit");
+
+        // With the cache disabled the counters stay silent and the run is
+        // byte-identical (the equivalence the determinism suite pins
+        // across the whole experiment matrix).
+        let n = centers.len();
+        let mut uncached = Simulator::new(
+            centers,
+            Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+            Box::new(RoundRobin::new()),
+            SimConfig {
+                max_events: 5_000,
+                decision_cache: false,
+                ..SimConfig::default()
+            },
+        );
+        let outcome_uncached = uncached.run();
+        assert_eq!(uncached.decision_cache_stats(), (0, 0));
+        assert_eq!(outcome, outcome_uncached);
+        assert_eq!(sim.centers(), uncached.centers());
     }
 
     #[test]

@@ -180,6 +180,15 @@ pub struct RunSummary {
     pub visibility_cache_hits: u64,
     /// Pairwise-visibility lookups that had to be recomputed.
     pub visibility_cache_misses: u64,
+    /// Compute events answered by replaying the memoized decision (the
+    /// robot's view version was unchanged since its previous decision).
+    pub decision_cache_hits: u64,
+    /// Compute events that ran the full Compute pipeline.
+    pub decision_cache_misses: u64,
+    /// Hull-cache refreshes served by the single-mover in-place repair.
+    pub hull_repairs: u64,
+    /// Hull-cache refreshes that fell back to a full rebuild.
+    pub hull_rebuilds: u64,
 }
 
 /// Executes one run.
@@ -198,6 +207,8 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     );
     let outcome = sim.run();
     let (visibility_cache_hits, visibility_cache_misses) = sim.visibility_cache_stats();
+    let (decision_cache_hits, decision_cache_misses) = sim.decision_cache_stats();
+    let (hull_repairs, hull_rebuilds) = sim.hull_repair_stats();
     RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
@@ -211,6 +222,10 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         convergence_monotonicity: outcome.metrics.convergence_monotonicity(),
         visibility_cache_hits,
         visibility_cache_misses,
+        decision_cache_hits,
+        decision_cache_misses,
+        hull_repairs,
+        hull_rebuilds,
     }
 }
 

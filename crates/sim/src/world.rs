@@ -119,6 +119,35 @@ struct CellRegs {
     compact_at: usize,
 }
 
+/// A computed minimum pairwise gap: the gap value plus the (ascending)
+/// pair achieving it, or `None` for fewer than two robots. The achieving
+/// pair is what lets a single move maintain the cache in O(n): only a
+/// mover that holds the minimum can raise it.
+type MinGapEntry = Option<(f64, (usize, usize))>;
+
+/// Which robots moved since the hull cache was last brought up to date.
+/// Exactly one mover (possibly moved several times) is the repairable case;
+/// two distinct movers degrade to a full rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HullStaleness {
+    /// No move since the last hull refresh.
+    Clean,
+    /// Only this robot moved (any number of times).
+    One(usize),
+    /// Two or more distinct robots moved.
+    Many,
+}
+
+impl HullStaleness {
+    fn record_move(&mut self, i: usize) {
+        *self = match *self {
+            HullStaleness::Clean => HullStaleness::One(i),
+            HullStaleness::One(j) if j == i => HullStaleness::One(i),
+            _ => HullStaleness::Many,
+        };
+    }
+}
+
 /// The simulator's ground-truth configuration plus incrementally maintained
 /// derived state. See the module docs for the design.
 #[derive(Debug)]
@@ -142,13 +171,28 @@ pub struct World {
     hull_scratch: HullScratch,
     hull_version: Option<u64>,
     hull_all_on: bool,
+    /// Movers since the last hull refresh: drives the single-mover in-place
+    /// hull repair.
+    hull_staleness: HullStaleness,
     connected_cache: Option<(u64, bool)>,
     valid_cache: Option<(u64, bool)>,
-    min_gap_cache: Option<(u64, Option<f64>)>,
+    /// Minimum pairwise gap with its achieving pair, maintained across
+    /// single moves while warm (see [`Self::min_pairwise_gap`]).
+    min_gap_cache: Option<(u64, MinGapEntry)>,
+    /// Per-robot view versions: bumped exactly when the robot's Look
+    /// snapshot may differ from the previous one — the robot itself moved,
+    /// a pair involving it was dirtied (its visible set, or the position of
+    /// a robot it sees, may have changed). Monotone; starts at 1 so the
+    /// model layer's 0 can mean "never stamped".
+    view_versions: Vec<u64>,
     /// Visibility-cache telemetry: pair lookups answered from the cache vs
     /// recomputed.
     hits: u64,
     misses: u64,
+    /// Hull-cache telemetry: refreshes served by the single-mover in-place
+    /// repair vs full rebuilds.
+    hull_repairs: u64,
+    hull_rebuilds: u64,
     /// Reusable query buffers.
     cand_buf: Vec<usize>,
     obs_buf: Vec<Point>,
@@ -178,11 +222,15 @@ impl World {
             hull_scratch: HullScratch::default(),
             hull_version: None,
             hull_all_on: false,
+            hull_staleness: HullStaleness::Clean,
             connected_cache: None,
             valid_cache: None,
             min_gap_cache: None,
+            view_versions: vec![1; n],
             hits: 0,
             misses: 0,
+            hull_repairs: 0,
+            hull_rebuilds: 0,
             cand_buf: Vec::new(),
             obs_buf: Vec::new(),
         }
@@ -219,6 +267,31 @@ impl World {
         (self.hits, self.misses)
     }
 
+    /// Hull-cache telemetry: `(repairs, rebuilds)` — refreshes served by the
+    /// single-mover in-place repair vs full rebuilds. Both are 0 in
+    /// [`WorldMode::Scratch`] (every query recomputes, nothing is counted).
+    pub fn hull_repair_stats(&self) -> (u64, u64) {
+        (self.hull_repairs, self.hull_rebuilds)
+    }
+
+    /// The view version of robot `i`. The contract the engine's decision
+    /// memoization rests on: read the version right after taking robot
+    /// `i`'s Look snapshot ([`Self::visible_of_into`], which recomputes
+    /// every dirty pair of row `i`); if two such reads return the same
+    /// value, the two snapshots are **guaranteed** bit-identical. (The
+    /// converse is conservative — a bump does not prove the view changed.)
+    /// Bumps come from three places: the mover itself on every effective
+    /// move, both endpoints of a *seen* pair when it is dirtied, and both
+    /// endpoints of a pair whose answer flips at a recompute. In
+    /// [`WorldMode::Scratch`] every effective move bumps every robot, which
+    /// keeps the guarantee trivially.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn view_version(&self, i: usize) -> u64 {
+        self.view_versions[i]
+    }
+
     /// Moves robot `i` to `p`: bumps the configuration version, dirties
     /// every pair registered on the cell the robot leaves and the cell it
     /// enters, and rehashes the robot in the grid. Moving a robot to its
@@ -232,16 +305,77 @@ impl World {
             return;
         }
         self.version += 1;
+        self.hull_staleness.record_move(i);
         if self.mode == WorldMode::Incremental {
+            // The mover's own view always changes (its center is part of
+            // it). Every *other* affected view is bumped either by
+            // `dirty_cell` (clean seen pairs being dirtied — the robots
+            // that can watch this move happen) or by the flip check in
+            // `sees` when a dirty pair is recomputed. No O(n) scan
+            // anywhere: moving a robot nobody sees bumps only the mover.
+            self.view_versions[i] += 1;
             let from = self.grid.cell_of(old);
             let to = self.grid.cell_of(p);
             self.dirty_cell(from, i, old, p);
             if to != from {
                 self.dirty_cell(to, i, old, p);
             }
+        } else {
+            // Scratch mode keeps no dirty-pair machinery; conservatively
+            // treat every view as changed by any effective move.
+            for v in &mut self.view_versions {
+                *v += 1;
+            }
         }
         self.grid.move_point(i, p);
         self.centers[i] = p;
+        if self.mode == WorldMode::Incremental {
+            self.update_min_gap_after_move(i);
+        }
+    }
+
+    /// Maintains the min-gap cache across the move of robot `i` when it was
+    /// warm (computed at the version just before this move); otherwise it
+    /// simply stays stale and the next query rescans.
+    ///
+    /// Only pairs involving the mover changed, so: if the cached minimum is
+    /// achieved by a pair *not* involving the mover, that pair is unchanged
+    /// and still realises the minimum over all non-mover pairs — the new
+    /// global minimum is its fold with the mover's O(n) row (exactly the
+    /// value the full O(n²) rescan would produce, since `min` over the same
+    /// multiset is order-independent). If the mover held the minimum, its
+    /// gap may have *grown*, and nothing short of a rescan is sound — the
+    /// cache is dropped instead.
+    fn update_min_gap_after_move(&mut self, i: usize) {
+        let Some((v, entry)) = self.min_gap_cache else {
+            return;
+        };
+        if v + 1 != self.version {
+            return; // already stale before this move
+        }
+        match entry {
+            None => {
+                // Fewer than two robots: nothing to maintain.
+                self.min_gap_cache = Some((self.version, None));
+            }
+            Some((_, (a, b))) if a == i || b == i => {
+                self.min_gap_cache = None; // the mover held the minimum
+            }
+            Some((gap, pair)) => {
+                let (mut best, mut best_pair) = (gap, pair);
+                for j in 0..self.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let g = self.centers[i].distance(self.centers[j]) - 2.0 * UNIT_RADIUS;
+                    if g < best {
+                        best = g;
+                        best_pair = (i.min(j), i.max(j));
+                    }
+                }
+                self.min_gap_cache = Some((self.version, Some((best, best_pair))));
+            }
+        }
     }
 
     /// Processes a cell's corridor registrations for a move of robot
@@ -267,19 +401,40 @@ impl World {
         let regs = slot.get_mut();
         let pairs = &mut self.pairs;
         let centers = &self.centers;
+        let view_versions = &mut self.view_versions;
         regs.refs.retain(|r| {
             let entry = &mut pairs[r.idx as usize];
             if entry.gen != r.gen || entry.dirty {
                 return false; // dead registration
             }
             let (a, b) = (r.a as usize, r.b as usize);
+            // Squared-distance form of `distance_to(..) <= PRUNE_RADIUS`:
+            // exactly equivalent (the radius squares exactly), one sqrt
+            // cheaper per drained registration.
+            let prune_sq = VISIBILITY_PRUNE_RADIUS * VISIBILITY_PRUNE_RADIUS;
             let affected = a == mover || b == mover || {
                 let chord = Segment::new(centers[a], centers[b]);
-                chord.distance_to(old) <= VISIBILITY_PRUNE_RADIUS
-                    || chord.distance_to(new) <= VISIBILITY_PRUNE_RADIUS
+                chord.distance_sq_to(old) <= prune_sq || chord.distance_sq_to(new) <= prune_sq
             };
             if affected {
                 entry.dirty = true;
+                // View-version maintenance. A robot's Look snapshot changes
+                // only when a robot it *sees* moved or its visible set
+                // flips. Dirtying a **seen** pair therefore bumps both
+                // endpoints right here: a clean pair is registered on both
+                // endpoints' current cells, so a seen pair whose endpoint
+                // moves is always drained at that move, and while the pair
+                // stays dirty no further endpoint move can slip through
+                // unbumped. **Unseen** pairs stay silent — their endpoints'
+                // views can only change if the answer flips, which
+                // `sees` detects (and bumps) at the recompute, always
+                // before any robot stamps a view version off that state.
+                // This is what keeps one move's invalidation at O(deg):
+                // moving a robot nobody sees bumps nobody else.
+                if entry.seen {
+                    view_versions[a] += 1;
+                    view_versions[b] += 1;
+                }
             }
             !affected
         });
@@ -322,6 +477,15 @@ impl World {
             entry.dirty = false;
         }
         let seen = self.recompute_and_register_pair(a, b, idx);
+        if self.pairs[idx].seen != seen {
+            // The visible-set membership flipped: both Look snapshots
+            // change. (Dirtying an unseen pair deliberately does not bump —
+            // this recompute is where a false→true transition is caught,
+            // and it always runs before a view version is stamped off the
+            // new state.)
+            self.view_versions[a] += 1;
+            self.view_versions[b] += 1;
+        }
         self.pairs[idx].seen = seen;
         seen
     }
@@ -362,12 +526,16 @@ impl World {
                 }
                 regs.refs.push(pair_ref);
                 if let Some(sites) = grid.sites_in(cell) {
+                    // Squared-distance form of the `<= PRUNE_RADIUS` trim:
+                    // exactly equivalent, and this filter runs per site of
+                    // every cover cell of every recompute.
+                    let prune_sq = VISIBILITY_PRUNE_RADIUS * VISIBILITY_PRUNE_RADIUS;
                     obs.extend(
                         sites
                             .iter()
                             .filter(|&&k| k != a && k != b)
                             .map(|&k| centers[k])
-                            .filter(|&c| chord.distance_to(c) <= VISIBILITY_PRUNE_RADIUS),
+                            .filter(|&c| chord.distance_sq_to(c) <= prune_sq),
                     );
                 }
                 true
@@ -409,8 +577,15 @@ impl World {
         }
     }
 
-    /// Rebuilds the hull cache (in place, reusing its buffers) when stale,
-    /// and returns the all-on-hull flag.
+    /// Brings the hull cache up to date when stale and returns the
+    /// all-on-hull flag. When exactly one robot moved since the last
+    /// refresh (tracked by [`HullStaleness`], the common case on the
+    /// event-serial schedule) the hull is **repaired in place** —
+    /// [`ConvexHull::repair_point_move`] patches the sorted chain input and,
+    /// when the corner polygon is unchanged, the boundary tags, skipping
+    /// the O(n log n) rebuild. The repair is exact by construction, so the
+    /// result is identical to a rebuild; multi-mover staleness or a repair
+    /// refusal falls back to `rebuild_with`.
     fn refresh_hull(&mut self) -> bool {
         let stale = match (self.mode, self.hull_version) {
             (WorldMode::Scratch, _) => true,
@@ -418,11 +593,28 @@ impl World {
             (_, None) => true,
         };
         if stale {
-            self.hull
-                .rebuild_with(&self.centers, &mut self.hull_scratch);
+            let repaired = self.mode == WorldMode::Incremental
+                && self.hull_version.is_some()
+                && match self.hull_staleness {
+                    HullStaleness::One(i) => {
+                        self.hull
+                            .repair_point_move(i, self.centers[i], &mut self.hull_scratch)
+                    }
+                    _ => false,
+                };
+            if repaired {
+                self.hull_repairs += 1;
+            } else {
+                self.hull
+                    .rebuild_with(&self.centers, &mut self.hull_scratch);
+                if self.mode == WorldMode::Incremental {
+                    self.hull_rebuilds += 1;
+                }
+            }
             self.hull_all_on = self.len() <= 2 || self.hull.all_on_hull();
             self.hull_version = Some(self.version);
         }
+        self.hull_staleness = HullStaleness::Clean;
         self.hull_all_on
     }
 
@@ -522,21 +714,40 @@ impl World {
         ok
     }
 
-    /// Minimum boundary-to-boundary gap over all pairs (cached lazily;
-    /// `None` for fewer than two robots). Not on the per-event hot path —
-    /// the recompute is the plain global scan.
+    /// Minimum boundary-to-boundary gap over all pairs (`None` for fewer
+    /// than two robots). The cache tracks the achieving pair so that a
+    /// single move maintains it in O(n) (`update_min_gap_after_move`):
+    /// only pairs involving the mover can lower the running minimum, and
+    /// only a mover that *held* it can raise it (that case drops back to
+    /// this full rescan). The cached value is always exactly what
+    /// `min_pairwise_gap(centers)` returns — `min` over the same pair
+    /// multiset is order-independent.
     pub fn min_pairwise_gap(&mut self) -> Option<f64> {
         if self.mode == WorldMode::Scratch {
             return min_pairwise_gap(&self.centers);
         }
-        if let Some((v, gap)) = self.min_gap_cache {
+        if let Some((v, entry)) = self.min_gap_cache {
             if v == self.version {
-                return gap;
+                return entry.map(|(gap, _)| gap);
             }
         }
-        let gap = min_pairwise_gap(&self.centers);
-        self.min_gap_cache = Some((self.version, gap));
-        gap
+        let n = self.len();
+        let mut entry = None;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let gap = self.centers[i].distance(self.centers[j]) - 2.0 * UNIT_RADIUS;
+                if entry.map_or(true, |(best, _)| gap < best) {
+                    entry = Some((gap, (i, j)));
+                }
+            }
+        }
+        self.min_gap_cache = Some((self.version, entry));
+        debug_assert_eq!(
+            entry.map(|(gap, _)| gap),
+            min_pairwise_gap(&self.centers),
+            "the argmin-tracking rescan must reproduce the reference fold"
+        );
+        entry.map(|(gap, _)| gap)
     }
 
     /// The gathering predicate (Definition 1): connected and fully visible.
@@ -708,7 +919,145 @@ mod tests {
         let mut w = world(vec![p(0.0, 0.0), p(5.0, 0.0)], WorldMode::Scratch);
         assert!(w.sees(0, 1));
         let _ = w.visible_of(0);
+        let _ = w.hull();
         assert_eq!(w.cache_stats(), (0, 0));
+        assert_eq!(w.hull_repair_stats(), (0, 0));
+    }
+
+    #[test]
+    fn view_versions_bump_only_for_affected_robots() {
+        // A line of robots: each sees only its neighbours (the middle
+        // discs occlude the far ones).
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(30.0, 0.0)],
+            WorldMode::Incremental,
+        );
+        // Clean every pair (the state right after everybody Looked).
+        for i in 0..4 {
+            assert_eq!(w.visible_of(i).len(), if i == 0 || i == 3 { 1 } else { 2 });
+        }
+        let before: Vec<u64> = (0..4).map(|i| w.view_version(i)).collect();
+        // Robot 3 slides along the line, staying hidden from 0 and 1: only
+        // the mover and its one watcher (robot 2) may be bumped, so 0's and
+        // 1's cached decisions stay replayable.
+        w.move_robot(3, p(31.0, 0.0));
+        for i in 0..4 {
+            let _ = w.visible_of(i); // re-Look: flips (none here) would bump
+        }
+        assert_eq!(w.view_version(0), before[0], "robot 0 cannot see the move");
+        assert_eq!(w.view_version(1), before[1], "robot 1 cannot see the move");
+        assert!(w.view_version(2) > before[2], "robot 2 watches the mover");
+        assert!(
+            w.view_version(3) > before[3],
+            "the mover's own view changed"
+        );
+        // With every row clean and stable, further queries bump nothing.
+        let snapshot: Vec<u64> = (0..4).map(|i| w.view_version(i)).collect();
+        for i in 0..4 {
+            let _ = w.visible_of(i);
+        }
+        let _ = w.hull();
+        let _ = w.is_gathered(1e-9);
+        assert_eq!(
+            snapshot,
+            (0..4).map(|i| w.view_version(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn visibility_flips_bump_versions_at_the_recompute() {
+        // Robot 1 occludes the 0–2 sight line; moving it away flips the
+        // (0, 2) pair. The flip is detected when the dirty pair is next
+        // recomputed — robot 0's version must differ between the two
+        // post-Look states even though robot 0 never moved and never saw
+        // the mover... (it does see robot 1 here, so the seen-pair rule
+        // already bumps it; the flip rule is what carries configurations
+        // where the occluder is itself invisible — pinned by the proptests
+        // against arbitrary scripts.)
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0)],
+            WorldMode::Incremental,
+        );
+        let vis0 = w.visible_of(0);
+        assert_eq!(vis0, vec![1]);
+        let v0 = w.view_version(0);
+        w.move_robot(1, p(10.0, 8.0));
+        let vis0_after = w.visible_of(0);
+        assert_eq!(vis0_after, vec![1, 2], "0 regains sight of 2");
+        assert!(
+            w.view_version(0) > v0,
+            "a flipped pair must invalidate the affected views"
+        );
+    }
+
+    #[test]
+    fn unchanged_view_version_guarantees_identical_visible_set() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(10.0, 12.0)],
+            WorldMode::Incremental,
+        );
+        let mut seen: Vec<(u64, Vec<usize>)> = (0..4)
+            .map(|i| {
+                let vis = w.visible_of(i);
+                (w.view_version(i), vis)
+            })
+            .collect();
+        for (step, &(m, to)) in [
+            (1, p(10.0, 5.0)),
+            (3, p(10.0, 0.5)),
+            (1, p(10.0, 0.0)),
+            (0, p(0.0, 1.0)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            w.move_robot(m, to);
+            for (i, slot) in seen.iter_mut().enumerate() {
+                let vis = w.visible_of(i);
+                let v = w.view_version(i);
+                if v == slot.0 {
+                    assert_eq!(
+                        vis, slot.1,
+                        "step {step}: version of robot {i} held but its visible set changed"
+                    );
+                }
+                *slot = (v, vis);
+            }
+        }
+    }
+
+    #[test]
+    fn hull_refresh_repairs_single_movers_and_rebuilds_otherwise() {
+        let mut w = world(
+            vec![
+                p(0.0, 0.0),
+                p(20.0, 0.0),
+                p(20.0, 20.0),
+                p(0.0, 20.0),
+                p(10.0, 10.0),
+            ],
+            WorldMode::Incremental,
+        );
+        let _ = w.hull(); // cold: full build
+        assert_eq!(w.hull_repair_stats(), (0, 1));
+        // One mover (even over several moves) is repaired in place.
+        w.move_robot(4, p(11.0, 11.0));
+        w.move_robot(4, p(12.0, 9.0));
+        assert!(!w.all_on_hull());
+        assert_eq!(w.hull_repair_stats(), (1, 1));
+        // The repaired structure answers like a from-scratch world.
+        assert_matches_scratch(&mut w);
+        // Two distinct movers force a rebuild.
+        w.move_robot(0, p(-1.0, 0.0));
+        w.move_robot(4, p(10.0, 10.0));
+        let _ = w.hull();
+        let (repairs, rebuilds) = w.hull_repair_stats();
+        assert_eq!(repairs, 1);
+        assert!(rebuilds >= 2);
+        // An interior mover crossing onto the hull boundary repairs too.
+        w.move_robot(4, p(25.0, 10.0));
+        assert!(w.hull().index_on_hull(4));
+        assert_matches_scratch(&mut w);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! every cached answer must equal the answer recomputed from zero on the
 //! current centers.
 
+use fatrobots_core::{AlgorithmParams, ComputeScratch, Decision, LocalAlgorithm};
 use fatrobots_geometry::visibility::{min_pairwise_gap, visible_set, VisibilityConfig};
 use fatrobots_geometry::Point;
-use fatrobots_model::GeometricConfig;
+use fatrobots_model::{GeometricConfig, LocalView};
 use fatrobots_sim::world::{World, WorldMode};
 use proptest::prelude::*;
 
@@ -77,6 +78,61 @@ proptest! {
             world.move_robot(i, p);
             centers[i] = p;
             assert_world_matches_scratch(&mut world, &centers)?;
+        }
+    }
+
+    /// The decision-memoization invariant, against arbitrary randomized
+    /// single-robot moves: whenever a robot's **view version** is unchanged
+    /// between two post-Look states, its Look snapshot is bit-identical —
+    /// and therefore (the algorithm being a deterministic function of the
+    /// view) a decision cached at the earlier state equals one freshly
+    /// computed at the later state. This is exactly the soundness condition
+    /// of the engine's decision cache; the flip side — versions that *do*
+    /// bump — needs no pin, a spurious bump only costs a recompute.
+    #[test]
+    fn unchanged_view_version_implies_identical_view_and_decision(
+        centers in base_centers(9),
+        script in moves(14),
+    ) {
+        let n = centers.len();
+        let algo = LocalAlgorithm::new(AlgorithmParams::for_n(n));
+        let mut arena = ComputeScratch::default();
+        let mut world = World::new(centers.clone(), VisibilityConfig::default(), WorldMode::Incremental);
+        let mut centers = centers;
+        // One post-Look sample per robot: (version, view, decision). The
+        // decision is computed only on valid (non-overlapping)
+        // configurations — the algorithm's domain; the view equality is
+        // pinned on every configuration regardless.
+        let snapshot = |world: &mut World, centers: &[Point], i: usize,
+                        algo: &LocalAlgorithm, arena: &mut ComputeScratch|
+                        -> (u64, LocalView, Option<Decision>) {
+            let visible = world.visible_of(i);
+            let view = LocalView::from_visible(centers, i, &visible);
+            let decision = GeometricConfig::is_valid_on(centers)
+                .then(|| algo.run_with(&view, arena));
+            (world.view_version(i), view, decision)
+        };
+        let mut cached: Vec<(u64, LocalView, Option<Decision>)> = (0..n)
+            .map(|i| snapshot(&mut world, &centers, i, &algo, &mut arena))
+            .collect();
+        for (pick, x, y) in script {
+            let mover = pick % n;
+            let p = Point::new(x, y);
+            world.move_robot(mover, p);
+            centers[mover] = p;
+            for (i, slot) in cached.iter_mut().enumerate() {
+                let fresh = snapshot(&mut world, &centers, i, &algo, &mut arena);
+                if fresh.0 == slot.0 {
+                    // An unchanged version with a changed view (or, with
+                    // the determinism of the algorithm, a changed decision
+                    // for robot `i`) is exactly a stale-cache-hit bug.
+                    prop_assert_eq!(&fresh.1, &slot.1);
+                    if let (Some(a), Some(b)) = (fresh.2, slot.2) {
+                        prop_assert_eq!(a, b);
+                    }
+                }
+                *slot = fresh;
+            }
         }
     }
 

@@ -14,12 +14,17 @@
 //!
 //! When it passes, remove the `#[ignore]` and close the ROADMAP item.
 
+use fatrobots::prelude::*;
 use fatrobots::sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
 use fatrobots::sim::init::Shape;
 
 #[test]
 #[ignore = "known livelock (ROADMAP): random n=7 seed=7 under round-robin never gathers; un-ignore with the fix"]
 fn random_n7_seed7_round_robin_gathers_within_400k_events() {
+    // `experiment::run` uses the default engine configuration, so this
+    // witness exercises the livelock with the decision cache **enabled** —
+    // if the cache ever masked (or cured) the stall, the cached-vs-fresh
+    // stream pin below would catch the divergence first.
     let summary = run(&RunSpec {
         shape: Shape::Random,
         adversary: AdversaryKind::RoundRobin,
@@ -27,12 +32,72 @@ fn random_n7_seed7_round_robin_gathers_within_400k_events() {
         max_events: 400_000,
         ..RunSpec::new(7, 7)
     });
+    eprintln!(
+        "livelock witness telemetry: decision cache {} hits / {} misses, \
+         visibility cache {} hits / {} misses, hull {} repairs / {} rebuilds",
+        summary.decision_cache_hits,
+        summary.decision_cache_misses,
+        summary.visibility_cache_hits,
+        summary.visibility_cache_misses,
+        summary.hull_repairs,
+        summary.hull_rebuilds,
+    );
     assert!(
         summary.terminated,
         "livelock: still running after {} events (expected termination in ~2-6k)",
         summary.events
     );
     assert!(summary.gathered, "terminated without gathering");
+}
+
+/// The livelock must be *replayed*, never masked or altered, by the
+/// decision cache: a bounded window of the stalled run with memoization
+/// enabled is event-for-event identical to the always-recompute run, and
+/// the cache-hit telemetry of the stalled regime is dumped for the future
+/// diagnosis PR (a livelocked system re-decides the same views over and
+/// over — exactly what the hit rate quantifies).
+#[test]
+fn livelock_window_is_identical_with_and_without_the_decision_cache() {
+    let window = 30_000;
+    let run_once = |decision_cache: bool| {
+        let centers = Shape::Random.generate(7, 7);
+        let mut sim = Simulator::new(
+            centers,
+            StrategyKind::Paper.build(7),
+            AdversaryKind::RoundRobin.build(7, 7),
+            SimConfig {
+                max_events: window,
+                record_trace: true,
+                decision_cache,
+                ..SimConfig::default()
+            },
+        );
+        let outcome = sim.run();
+        let stats = sim.decision_cache_stats();
+        (
+            outcome,
+            sim.centers().to_vec(),
+            sim.trace().events().to_vec(),
+            stats,
+        )
+    };
+    let (cached_outcome, cached_centers, cached_events, (hits, misses)) = run_once(true);
+    let (fresh_outcome, fresh_centers, fresh_events, _) = run_once(false);
+    assert_eq!(
+        cached_events, fresh_events,
+        "the decision cache altered the livelocked event stream"
+    );
+    assert_eq!(cached_centers, fresh_centers);
+    assert_eq!(cached_outcome, fresh_outcome);
+    assert!(
+        !cached_outcome.terminated,
+        "the known livelock is gone?! un-ignore the witness above and close the ROADMAP item"
+    );
+    eprintln!(
+        "livelocked window ({window} events): decision cache {hits} hits / {misses} misses \
+         ({:.1}% of Compute events replayed)",
+        100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
 }
 
 /// The sibling seeds gather quickly — pinning that down keeps this witness

@@ -15,12 +15,13 @@ use fatrobots::sim::experiment::{AdversaryKind, StrategyKind};
 use fatrobots::sim::world::WorldMode;
 use fatrobots::sim::RunOutcome;
 
-fn run_with_mode(
+fn run_with_config(
     n: usize,
     seed: u64,
     shape: Shape,
     adversary: AdversaryKind,
     mode: WorldMode,
+    decision_cache: bool,
 ) -> (RunOutcome, Vec<Point>, Vec<fatrobots::scheduler::Event>) {
     let centers = shape.generate(n, seed);
     let mut sim = Simulator::new(
@@ -31,6 +32,7 @@ fn run_with_mode(
             max_events: 12_000,
             record_trace: true,
             world_mode: mode,
+            decision_cache,
             ..SimConfig::default()
         },
     );
@@ -40,6 +42,16 @@ fn run_with_mode(
         sim.centers().to_vec(),
         sim.trace().events().to_vec(),
     )
+}
+
+fn run_with_mode(
+    n: usize,
+    seed: u64,
+    shape: Shape,
+    adversary: AdversaryKind,
+    mode: WorldMode,
+) -> (RunOutcome, Vec<Point>, Vec<fatrobots::scheduler::Event>) {
+    run_with_config(n, seed, shape, adversary, mode, true)
 }
 
 #[test]
@@ -71,6 +83,39 @@ fn world_backed_runs_replay_identically_across_the_matrix() {
     }
 }
 
+/// The decision-memoization pin: with the cache on (the default), every
+/// Compute event whose robot's view version is unchanged replays the
+/// memoized decision instead of running `Strategy::decide_with`. The
+/// algorithm is a deterministic function of the view and an unchanged
+/// version guarantees an unchanged view, so the two engines must produce
+/// event-for-event identical streams, final centers and outcomes across
+/// the whole experiment matrix — any divergence means the view-version
+/// bookkeeping let a stale decision through.
+#[test]
+fn memoized_decisions_replay_identically_across_the_matrix() {
+    for shape in Shape::ALL {
+        for adversary in AdversaryKind::ALL {
+            let (cached_outcome, cached_centers, cached_events) =
+                run_with_config(5, 2, shape, adversary, WorldMode::Incremental, true);
+            let (fresh_outcome, fresh_centers, fresh_events) =
+                run_with_config(5, 2, shape, adversary, WorldMode::Incremental, false);
+            let label = format!("shape={} adversary={}", shape.name(), adversary.name());
+            assert_eq!(
+                cached_events, fresh_events,
+                "event stream diverged with the decision cache for {label}"
+            );
+            assert_eq!(
+                cached_centers, fresh_centers,
+                "final centers diverged with the decision cache for {label}"
+            );
+            assert_eq!(
+                cached_outcome, fresh_outcome,
+                "run outcome diverged with the decision cache for {label}"
+            );
+        }
+    }
+}
+
 #[test]
 fn larger_asynchronous_run_replays_identically() {
     // One deeper spot-check past the matrix: more robots, the seeded
@@ -93,4 +138,19 @@ fn larger_asynchronous_run_replays_identically() {
     assert_eq!(cached_events, scratch_events);
     assert_eq!(cached_centers, scratch_centers);
     assert_eq!(cached_outcome, scratch_outcome);
+    // And the same workload with the decision memo disabled: the seeded
+    // async schedule interleaves Looks and Computes of different robots
+    // arbitrarily, so stale-replay bugs that a round-robin schedule could
+    // mask show up here.
+    let (fresh_outcome, fresh_centers, fresh_events) = run_with_config(
+        9,
+        7,
+        Shape::Random,
+        AdversaryKind::RandomAsync,
+        WorldMode::Incremental,
+        false,
+    );
+    assert_eq!(cached_events, fresh_events);
+    assert_eq!(cached_centers, fresh_centers);
+    assert_eq!(cached_outcome, fresh_outcome);
 }
