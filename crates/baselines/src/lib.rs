@@ -25,7 +25,7 @@
 #![warn(missing_docs)]
 
 use fatrobots_core::{Decision, Strategy};
-use fatrobots_geometry::{Point, UNIT_RADIUS};
+use fatrobots_geometry::{Point, EPS, UNIT_RADIUS};
 use fatrobots_model::{GeometricConfig, LocalView};
 
 /// Shared termination test used by every baseline: the robot stops as soon
@@ -66,7 +66,7 @@ impl Strategy for CentroidBaseline {
             return Decision::Terminate;
         }
         let centroid = Point::centroid(&view.all_centers());
-        if centroid.distance(view.me()) < 1e-9 {
+        if centroid.distance(view.me()) < EPS {
             return Decision::MoveTo(view.me());
         }
         Decision::MoveTo(centroid)

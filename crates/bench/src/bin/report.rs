@@ -45,6 +45,10 @@ Table selection:
 
 Options:
   --quick        use the small seed set (3 seeds) and a reduced E1 sweep
+  --shadow       run the exact-arithmetic shadow oracle alongside every
+                 paper-algorithm run: every Compute decision is replayed
+                 under the exact kernel and the per-run divergence tallies
+                 land in the JSON report (schema v4 'shadow' records)
   --jobs <N>     worker threads for the sweeps (default: available cores;
                  output is byte-identical for every N)
   --json <PATH>  also write every run and aggregate row to PATH as JSON
@@ -62,6 +66,7 @@ Options:
 /// Parsed command line.
 struct Cli {
     quick: bool,
+    shadow: bool,
     jobs: usize,
     json: Option<String>,
     baseline: Option<String>,
@@ -77,6 +82,7 @@ struct Cli {
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         quick: false,
+        shadow: false,
         jobs: sweep::default_jobs(),
         json: None,
         baseline: None,
@@ -95,6 +101,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         match arg.as_str() {
             "-h" | "--help" => return Ok(None),
             "--quick" => cli.quick = true,
+            "--shadow" => cli.shadow = true,
             "--figures" => cli.figures = true,
             "--e1" => select(&mut cli.selected, "e1"),
             "--e2" | "--e3" => select(&mut cli.selected, "e2e3"),
@@ -252,13 +259,23 @@ fn main() -> ExitCode {
     let mut pool = SweepPool::new(cli.jobs);
     let mut tables: Vec<ExperimentTable> = Vec::new();
     for id in &ids {
-        let table = build_table_spec(id, cli.quick, seeds).execute_on(&mut pool);
+        let mut spec = build_table_spec(id, cli.quick, seeds);
+        if cli.shadow {
+            // The oracle rides along on every run; experiment::run keeps it
+            // off for non-paper strategies, so baselines stay untouched.
+            for group in &mut spec.groups {
+                for run_spec in &mut group.specs {
+                    run_spec.shadow = true;
+                }
+            }
+        }
+        let table = spec.execute_on(&mut pool);
         print_table(&table);
         tables.push(table);
     }
 
     if let Some(path) = &cli.json {
-        let text = report_json(&tables, cli.quick, cli.jobs);
+        let text = report_json(&tables, cli.quick, cli.jobs, cli.shadow);
         if let Err(err) = std::fs::write(path, &text) {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;

@@ -12,6 +12,7 @@
 
 pub mod json;
 
+use fatrobots_geometry::kernel::shadow::PredicateSite;
 use fatrobots_sim::experiment::{AggregateRow, ExperimentTable, RunSummary};
 use json::JsonValue;
 
@@ -39,7 +40,16 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   rebuilds). Again a pure field addition; v1 and v2 readers keep
 ///   working, and [`diff_against_baseline`] happily diffs a v2 baseline
 ///   against v3 tables (it only reads aggregate fields present since v1).
-pub const REPORT_SCHEMA_VERSION: i64 = 3;
+/// * **v4** — shadow-oracle telemetry. Per-run records carry a `shadow` key:
+///   `null` when the run did not request the exact-arithmetic shadow oracle
+///   (`report --shadow`), otherwise an object with the oracle's tallies
+///   (`computes`, `divergent`, `predicate_flips`, per-site counters and the
+///   `first_divergence` record). Aggregate rows carry `shadow_divergent` /
+///   `shadow_flips` totals (`null` without the oracle). Another pure field
+///   addition; [`diff_against_baseline`] applies its shadow-divergence rule
+///   only when *both* sides carry the counters, so v1–v3 baselines keep
+///   diffing cleanly against v4 tables.
+pub const REPORT_SCHEMA_VERSION: i64 = 4;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -136,14 +146,30 @@ pub fn diff_against_baseline(
                     regressions += 1;
                 }
             }
+            // Shadow-divergence gate, applied only when both sides ran the
+            // oracle: the sweeps are deterministic, so any growth in the
+            // divergence count means a predicate site newly disagrees with
+            // exact arithmetic — a correctness smell, not noise.
+            let base_divergent = json_f64(base, "shadow_divergent");
+            if let (Some(bd), Some(d)) = (base_divergent, row.shadow_divergent) {
+                if (d as f64) > bd {
+                    verdicts.push("shadow-divergence REGRESSION");
+                    regressions += 1;
+                }
+            }
             let events_delta = match base_events {
                 Some(be) if be > 0.0 => {
                     format!("{:+.1}%", (row.mean_events - be) / be * 100.0)
                 }
                 _ => "n/a".into(),
             };
+            let shadow_delta = match (base_divergent, row.shadow_divergent) {
+                (Some(bd), Some(d)) => format!("  shadow-div {bd:.0} -> {d}"),
+                (None, Some(d)) => format!("  shadow-div new -> {d}"),
+                _ => String::new(),
+            };
             text.push_str(&format!(
-                "{label:<28} gathered {} -> {:.2}  events {} -> {:.1} ({events_delta}){}{}\n",
+                "{label:<28} gathered {} -> {:.2}  events {} -> {:.1} ({events_delta}){shadow_delta}{}{}\n",
                 base_gathered.map_or("n/a".into(), |v| format!("{v:.2}")),
                 row.gathered_rate,
                 base_events.map_or("n/a".into(), |v| format!("{v:.1}")),
@@ -163,6 +189,57 @@ pub fn print_table(table: &ExperimentTable) {
     for row in table.rows() {
         println!("{row}");
     }
+}
+
+/// The shadow-oracle tallies of one run as a JSON record (schema v4).
+fn shadow_json(stats: &fatrobots_sim::shadow::ShadowStats) -> JsonValue {
+    let first = stats
+        .first_divergence
+        .as_ref()
+        .map_or(JsonValue::Null, |d| {
+            JsonValue::Obj(vec![
+                ("event".into(), JsonValue::Int(d.event as i64)),
+                ("robot".into(), JsonValue::Int(d.robot as i64)),
+                (
+                    "site".into(),
+                    d.site
+                        .map_or(JsonValue::Null, |s| JsonValue::Str(s.name().into())),
+                ),
+                ("eps".into(), JsonValue::Str(format!("{:?}", d.eps))),
+                ("exact".into(), JsonValue::Str(format!("{:?}", d.exact))),
+            ])
+        });
+    // Per-site counters, only for sites the replay actually hit, keyed by
+    // the site's canonical name.
+    let sites = PredicateSite::ALL
+        .into_iter()
+        .filter(|&site| stats.log.calls_at(site) > 0)
+        .map(|site| {
+            (
+                site.name().to_string(),
+                JsonValue::Obj(vec![
+                    (
+                        "calls".into(),
+                        JsonValue::Int(stats.log.calls_at(site) as i64),
+                    ),
+                    (
+                        "disagreements".into(),
+                        JsonValue::Int(stats.log.disagreements_at(site) as i64),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("computes".into(), JsonValue::Int(stats.computes as i64)),
+        ("divergent".into(), JsonValue::Int(stats.divergent as i64)),
+        (
+            "predicate_flips".into(),
+            JsonValue::Int(stats.predicate_flips() as i64),
+        ),
+        ("first_divergence".into(), first),
+        ("sites".into(), JsonValue::Obj(sites)),
+    ])
 }
 
 /// One run flattened into a JSON record: the full spec plus every metric.
@@ -229,6 +306,10 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             "hull_rebuilds".into(),
             JsonValue::Int(s.hull_rebuilds as i64),
         ),
+        (
+            "shadow".into(),
+            s.shadow.as_ref().map_or(JsonValue::Null, shadow_json),
+        ),
     ])
 }
 
@@ -256,6 +337,14 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
             "mean_convergence_monotonicity".into(),
             JsonValue::opt_num(row.mean_convergence_monotonicity),
         ),
+        (
+            "shadow_divergent".into(),
+            JsonValue::opt_int(row.shadow_divergent.map(|v| v as usize)),
+        ),
+        (
+            "shadow_flips".into(),
+            JsonValue::opt_int(row.shadow_flips.map(|v| v as usize)),
+        ),
     ])
 }
 
@@ -265,9 +354,10 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 3,
+///   "schema_version": 4,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
+///   "shadow": false,
 ///   "jobs": 2,
 ///   "tables": [
 ///     { "id": "e1", "title": "…",
@@ -275,7 +365,7 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///   ]
 /// }
 /// ```
-pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize) -> String {
+pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize, shadow: bool) -> String {
     let tables_json = tables
         .iter()
         .map(|table| {
@@ -310,6 +400,7 @@ pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize) -> Stri
             JsonValue::Str("fatrobots-bench report".into()),
         ),
         ("quick".into(), JsonValue::Bool(quick)),
+        ("shadow".into(), JsonValue::Bool(shadow)),
         ("jobs".into(), JsonValue::Int(jobs as i64)),
         ("tables".into(), JsonValue::Arr(tables_json)),
     ])
@@ -338,7 +429,7 @@ mod tests {
     #[test]
     fn report_json_round_trips_and_counts_runs() {
         let table = scaling_table(&[3], &[1, 2], 2);
-        let text = report_json(std::slice::from_ref(&table), true, 2);
+        let text = report_json(std::slice::from_ref(&table), true, 2, false);
         let doc = json::parse(&text).expect("report JSON parses");
         assert_eq!(
             doc.get("schema_version"),
@@ -376,6 +467,115 @@ mod tests {
         ));
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
+        // v4: without --shadow the shadow keys are present but null.
+        assert_eq!(runs[0].get("shadow"), Some(&JsonValue::Null));
+        assert_eq!(aggregate.get("shadow_divergent"), Some(&JsonValue::Null));
+        assert_eq!(aggregate.get("shadow_flips"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn shadow_runs_serialize_their_oracle_tallies() {
+        use fatrobots_sim::experiment::{sweep_table, SpecGroup};
+        let groups = vec![SpecGroup::per_seed("n=3", &[1u64], |seed| RunSpec {
+            shadow: true,
+            max_events: 5_000,
+            ..RunSpec::new(3, seed)
+        })];
+        let table = sweep_table("e1", "shadow smoke", groups, 1);
+        let text = report_json(std::slice::from_ref(&table), true, 1, true);
+        let doc = json::parse(&text).expect("shadow report parses");
+        assert_eq!(doc.get("shadow"), Some(&JsonValue::Bool(true)));
+        let group = &doc.get("tables").and_then(JsonValue::as_arr).unwrap()[0]
+            .get("groups")
+            .and_then(JsonValue::as_arr)
+            .unwrap()[0];
+        let run = &group.get("runs").and_then(JsonValue::as_arr).unwrap()[0];
+        let shadow = run.get("shadow").expect("shadow record present");
+        assert!(matches!(
+            shadow.get("computes"),
+            Some(&JsonValue::Int(c)) if c > 0
+        ));
+        assert!(shadow.get("divergent").is_some());
+        assert!(shadow.get("predicate_flips").is_some());
+        assert!(shadow.get("first_divergence").is_some());
+        // Per-site counters carry the canonical predicate names.
+        let sites = shadow.get("sites").expect("per-site counters present");
+        assert!(matches!(
+            sites.get("orientation_tol").and_then(|s| s.get("calls")),
+            Some(&JsonValue::Int(c)) if c > 0
+        ));
+        // The aggregate totals mirror the per-run tallies.
+        let aggregate = group.get("aggregate").unwrap();
+        assert!(matches!(
+            aggregate.get("shadow_divergent"),
+            Some(&JsonValue::Int(_))
+        ));
+        assert!(matches!(
+            aggregate.get("shadow_flips"),
+            Some(&JsonValue::Int(_))
+        ));
+        // A shadow report self-diffs cleanly: the divergence gate engages
+        // (both sides carry the counters) and finds no growth.
+        let diff = diff_against_baseline(
+            std::slice::from_ref(&table),
+            &doc,
+            BASELINE_EVENTS_THRESHOLD,
+        )
+        .expect("self diff succeeds");
+        assert_eq!(diff.regressions, 0);
+        assert!(diff.text.contains("shadow-div"));
+    }
+
+    #[test]
+    fn shadow_divergence_gate_only_fires_when_both_sides_have_counters() {
+        use fatrobots_sim::experiment::{sweep_table, SpecGroup};
+        let groups = vec![SpecGroup::per_seed("n=3", &[1u64], |seed| RunSpec {
+            shadow: true,
+            max_events: 5_000,
+            ..RunSpec::new(3, seed)
+        })];
+        let table = sweep_table("e1", "shadow gate", groups, 1);
+        let row = table.rows().remove(0);
+        let divergent = row.shadow_divergent.expect("oracle ran");
+
+        // Baseline with a lower divergence count: a regression.
+        let stricter = json::parse(
+            r#"{"schema_version": 4, "tables": [
+                 {"id": "e1", "groups": [
+                   {"label": "n=3", "aggregate":
+                      {"gathered_rate": 0.0, "mean_events": 1e9,
+                        "shadow_divergent": -1}}]}]}"#,
+        )
+        .unwrap();
+        let diff = diff_against_baseline(
+            std::slice::from_ref(&table),
+            &stricter,
+            BASELINE_EVENTS_THRESHOLD,
+        )
+        .unwrap();
+        assert_eq!(
+            diff.regressions, 1,
+            "any divergence-count growth is a regression:\n{}",
+            diff.text
+        );
+        assert!(diff.text.contains("shadow-divergence REGRESSION"));
+
+        // A v3-era baseline without the counters never trips the gate,
+        // whatever the fresh tables carry.
+        let v3 = json::parse(&format!(
+            r#"{{"schema_version": 3, "tables": [
+                 {{"id": "e1", "groups": [
+                   {{"label": "n=3", "aggregate":
+                      {{"gathered_rate": {g}, "mean_events": {e}}}}}]}}]}}"#,
+            g = row.gathered_rate,
+            e = row.mean_events,
+        ))
+        .unwrap();
+        let diff =
+            diff_against_baseline(std::slice::from_ref(&table), &v3, BASELINE_EVENTS_THRESHOLD)
+                .unwrap();
+        assert_eq!(diff.regressions, 0, "one-sided counters must not gate");
+        let _ = divergent;
     }
 
     #[test]
@@ -406,7 +606,7 @@ mod tests {
     #[test]
     fn baseline_self_diff_has_no_regressions() {
         let table = scaling_table(&[3], &[1, 2], 2);
-        let doc = json::parse(&report_json(std::slice::from_ref(&table), true, 2)).unwrap();
+        let doc = json::parse(&report_json(std::slice::from_ref(&table), true, 2, false)).unwrap();
         let diff = diff_against_baseline(
             std::slice::from_ref(&table),
             &doc,

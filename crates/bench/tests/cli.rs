@@ -34,6 +34,7 @@ fn help_exits_zero_and_documents_the_flags() {
     for flag in [
         "Usage: report",
         "--quick",
+        "--shadow",
         "--jobs",
         "--json",
         "--e1",
@@ -141,6 +142,9 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 "decision_cache_misses",
                 "hull_repairs",
                 "hull_rebuilds",
+                // Schema v4: the shadow-oracle record (null without
+                // --shadow, but the key is always present).
+                "shadow",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }

@@ -1,6 +1,9 @@
 //! The assembled local algorithm: dispatch over the seventeen Compute
 //! states (the paper's `LOCAL ALGORITHM`, Section 4.2).
 
+use std::marker::PhantomData;
+
+use fatrobots_geometry::kernel::{EpsKernel, Kernel};
 use fatrobots_model::LocalView;
 
 use crate::compute::context::{ComputeScratch, Ctx};
@@ -48,14 +51,23 @@ pub struct ComputeOutcome {
 /// assert!(!algo.run(&view).is_terminate());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LocalAlgorithm {
+pub struct KernelAlgorithm<K: Kernel = EpsKernel> {
     params: AlgorithmParams,
+    _kernel: PhantomData<K>,
 }
 
-impl LocalAlgorithm {
+/// The paper's algorithm under the default ε-tolerant kernel — the
+/// bit-identical historical hot path. The shadow oracle instantiates
+/// [`KernelAlgorithm`] with the exact and shadow kernels instead.
+pub type LocalAlgorithm = KernelAlgorithm<EpsKernel>;
+
+impl<K: Kernel> KernelAlgorithm<K> {
     /// Creates the algorithm for the given parameters.
     pub fn new(params: AlgorithmParams) -> Self {
-        LocalAlgorithm { params }
+        KernelAlgorithm {
+            params,
+            _kernel: PhantomData,
+        }
     }
 
     /// The parameters the algorithm runs with.
@@ -75,7 +87,7 @@ impl LocalAlgorithm {
     /// Runs the local algorithm reusing the caller's scratch arena: the
     /// allocation-free steady-state path the simulator drives.
     pub fn run_with(&self, view: &LocalView, scratch: &mut ComputeScratch) -> Decision {
-        let ctx = Ctx::with_scratch(view, self.params, std::mem::take(scratch));
+        let ctx: Ctx<K> = Ctx::with_scratch(view, self.params, std::mem::take(scratch));
         let decision = drive(&ctx, |_| {});
         *scratch = ctx.into_scratch();
         decision
@@ -86,7 +98,7 @@ impl LocalAlgorithm {
     /// and the render/trace tooling. The engine's event loop never pays for
     /// this trace.
     pub fn run_traced(&self, view: &LocalView) -> ComputeOutcome {
-        let ctx = Ctx::new(view, self.params);
+        let ctx: Ctx<K> = Ctx::new(view, self.params);
         let mut trace = vec![ComputeState::Start];
         let decision = drive(&ctx, |state| trace.push(state));
         ComputeOutcome { decision, trace }
@@ -95,7 +107,7 @@ impl LocalAlgorithm {
 
 /// Walks the Compute state graph from `Start` to a decision, reporting each
 /// transition to `on_transition`.
-fn drive(ctx: &Ctx, mut on_transition: impl FnMut(ComputeState)) -> Decision {
+fn drive<K: Kernel>(ctx: &Ctx<K>, mut on_transition: impl FnMut(ComputeState)) -> Decision {
     let mut state = ComputeState::Start;
     // Figure 4 is a DAG of depth at most five; the bound below is purely
     // defensive against a procedure bug introducing a cycle.
@@ -119,7 +131,7 @@ fn drive(ctx: &Ctx, mut on_transition: impl FnMut(ComputeState)) -> Decision {
 }
 
 /// Runs the procedure associated with one Compute state.
-fn dispatch(state: ComputeState, ctx: &Ctx) -> Step {
+fn dispatch<K: Kernel>(state: ComputeState, ctx: &Ctx<K>) -> Step {
     use ComputeState::*;
     match state {
         Start => hull_procedures::start(ctx),

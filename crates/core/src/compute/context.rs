@@ -20,8 +20,11 @@
 //! slices instead of freshly allocated `Vec`s.
 
 use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
 
 use fatrobots_geometry::hull::{ConvexHull, HullScratch};
+use fatrobots_geometry::kernel::{EpsKernel, Kernel};
 use fatrobots_geometry::{Line, Point, Segment, Vec2, UNIT_RADIUS};
 use fatrobots_model::config::{gap_touches, TOUCH_TOL as MODEL_TOUCH_TOL};
 use fatrobots_model::LocalView;
@@ -58,8 +61,16 @@ pub struct ComputeScratch {
 }
 
 /// Precomputed per-run context handed to every procedure.
+///
+/// The kernel parameter `K` selects the predicate policy for every
+/// geometric *classification* the procedures make (hull membership,
+/// touch tests, chord bands, boundary crossings). Constructed values —
+/// targets, projections, step lengths — are plain `f64` arithmetic shared
+/// by every kernel, so two kernels can only diverge by classifying, never
+/// by constructing. The default [`EpsKernel`] is bit-identical to the
+/// historical ε-tolerant code and remains the hot path.
 #[derive(Debug)]
-pub struct Ctx {
+pub struct Ctx<K: Kernel = EpsKernel> {
     params: AlgorithmParams,
     me: Point,
     view_size: usize,
@@ -69,9 +80,10 @@ pub struct Ctx {
     /// Memoized at build time: every `outward_at` call needs it.
     interior_point: Point,
     scratch: ComputeScratch,
+    _kernel: PhantomData<K>,
 }
 
-impl Ctx {
+impl<K: Kernel> Ctx<K> {
     /// Builds the context for one Compute run with fresh buffers.
     pub fn new(view: &LocalView, params: AlgorithmParams) -> Self {
         Self::with_scratch(view, params, ComputeScratch::default())
@@ -90,7 +102,7 @@ impl Ctx {
         scratch.all.extend_from_slice(view.others());
         scratch
             .hull
-            .rebuild_with(&scratch.all, &mut scratch.hull_scratch);
+            .rebuild_with_k::<K>(&scratch.all, &mut scratch.hull_scratch);
         scratch.onch.clear();
         let (hull, onch) = (&scratch.hull, &mut scratch.onch);
         onch.extend(hull.boundary_iter());
@@ -103,6 +115,7 @@ impl Ctx {
             me_on_hull,
             interior_point,
             scratch,
+            _kernel: PhantomData,
         }
     }
 
@@ -169,7 +182,10 @@ impl Ctx {
     /// fill of Procedure `AllOnConvexHull`, answered from scratch-backed
     /// union-find storage. Agrees exactly with
     /// `GeometricConfig::is_connected_on` (same tangency predicate, same
-    /// graph).
+    /// graph) — and therefore deliberately stays on the shared model-layer
+    /// `gap_touches` predicate rather than the kernel: the model's world
+    /// invariants and the local algorithm must answer connectivity
+    /// identically under every kernel.
     pub fn view_connected(&self) -> bool {
         let centers = &self.scratch.all;
         let n = centers.len();
@@ -220,7 +236,7 @@ impl Ctx {
     /// allocating.
     pub(crate) fn with_aux_points<R>(
         &self,
-        f: impl FnOnce(&Ctx, &mut Vec<(f64, Point)>) -> R,
+        f: impl FnOnce(&Ctx<K>, &mut Vec<(f64, Point)>) -> R,
     ) -> R {
         let mut aux = self.scratch.aux_points.borrow_mut();
         aux.clear();
@@ -299,9 +315,11 @@ impl Ctx {
     }
 
     /// `true` when the unit discs at `a` and `b` touch (or interpenetrate,
-    /// which a valid configuration never shows).
+    /// which a valid configuration never shows). The touch threshold
+    /// `2·R + TOUCH_TOL` is an algorithmic clearance both kernels honor;
+    /// the kernel decides the distance classification against it.
     pub fn touching(&self, a: Point, b: Point) -> bool {
-        a.distance(b) <= 2.0 * UNIT_RADIUS + TOUCH_TOL
+        K::cmp_dist(a, b, 2.0 * UNIT_RADIUS + TOUCH_TOL) != Ordering::Greater
     }
 
     /// Centers of the robots in the view touching the observer, in view
@@ -344,12 +362,27 @@ impl Ctx {
     }
 
     /// Distance from `p` to the straight line through `a` and `b`
-    /// (`f64::INFINITY` when `a == b`).
+    /// (`f64::INFINITY` when `a == b`). A constructed *value* (it feeds
+    /// step-length arithmetic), so it is shared f64 math under every
+    /// kernel; classifications against a band go through
+    /// [`Self::within_chord_band`] instead.
     pub fn distance_to_chord(&self, p: Point, a: Point, b: Point) -> f64 {
         if a.distance(b) <= f64::EPSILON {
             f64::INFINITY
         } else {
             Line::through(a, b).distance_to(p)
+        }
+    }
+
+    /// `true` when `p` lies within perpendicular distance `band` of the
+    /// chord through `a` and `b` — the kernel-decided form of
+    /// `distance_to_chord(p, a, b) <= band` (a degenerate chord has
+    /// infinite distance and is never within any band).
+    pub fn within_chord_band(&self, p: Point, a: Point, b: Point, band: f64) -> bool {
+        if a.distance(b) <= f64::EPSILON {
+            false
+        } else {
+            Line::through(a, b).cmp_distance_to_k::<K>(p, band) != Ordering::Greater
         }
     }
 
@@ -361,7 +394,7 @@ impl Ctx {
         let seg = Segment::new(from, to);
         let mut best: Option<(f64, Point)> = None;
         for edge in self.scratch.hull.edges_iter() {
-            if let Some(x) = seg.intersection(&edge) {
+            if let Some(x) = K::segment_intersection(&seg, &edge) {
                 let d = x.distance(to);
                 if best.map_or(true, |(bd, _)| d < bd) {
                     best = Some((d, x));
@@ -385,7 +418,7 @@ impl Ctx {
         let seg = Segment::new(from, far);
         let mut best: Option<(f64, Point)> = None;
         for edge in self.scratch.hull.edges_iter() {
-            if let Some(x) = seg.intersection(&edge) {
+            if let Some(x) = K::segment_intersection(&seg, &edge) {
                 let d = x.distance(from);
                 // The exit point is the farthest crossing from the observer.
                 if best.map_or(true, |(bd, _)| d > bd) {
@@ -434,14 +467,14 @@ mod tests {
             vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)],
             5,
         );
-        let ctx_a = Ctx::with_scratch(
+        let ctx_a: Ctx = Ctx::with_scratch(
             &view_a,
             AlgorithmParams::for_n(3),
             ComputeScratch::default(),
         );
         let scratch = ctx_a.into_scratch();
-        let reused = Ctx::with_scratch(&view_b, AlgorithmParams::for_n(5), scratch);
-        let fresh = Ctx::new(&view_b, AlgorithmParams::for_n(5));
+        let reused: Ctx = Ctx::with_scratch(&view_b, AlgorithmParams::for_n(5), scratch);
+        let fresh: Ctx = Ctx::new(&view_b, AlgorithmParams::for_n(5));
         assert_eq!(reused.all(), fresh.all());
         assert_eq!(reused.onch(), fresh.onch());
         assert_eq!(reused.me_on_hull(), fresh.me_on_hull());
@@ -465,7 +498,7 @@ mod tests {
     fn touching_queries() {
         let me = p(0.0, 0.0);
         let view = LocalView::new(me, vec![p(2.0, 0.0), p(7.0, 0.0), p(3.0, 6.0)], 4);
-        let ctx = Ctx::new(&view, AlgorithmParams::for_n(4));
+        let ctx: Ctx = Ctx::new(&view, AlgorithmParams::for_n(4));
         assert!(ctx.touching(me, p(2.0, 0.0)));
         assert!(!ctx.touching(me, p(7.0, 0.0)));
         assert_eq!(ctx.touching_me().collect::<Vec<_>>(), vec![p(2.0, 0.0)]);
@@ -485,7 +518,7 @@ mod tests {
             LocalView::new(p(3.0, 4.0), vec![], 1),
         ];
         for view in views {
-            let ctx = Ctx::new(&view, AlgorithmParams::for_n(view.n()));
+            let ctx: Ctx = Ctx::new(&view, AlgorithmParams::for_n(view.n()));
             assert_eq!(
                 ctx.view_connected(),
                 GeometricConfig::is_connected_on(ctx.all()),

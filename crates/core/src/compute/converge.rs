@@ -22,6 +22,7 @@
 //! case list and the lemma disagree in letter, we follow the lemma; every
 //! such choice is noted inline.
 
+use fatrobots_geometry::kernel::Kernel;
 use fatrobots_geometry::Point;
 
 use crate::compute::context::Ctx;
@@ -36,7 +37,7 @@ const GAP_TOL: f64 = 1e-6;
 /// connected. The flood fill runs over the context's scratch-backed
 /// union-find storage and agrees exactly with
 /// `GeometricConfig::is_connected`.
-pub fn all_on_convex_hull(ctx: &Ctx) -> Step {
+pub fn all_on_convex_hull<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if ctx.view_connected() {
         Step::Next(ComputeState::Connected)
     } else {
@@ -45,12 +46,12 @@ pub fn all_on_convex_hull(ctx: &Ctx) -> Step {
 }
 
 /// Procedure `Connected` (Section 4.2.4): return ⊥ — the robot terminates.
-pub fn connected(_ctx: &Ctx) -> Step {
+pub fn connected<K: Kernel>(_ctx: &Ctx<K>) -> Step {
     Step::Done(Decision::Terminate)
 }
 
 /// Procedure `NotConnected` (Section 4.2.5): the convergence move.
-pub fn not_connected(ctx: &Ctx) -> Step {
+pub fn not_connected<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     let params = ctx.params();
 
@@ -171,7 +172,7 @@ pub fn not_connected(ctx: &Ctx) -> Step {
 /// the mover on the hull boundary; exact occlusion would require the mover,
 /// its target and an observer to be exactly collinear, which the
 /// `SeeTwoRobot` recovery handles in the measure-zero case it occurs.
-fn hop_to_right_neighbor(ctx: &Ctx, right: Point) -> Decision {
+fn hop_to_right_neighbor<K: Kernel>(ctx: &Ctx<K>, right: Point) -> Decision {
     let me = ctx.me();
     if ctx.touching(me, right) {
         return Decision::MoveTo(me);
@@ -224,7 +225,7 @@ fn hop_to_right_neighbor(ctx: &Ctx, right: Point) -> Decision {
 /// becoming collinear and breaking full visibility). A robot that is already
 /// within the sag margin slides towards its clockwise neighbour instead,
 /// which also makes progress without risking visibility.
-fn symmetric_converge_move(ctx: &Ctx, left: Point, right: Point) -> Decision {
+fn symmetric_converge_move<K: Kernel>(ctx: &Ctx<K>, left: Point, right: Point) -> Decision {
     let me = ctx.me();
     let params = ctx.params();
     if left.distance(right) <= f64::EPSILON {
@@ -249,7 +250,7 @@ fn symmetric_converge_move(ctx: &Ctx, left: Point, right: Point) -> Decision {
 /// Internal helper used by the partition-based branches; exposed to the
 /// bench crate for white-box experiments on the convergence policy.
 #[doc(hidden)]
-pub fn partition_for(ctx: &Ctx) -> ComponentPartition {
+pub fn partition_for<K: Kernel>(ctx: &Ctx<K>) -> ComponentPartition {
     connected_components(ctx.all(), ctx.params().gap_threshold())
 }
 

@@ -1,6 +1,7 @@
 //! Procedures for robots on the convex hull of their view during the first
 //! (expansion / full-visibility) phase: Sections 4.2.1, 4.2.2, 4.2.6–4.2.12.
 
+use fatrobots_geometry::kernel::Kernel;
 use fatrobots_geometry::Point;
 
 use crate::compute::context::Ctx;
@@ -8,7 +9,7 @@ use crate::compute::state::{ComputeState, Decision, Step};
 
 /// Procedure `Start` (Section 4.2.1): dispatch on whether the robot's own
 /// center is on the convex hull of its view.
-pub fn start(ctx: &Ctx) -> Step {
+pub fn start<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if ctx.me_on_hull() {
         Step::Next(ComputeState::OnConvexHull)
     } else {
@@ -21,7 +22,7 @@ pub fn start(ctx: &Ctx) -> Step {
 /// robot lies on a straight line with its two hull neighbours (which, for a
 /// convex position, is the paper's characterisation of full visibility —
 /// Lemma 4).
-pub fn on_convex_hull(ctx: &Ctx) -> Step {
+pub fn on_convex_hull<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if ctx.view_size() == ctx.n() && ctx.onch_len() == ctx.n() {
         let tol = ctx.params().collinearity_tol();
         // With fewer than three robots no triple can be collinear; the loop
@@ -30,7 +31,7 @@ pub fn on_convex_hull(ctx: &Ctx) -> Step {
         if ctx.onch_len() >= 3 {
             for (i, &q) in ctx.onch().iter().enumerate() {
                 if let Some((left, right)) = ctx.onch_neighbors_at(i) {
-                    if crate::functions::in_straight_line_2(left, q, right, tol) {
+                    if crate::functions::in_straight_line_2_k::<K>(left, q, right, tol) {
                         return Step::Next(ComputeState::NotAllOnConvexHull);
                     }
                 }
@@ -46,7 +47,7 @@ pub fn on_convex_hull(ctx: &Ctx) -> Step {
 /// of Figure 5 — the robot is "on a straight line" when, for some window of
 /// three consecutive hull robots containing it, the middle robot lies within
 /// the `1/n` band around the chord of the outer two.
-pub fn not_all_on_convex_hull(ctx: &Ctx) -> Step {
+pub fn not_all_on_convex_hull<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if in_collinearity_band(ctx, /*only_as_middle=*/ false) {
         Step::Next(ComputeState::OnStraightLine)
     } else {
@@ -57,7 +58,7 @@ pub fn not_all_on_convex_hull(ctx: &Ctx) -> Step {
 /// Procedure `OnStraightLine` (Section 4.2.10): the robot sees two robots on
 /// the line exactly when it is itself the middle robot of a band-collinear
 /// window.
-pub fn on_straight_line(ctx: &Ctx) -> Step {
+pub fn on_straight_line<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if in_collinearity_band(ctx, /*only_as_middle=*/ true) {
         Step::Next(ComputeState::SeeTwoRobot)
     } else {
@@ -68,13 +69,13 @@ pub fn on_straight_line(ctx: &Ctx) -> Step {
 /// `true` when some window of three consecutive hull robots containing the
 /// observer has its middle robot within the `1/n` band of the outer chord.
 /// With `only_as_middle` the observer itself must be that middle robot.
-fn in_collinearity_band(ctx: &Ctx, only_as_middle: bool) -> bool {
+fn in_collinearity_band<K: Kernel>(ctx: &Ctx<K>, only_as_middle: bool) -> bool {
     let band = ctx.params().band();
     ctx.hull_triples_containing(ctx.me()).any(|(a, b, c)| {
         if only_as_middle && !b.approx_eq(ctx.me()) {
             return false;
         }
-        ctx.distance_to_chord(b, a, c) <= band
+        ctx.within_chord_band(b, a, c, band)
     })
 }
 
@@ -89,7 +90,7 @@ fn in_collinearity_band(ctx: &Ctx, only_as_middle: bool) -> bool {
 ///   hull interior by projecting each of them onto the hull boundary along
 ///   the ray from itself (the paper's `onCH2` construction) before measuring
 ///   the gaps.
-pub fn not_on_straight_line(ctx: &Ctx) -> Step {
+pub fn not_on_straight_line<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if ctx.onch_len() == ctx.n() {
         return Step::Next(ComputeState::SpaceForMore);
     }
@@ -108,7 +109,7 @@ pub fn not_on_straight_line(ctx: &Ctx) -> Step {
     // the augmented boundary set, assembled in the context's scratch
     // buffer. Each point carries its precomputed boundary angle so the
     // sort never calls `atan2` inside the comparator.
-    let has_room = ctx.with_aux_points(|ctx, onch2| {
+    let has_room = ctx.with_aux_points(|ctx: &Ctx<K>, onch2| {
         let center = ctx.interior_point();
         let key = |p: Point| (p - center).angle();
         onch2.extend(ctx.onch().iter().map(|&p| (key(p), p)));
@@ -162,7 +163,7 @@ pub fn not_on_straight_line(ctx: &Ctx) -> Step {
 /// appear and the literal algorithm deadlocks. Stepping outward is always
 /// safe in this regime (the hull may only expand while full visibility has
 /// not been reached — Lemma 20) and re-opens the blocked line of sight.
-pub fn space_for_more(ctx: &Ctx) -> Step {
+pub fn space_for_more<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     let neighbors = ctx.hull_neighbors_of(me);
     let tangent_to_non_adjacent = ctx.onch().iter().any(|&q| {
@@ -193,7 +194,7 @@ pub fn space_for_more(ctx: &Ctx) -> Step {
 /// The paper phrases the target via the midpoint of the neighbour chord; the
 /// effective displacement is the same outward step, and Lemma 10 only uses
 /// the fact that the result lies `1/2n − ε` outside the current hull.
-pub fn no_space_for_more(ctx: &Ctx) -> Step {
+pub fn no_space_for_more<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     let target = me + ctx.outward_at(me) * ctx.params().step();
     Step::Done(Decision::MoveTo(target))
@@ -208,7 +209,7 @@ pub fn no_space_for_more(ctx: &Ctx) -> Step {
 /// be relied upon — the occluder may have full visibility itself and
 /// therefore never consider itself "on a straight line". The end robot then
 /// expands outward, which is always safe before full visibility is reached.
-pub fn see_one_robot(ctx: &Ctx) -> Step {
+pub fn see_one_robot<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     if ctx.view_size() < ctx.n() && ctx.onch_len() == ctx.view_size() {
         return Step::Done(Decision::MoveTo(
@@ -221,7 +222,7 @@ pub fn see_one_robot(ctx: &Ctx) -> Step {
 /// Procedure `SeeTwoRobot` (Section 4.2.12): the middle robot of a collinear
 /// triple steps outward, far enough to leave the `1/n` band but never more
 /// than `1/2n − ε` in one move.
-pub fn see_two_robot(ctx: &Ctx) -> Step {
+pub fn see_two_robot<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     let band = ctx.params().band();
     // Use the tightest band-violating window in which the observer is the

@@ -1,6 +1,8 @@
 //! Procedures for robots strictly inside the convex hull of their view:
 //! Sections 4.2.13–4.2.17.
 
+use fatrobots_geometry::kernel::Kernel;
+use fatrobots_geometry::predicates::{approx_eq_tol, EPS};
 use fatrobots_geometry::{Point, Segment};
 
 use crate::compute::context::Ctx;
@@ -25,7 +27,7 @@ enum Proximity {
 }
 
 /// Procedure `NotOnConvexHull` (Section 4.2.13): dispatch on tangency.
-pub fn not_on_convex_hull(ctx: &Ctx) -> Step {
+pub fn not_on_convex_hull<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if ctx.touching_me().next().is_none() {
         Step::Next(ComputeState::NotTouching)
     } else {
@@ -37,7 +39,7 @@ pub fn not_on_convex_hull(ctx: &Ctx) -> Step {
 /// other robots moves towards the hull only if it has the *highest
 /// proximity* among the robots it touches, so that a clump of touching
 /// robots peels off towards the hull one robot at a time (Lemma 16).
-pub fn is_touching(ctx: &Ctx) -> Step {
+pub fn is_touching<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     // The proximity contest of the paper decides which robot of a touching
     // clump gets to claim a hull spot. Only robots that are themselves still
@@ -60,7 +62,7 @@ pub fn is_touching(ctx: &Ctx) -> Step {
             return false;
         }
         let dir = dir.normalized();
-        ctx.touching_me().all(|t| dir.dot(t - me) <= 1e-9)
+        ctx.touching_me().all(|t| dir.dot(t - me) <= EPS)
     };
 
     let candidates = find_points_iter(ctx.onch(), ctx.n()).filter(|&p| escapable(p));
@@ -92,7 +94,7 @@ pub fn is_touching(ctx: &Ctx) -> Step {
 
 /// Procedure `NotTouching` (Section 4.2.15): can the robot reach the hull
 /// without changing it?
-pub fn not_touching(ctx: &Ctx) -> Step {
+pub fn not_touching<K: Kernel>(ctx: &Ctx<K>) -> Step {
     if find_points_iter(ctx.onch(), ctx.n()).next().is_none() {
         Step::Next(ComputeState::ToChange)
     } else {
@@ -103,7 +105,7 @@ pub fn not_touching(ctx: &Ctx) -> Step {
 /// Procedure `ToChange` (Section 4.2.16): no placement avoids changing the
 /// hull, so head for the midpoint of the closest hull side that is wide
 /// enough; stay put when there is none.
-pub fn to_change(ctx: &Ctx) -> Step {
+pub fn to_change<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     match closest_wide_edge(ctx, me) {
         None => Step::Done(Decision::MoveTo(me)),
@@ -120,7 +122,7 @@ pub fn to_change(ctx: &Ctx) -> Step {
 /// on the boundary would leave the robot exactly collinear with the edge's
 /// endpoints, needlessly triggering the `SeeTwoRobot` recovery on the next
 /// cycle.
-pub fn not_change(ctx: &Ctx) -> Step {
+pub fn not_change<K: Kernel>(ctx: &Ctx<K>) -> Step {
     let me = ctx.me();
     match closest_point(find_points_iter(ctx.onch(), ctx.n()), me) {
         None => Step::Done(Decision::MoveTo(me)),
@@ -138,7 +140,7 @@ fn closest_point(points: impl Iterator<Item = Point>, to: Point) -> Option<Point
 
 /// The hull side (pair of hull-adjacent robots) at least a diameter wide that
 /// is closest to `from`, if any.
-fn closest_wide_edge(ctx: &Ctx, from: Point) -> Option<(Point, Point)> {
+fn closest_wide_edge<K: Kernel>(ctx: &Ctx<K>, from: Point) -> Option<(Point, Point)> {
     ctx.hull_adjacent_pairs()
         .filter(|(a, b)| a.distance(*b) >= 2.0)
         .min_by(|&(a1, b1), &(a2, b2)| {
@@ -156,7 +158,7 @@ fn closest_wide_edge(ctx: &Ctx, from: Point) -> Option<(Point, Point)> {
 /// "rightmost" as the largest component along the clockwise perpendicular of
 /// the outward direction; exact ties fall back to lexicographic order of the
 /// coordinates, which is still a common, deterministic rule for all robots.
-fn proximity<I>(ctx: &Ctx, me: Point, touchers: I, target: Point) -> Proximity
+fn proximity<K: Kernel, I>(ctx: &Ctx<K>, me: Point, touchers: I, target: Point) -> Proximity
 where
     I: Iterator<Item = Point> + Clone,
 {
@@ -182,7 +184,7 @@ where
     };
     let mine = score(me);
     let mut any_tied = false;
-    for t in touchers.filter(|t| (t.distance(target) - my_d).abs() <= PROXIMITY_TOL) {
+    for t in touchers.filter(|t| approx_eq_tol(t.distance(target), my_d, PROXIMITY_TOL)) {
         any_tied = true;
         if mine <= score(t) {
             return Proximity::Blocked;

@@ -27,6 +27,6 @@ pub mod hull_procedures;
 pub mod interior_procedures;
 pub mod state;
 
-pub use algorithm::{ComputeOutcome, LocalAlgorithm};
+pub use algorithm::{ComputeOutcome, KernelAlgorithm, LocalAlgorithm};
 pub use context::{ComputeScratch, Ctx};
 pub use state::{ComputeState, Decision, Step};

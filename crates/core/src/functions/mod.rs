@@ -26,4 +26,4 @@ pub use components::{
 pub use find_points::{find_points, find_points_iter, safe_distance, safe_distance_for_angle};
 pub use move_to_point::{move_to_point, MoveToPoint};
 pub use on_convex_hull::{on_convex_hull, OnConvexHullResult};
-pub use straight_line::in_straight_line_2;
+pub use straight_line::{in_straight_line_2, in_straight_line_2_k};

@@ -1,6 +1,7 @@
 //! Function `In-Straight-Line-2` (Section 3.8).
 
-use fatrobots_geometry::predicates::{orientation_tol, Orientation};
+use fatrobots_geometry::kernel::{EpsKernel, Kernel};
+use fatrobots_geometry::predicates::Orientation;
 use fatrobots_geometry::Point;
 
 /// Function `In-Straight-Line-2`: `YES` iff the three points lie on a common
@@ -22,7 +23,16 @@ use fatrobots_geometry::Point;
 /// assert!(!in_straight_line_2(a, b, Point::new(5.0, 1.0), 1e-9));
 /// ```
 pub fn in_straight_line_2(cl: Point, cm: Point, cr: Point, tol: f64) -> bool {
-    orientation_tol(cl, cm, cr, tol) == Orientation::Collinear
+    in_straight_line_2_k::<EpsKernel>(cl, cm, cr, tol)
+}
+
+/// [`in_straight_line_2`] with the toleranced orientation decided by kernel
+/// `K`. `tol` is the *algorithmic* collinearity tolerance (a deliberate
+/// threshold on the doubled triangle area, not a float fudge), so both
+/// kernels honor it; the exact kernel evaluates the area polynomial against
+/// it without rounding.
+pub fn in_straight_line_2_k<K: Kernel>(cl: Point, cm: Point, cr: Point, tol: f64) -> bool {
+    K::orientation_tol(cl, cm, cr, tol) == Orientation::Collinear
 }
 
 #[cfg(test)]

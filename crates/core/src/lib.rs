@@ -46,6 +46,8 @@ pub mod functions;
 pub mod params;
 pub mod strategy;
 
-pub use compute::{ComputeOutcome, ComputeScratch, ComputeState, Decision, LocalAlgorithm};
+pub use compute::{
+    ComputeOutcome, ComputeScratch, ComputeState, Decision, KernelAlgorithm, LocalAlgorithm,
+};
 pub use params::AlgorithmParams;
 pub use strategy::Strategy;

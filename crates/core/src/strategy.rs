@@ -1,10 +1,11 @@
 //! A common interface for local decision rules, so the simulation engine can
 //! run the paper's algorithm and the baseline strategies interchangeably.
 
+use fatrobots_geometry::kernel::Kernel;
 use fatrobots_model::LocalView;
 
 use crate::compute::context::ComputeScratch;
-use crate::compute::{Decision, LocalAlgorithm};
+use crate::compute::{Decision, KernelAlgorithm};
 
 /// A local gathering strategy: a deterministic, memoryless map from a
 /// robot's snapshot to a decision, exactly the shape of the paper's local
@@ -45,7 +46,7 @@ pub trait Strategy {
     fn name(&self) -> &'static str;
 }
 
-impl Strategy for LocalAlgorithm {
+impl<K: Kernel> Strategy for KernelAlgorithm<K> {
     fn decide(&self, view: &LocalView) -> Decision {
         self.run(view)
     }
@@ -66,6 +67,7 @@ impl Strategy for LocalAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compute::LocalAlgorithm;
     use crate::params::AlgorithmParams;
     use fatrobots_geometry::Point;
 

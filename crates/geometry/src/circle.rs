@@ -1,7 +1,10 @@
 //! Circles and unit discs.
 
+use std::cmp::Ordering;
+
+use crate::kernel::Kernel;
 use crate::point::{Point, Vec2};
-use crate::predicates::{approx_eq_tol, EPS};
+use crate::predicates::{approx_eq, approx_eq_tol, EPS};
 use crate::segment::Segment;
 
 /// Radius of the robots' unit discs (the paper's "fat robots" are closed
@@ -106,13 +109,20 @@ impl Circle {
         seg.distance_to(self.center) < self.radius + tol
     }
 
+    /// [`Self::blocks_segment`] with the distance classification decided by
+    /// kernel `K` against the blocking threshold `radius + tol` (an
+    /// algorithmic clearance both kernels honor).
+    pub fn blocks_segment_k<K: Kernel>(&self, seg: &Segment, tol: f64) -> bool {
+        K::cmp_segment_dist(seg.a, seg.b, self.center, self.radius + tol) == Ordering::Less
+    }
+
     /// Intersection points of the circle with the supporting line of `seg`
     /// restricted to the segment. Returns 0, 1 or 2 points.
     pub fn intersect_segment(&self, seg: &Segment) -> Vec<Point> {
         let d = seg.direction();
         let len_sq = d.norm_sq();
         if len_sq <= f64::EPSILON {
-            return if (seg.a.distance(self.center) - self.radius).abs() <= EPS {
+            return if approx_eq(seg.a.distance(self.center), self.radius) {
                 vec![seg.a]
             } else {
                 vec![]

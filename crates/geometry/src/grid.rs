@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::point::Point;
+use crate::predicates::approx_eq_tol;
 
 /// Integer cell coordinates (floor of the position divided by the cell
 /// edge).
@@ -175,7 +176,7 @@ impl UniformGrid {
             let x1 = x0 + self.cell;
             // Parameter range of the segment whose x lies within `radius`
             // of this column (the whole segment when it is near-vertical).
-            let (t0, t1) = if dx.abs() <= f64::EPSILON {
+            let (t0, t1) = if approx_eq_tol(dx, 0.0, f64::EPSILON) {
                 (0.0, 1.0)
             } else {
                 let ta = ((x0 - radius - a.x) / dx).clamp(0.0, 1.0);

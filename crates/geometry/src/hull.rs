@@ -18,9 +18,16 @@
 
 use std::cmp::Ordering;
 
+use crate::kernel::{EpsKernel, Kernel};
 use crate::point::Point;
-use crate::predicates::{cross_of_triple, EPS};
+use crate::predicates::Orientation;
 use crate::segment::Segment;
+
+/// Tolerance on segment distances for hull *boundary membership* (which
+/// input points count as lying on a hull edge). An algorithmic tolerance:
+/// every kernel honors it — [`EpsKernel`] with the rounded f64 distance,
+/// the exact kernel by comparing the underlying polynomial exactly.
+pub const BOUNDARY_TOL: f64 = 1e-7;
 
 /// Convex hull of a point set, retaining the relationship to the input
 /// points.
@@ -101,7 +108,7 @@ struct EdgePrefilter {
 
 impl EdgePrefilter {
     /// The boundary-ordering tolerance on segment distances.
-    const TOL: f64 = 1e-7;
+    const TOL: f64 = BOUNDARY_TOL;
 
     fn new(a: Point, b: Point) -> Self {
         let d = b - a;
@@ -172,18 +179,32 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
 /// buffers are cleared first and reused across calls without reallocating
 /// once warm.
 pub fn convex_hull_into(points: &[Point], sorted: &mut Vec<Point>, out: &mut Vec<Point>) {
+    convex_hull_into_k::<EpsKernel>(points, sorted, out);
+}
+
+/// [`convex_hull_into`] with the chain's turn tests routed through kernel
+/// `K`. The sort order and the point dedup (point *identity*, not a
+/// geometric classification) are shared by all kernels.
+pub fn convex_hull_into_k<K: Kernel>(
+    points: &[Point],
+    sorted: &mut Vec<Point>,
+    out: &mut Vec<Point>,
+) {
     sorted.clear();
     sorted.extend_from_slice(points);
     // Unstable sort: no allocation, and the key (x, y) is total — ties are
     // bitwise-identical points, which the dedup collapses either way.
     sorted.sort_unstable_by(point_order);
     sorted.dedup_by(|a, b| a.approx_eq(*b));
-    chain_of_sorted_dedup(sorted, out);
+    chain_of_sorted_dedup_k::<K>(sorted, out);
 }
 
 /// The monotone chain proper: corner vertices of a point slice that is
-/// already sorted by [`point_order`] and deduplicated.
-fn chain_of_sorted_dedup(sorted: &[Point], out: &mut Vec<Point>) {
+/// already sorted by [`point_order`] and deduplicated. The turn test is the
+/// kernel's policy orientation — a kept corner must be a strict
+/// counter-clockwise turn. Under [`EpsKernel`] this is exactly the historic
+/// `cross_of_triple(..) <= EPS` pop condition.
+fn chain_of_sorted_dedup_k<K: Kernel>(sorted: &[Point], out: &mut Vec<Point>) {
     let n = sorted.len();
     out.clear();
     if n <= 2 {
@@ -195,7 +216,8 @@ fn chain_of_sorted_dedup(sorted: &[Point], out: &mut Vec<Point>) {
     // Lower hull.
     for &p in sorted.iter() {
         while hull.len() >= 2
-            && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+            && K::orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
         {
             hull.pop();
         }
@@ -205,7 +227,8 @@ fn chain_of_sorted_dedup(sorted: &[Point], out: &mut Vec<Point>) {
     let lower_len = hull.len() + 1;
     for &p in sorted.iter().rev().skip(1) {
         while hull.len() >= lower_len
-            && cross_of_triple(hull[hull.len() - 2], hull[hull.len() - 1], p) <= EPS
+            && K::orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
         {
             hull.pop();
         }
@@ -220,6 +243,10 @@ fn chain_of_sorted_dedup(sorted: &[Point], out: &mut Vec<Point>) {
     }
 }
 
+fn chain_of_sorted_dedup(sorted: &[Point], out: &mut Vec<Point>) {
+    chain_of_sorted_dedup_k::<EpsKernel>(sorted, out);
+}
+
 impl ConvexHull {
     /// Builds the convex hull of `points`, remembering which input points are
     /// on the boundary.
@@ -229,6 +256,17 @@ impl ConvexHull {
     pub fn from_points(points: &[Point]) -> Self {
         let mut hull = ConvexHull::default();
         hull.rebuild_with(points, &mut HullScratch::default());
+        hull
+    }
+
+    /// [`Self::from_points`] with all hull classification routed through
+    /// kernel `K`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn from_points_k<K: Kernel>(points: &[Point]) -> Self {
+        let mut hull = ConvexHull::default();
+        hull.rebuild_with_k::<K>(points, &mut HullScratch::default());
         hull
     }
 
@@ -242,6 +280,15 @@ impl ConvexHull {
     /// # Panics
     /// Panics if `points` is empty.
     pub fn rebuild_with(&mut self, points: &[Point], scratch: &mut HullScratch) {
+        self.rebuild_with_k::<EpsKernel>(points, scratch);
+    }
+
+    /// [`Self::rebuild_with`] with the chain turn tests and the boundary
+    /// membership tests routed through kernel `K`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn rebuild_with_k<K: Kernel>(&mut self, points: &[Point], scratch: &mut HullScratch) {
         assert!(!points.is_empty(), "convex hull of an empty point set");
         self.input.clear();
         self.input.extend_from_slice(points);
@@ -251,8 +298,8 @@ impl ConvexHull {
         scratch.deduped.clear();
         scratch.deduped.extend_from_slice(&scratch.sorted_input);
         scratch.deduped.dedup_by(|a, b| a.approx_eq(*b));
-        chain_of_sorted_dedup(&scratch.deduped, &mut self.vertices);
-        Self::order_boundary_into(
+        chain_of_sorted_dedup_k::<K>(&scratch.deduped, &mut self.vertices);
+        Self::order_boundary_into_k::<K>(
             &self.input,
             &self.vertices,
             scratch,
@@ -374,6 +421,20 @@ impl ConvexHull {
         scratch: &mut HullScratch,
         out: &mut Vec<usize>,
     ) {
+        Self::order_boundary_into_k::<EpsKernel>(points, vertices, scratch, out);
+    }
+
+    /// [`Self::order_boundary_into`] with the boundary membership test of
+    /// each point routed through kernel `K`. The [`EdgePrefilter`]
+    /// rejection stays shared: its bounds carry a 2× slack over
+    /// [`BOUNDARY_TOL`], so any point the exact kernel could accept (within
+    /// one f64 rounding of the tolerance) still reaches the kernel test.
+    fn order_boundary_into_k<K: Kernel>(
+        points: &[Point],
+        vertices: &[Point],
+        scratch: &mut HullScratch,
+        out: &mut Vec<usize>,
+    ) {
         out.clear();
         if vertices.len() == 1 {
             out.extend(
@@ -401,7 +462,7 @@ impl ConvexHull {
             (0..edge_count).map(|e| EdgePrefilter::new(vertices[e], vertices[(e + 1) % nv])),
         );
         for (idx, &p) in points.iter().enumerate() {
-            if let Some((e, t)) = Self::tag_point(p, edge_pre, edge_count) {
+            if let Some((e, t)) = Self::tag_point_k::<K>(p, edge_pre, edge_count) {
                 tagged.push((e, t, idx));
             }
         }
@@ -418,6 +479,19 @@ impl ConvexHull {
     /// the single-point patch of [`Self::repair_point_move`], so both
     /// compute bitwise-identical tags.
     fn tag_point(p: Point, edge_pre: &[EdgePrefilter], edge_count: usize) -> Option<(usize, f64)> {
+        Self::tag_point_k::<EpsKernel>(p, edge_pre, edge_count)
+    }
+
+    /// [`Self::tag_point`] with the `d <= BOUNDARY_TOL` membership test
+    /// decided by kernel `K`. The *ordering* between several accepted edges
+    /// and the edge parameter `t` are f64 constructions shared by all
+    /// kernels (the corner-snap rule is a parameter-space convention, not a
+    /// geometric classification).
+    fn tag_point_k<K: Kernel>(
+        p: Point,
+        edge_pre: &[EdgePrefilter],
+        edge_count: usize,
+    ) -> Option<(usize, f64)> {
         let mut best: Option<(usize, f64, f64)> = None; // (edge, t, dist)
         for (e, pre) in edge_pre.iter().enumerate() {
             if !pre.may_touch(p) {
@@ -426,7 +500,7 @@ impl ConvexHull {
             let (a, b) = (pre.a, pre.b);
             let seg = Segment::new(a, b);
             let d = seg.distance_to(p);
-            if d <= 1e-7 {
+            if K::cmp_segment_dist(a, b, p, BOUNDARY_TOL) != Ordering::Greater {
                 let t = if seg.length() <= f64::EPSILON {
                     0.0
                 } else {
@@ -489,12 +563,26 @@ impl ConvexHull {
     /// `true` when `p` lies on the hull boundary (within tolerance), whether
     /// or not it is one of the input points.
     pub fn point_on_boundary(&self, p: Point) -> bool {
+        self.point_on_boundary_k::<EpsKernel>(p)
+    }
+
+    /// [`Self::point_on_boundary`] with the edge-distance tests decided by
+    /// kernel `K` (single-vertex hulls use shared point identity).
+    pub fn point_on_boundary_k<K: Kernel>(&self, p: Point) -> bool {
         let nv = self.vertices.len();
         match nv {
             1 => self.vertices[0].approx_eq(p),
-            2 => Segment::new(self.vertices[0], self.vertices[1]).distance_to(p) <= 1e-7,
+            2 => {
+                K::cmp_segment_dist(self.vertices[0], self.vertices[1], p, BOUNDARY_TOL)
+                    != Ordering::Greater
+            }
             _ => (0..nv).any(|e| {
-                Segment::new(self.vertices[e], self.vertices[(e + 1) % nv]).distance_to(p) <= 1e-7
+                K::cmp_segment_dist(
+                    self.vertices[e],
+                    self.vertices[(e + 1) % nv],
+                    p,
+                    BOUNDARY_TOL,
+                ) != Ordering::Greater
             }),
         }
     }
@@ -506,19 +594,40 @@ impl ConvexHull {
 
     /// `true` when `p` lies inside the hull or on its boundary.
     pub fn contains(&self, p: Point) -> bool {
+        self.contains_k::<EpsKernel>(p)
+    }
+
+    /// [`Self::contains`] with the per-edge side tests decided by kernel
+    /// `K`: `p` is inside iff no edge sees it strictly clockwise beyond the
+    /// [`BOUNDARY_TOL`] band (under [`EpsKernel`] exactly the historic
+    /// `cross_of_triple(..) >= -1e-7` test).
+    pub fn contains_k<K: Kernel>(&self, p: Point) -> bool {
         let nv = self.vertices.len();
         match nv {
             1 => self.vertices[0].approx_eq(p),
-            2 => Segment::new(self.vertices[0], self.vertices[1]).distance_to(p) <= 1e-7,
+            2 => {
+                K::cmp_segment_dist(self.vertices[0], self.vertices[1], p, BOUNDARY_TOL)
+                    != Ordering::Greater
+            }
             _ => (0..nv).all(|e| {
-                cross_of_triple(self.vertices[e], self.vertices[(e + 1) % nv], p) >= -1e-7
+                K::orientation_tol(
+                    self.vertices[e],
+                    self.vertices[(e + 1) % nv],
+                    p,
+                    BOUNDARY_TOL,
+                ) != Orientation::Clockwise
             }),
         }
     }
 
     /// `true` when `p` lies strictly inside the hull (not on the boundary).
     pub fn contains_strict(&self, p: Point) -> bool {
-        self.contains(p) && !self.point_on_boundary(p)
+        self.contains_strict_k::<EpsKernel>(p)
+    }
+
+    /// [`Self::contains_strict`] under kernel `K`.
+    pub fn contains_strict_k<K: Kernel>(&self, p: Point) -> bool {
+        self.contains_k::<K>(p) && !self.point_on_boundary_k::<K>(p)
     }
 
     /// Neighbours of boundary point `p` along the boundary ordering:

@@ -22,7 +22,12 @@
 //!   capsule (corridor) queries, the index behind the simulator's
 //!   incremental world state;
 //! * [`predicates`] — the ε-tolerant orientation/collinearity predicates that
-//!   every other module builds on.
+//!   every other module builds on;
+//! * [`kernel`] — the predicate [`Kernel`] abstraction: the default
+//!   ε-tolerant [`EpsKernel`] (bit-identical to calling [`predicates`]
+//!   directly) and the adaptive exact-arithmetic [`ExactKernel`], plus the
+//!   disagreement-tallying shadow kernel behind the simulator's shadow
+//!   oracle.
 //!
 //! ## Numerical model
 //!
@@ -54,6 +59,7 @@
 pub mod circle;
 pub mod grid;
 pub mod hull;
+pub mod kernel;
 pub mod line;
 pub mod point;
 pub mod predicates;
@@ -63,6 +69,7 @@ pub mod visibility;
 pub use circle::{Circle, UNIT_RADIUS};
 pub use grid::UniformGrid;
 pub use hull::ConvexHull;
+pub use kernel::{EpsKernel, ExactKernel, Kernel};
 pub use line::Line;
 pub use point::{Point, Vec2};
 pub use predicates::{approx_eq, orientation, Orientation, EPS};

@@ -1,7 +1,10 @@
 //! Infinite lines in the plane.
 
+use std::cmp::Ordering;
+
+use crate::kernel::Kernel;
 use crate::point::{Point, Vec2};
-use crate::predicates::EPS;
+use crate::predicates::{approx_eq_tol, EPS};
 
 /// An infinite line through two distinct points.
 ///
@@ -75,7 +78,7 @@ impl Line {
         let d1 = self.direction();
         let d2 = other.direction();
         let denom = d1.cross(d2);
-        if denom.abs() <= EPS * d1.norm() * d2.norm() {
+        if approx_eq_tol(denom, 0.0, EPS * d1.norm() * d2.norm()) {
             return None;
         }
         let t = (other.a - self.a).cross(d2) / denom;
@@ -86,6 +89,14 @@ impl Line {
     /// (perpendicular distance).
     pub fn contains_tol(&self, p: Point, tol: f64) -> bool {
         self.distance_to(p) <= tol
+    }
+
+    /// [`Self::distance_to`]`(p) <=> r` decided by kernel `K` on the line's
+    /// two defining points. Under the ε kernel this is bit-identical to
+    /// comparing [`Self::distance_to`] directly; the exact kernel compares
+    /// the underlying squared-cross polynomial exactly.
+    pub fn cmp_distance_to_k<K: Kernel>(&self, p: Point, r: f64) -> Ordering {
+        K::cmp_line_dist(self.a, self.b, p, r)
     }
 }
 

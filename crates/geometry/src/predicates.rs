@@ -104,9 +104,31 @@ pub fn collinear(a: Point, b: Point, c: Point) -> bool {
 }
 
 /// Clamp `v` into `[lo, hi]`.
+///
+/// Contract: requires `lo <= hi` (checked in debug builds). For finite `v`
+/// the result is `lo` when `v < lo`, `hi` when `v > hi`, and `v` otherwise
+/// — numerically equal to the previous `v.max(lo).min(hi)` for every
+/// non-NaN input (`-0.0` at a `0.0` bound keeps its sign bit here, which
+/// compares equal everywhere downstream). A NaN `v` clamps to `lo`: the old
+/// chain silently resolved NaN to `hi` (both `max` and `min` prefer the
+/// non-NaN operand, so NaN fell through to the upper bound), which turned
+/// a poisoned segment parameter into "the far endpoint". Callers clamp
+/// ratios whose degenerate form is `0/0 → t = 0` (start of segment), so
+/// `lo` is the conservative resolution — and a debug assertion flags the
+/// poisoned input rather than letting it propagate silently.
 #[inline]
 pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
-    v.max(lo).min(hi)
+    debug_assert!(lo <= hi, "clamp with inverted bounds: [{lo}, {hi}]");
+    debug_assert!(!v.is_nan(), "clamp called with NaN");
+    if v < lo {
+        lo
+    } else if v > hi {
+        hi
+    } else if v.is_nan() {
+        lo
+    } else {
+        v
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +195,17 @@ mod tests {
         assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
         assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
         assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        // Boundary values pass through exactly; signed zero is preserved.
+        assert_eq!(clamp(0.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(1.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-0.0, 0.0, 1.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn clamp_resolves_nan_to_the_lower_bound() {
+        // Release-mode contract: NaN → lo (debug builds assert instead).
+        assert_eq!(clamp(f64::NAN, 0.0, 1.0), 0.0);
     }
 
     #[test]

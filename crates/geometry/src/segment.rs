@@ -2,7 +2,7 @@
 
 use crate::line::Line;
 use crate::point::{Point, Vec2};
-use crate::predicates::{clamp, EPS};
+use crate::predicates::{approx_eq, clamp, EPS};
 
 /// A straight segment between two endpoints.
 ///
@@ -107,7 +107,7 @@ impl Segment {
         let d1 = self.direction();
         let d2 = other.direction();
         let denom = d1.cross(d2);
-        if denom.abs() <= EPS {
+        if approx_eq(denom, 0.0) {
             return None;
         }
         let t = (other.a - self.a).cross(d2) / denom;

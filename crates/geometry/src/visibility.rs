@@ -23,11 +23,14 @@
 //!    strictly *more* conservative than the paper's idealised robots — they
 //!    act on less information, never on wrong information.
 
+use std::cmp::Ordering;
+
 use crate::circle::{Circle, UNIT_RADIUS};
 use crate::hull::ConvexHull;
+use crate::kernel::{EpsKernel, Kernel};
 use crate::line::Line;
 use crate::point::Point;
-use crate::predicates::{collinear, orientation_tol, Orientation};
+use crate::predicates::Orientation;
 use crate::segment::Segment;
 
 /// Pruning radius for the pair-level visibility test: a disc whose center is
@@ -85,7 +88,18 @@ impl Default for VisibilityConfig {
 
 /// `true` when the segment avoids the interior of every obstacle disc.
 pub fn segment_clear(seg: &Segment, obstacles: &[Circle], cfg: &VisibilityConfig) -> bool {
-    obstacles.iter().all(|c| !c.blocks_segment(seg, cfg.shrink))
+    segment_clear_k::<EpsKernel>(seg, obstacles, cfg)
+}
+
+/// [`segment_clear`] with the per-disc blocking tests decided by kernel `K`.
+pub fn segment_clear_k<K: Kernel>(
+    seg: &Segment,
+    obstacles: &[Circle],
+    cfg: &VisibilityConfig,
+) -> bool {
+    obstacles
+        .iter()
+        .all(|c| !c.blocks_segment_k::<K>(seg, cfg.shrink))
 }
 
 /// `true` when the unit disc centred at `centers[i]` can see the unit disc
@@ -117,6 +131,26 @@ pub fn segment_clear(seg: &Segment, obstacles: &[Circle], cfg: &VisibilityConfig
 /// # Panics
 /// Panics if `i == j` or either index is out of bounds.
 pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityConfig) -> bool {
+    disc_sees_disc_k::<EpsKernel>(i, j, centers, cfg)
+}
+
+/// [`disc_sees_disc`] with the witness verification decided by kernel `K`.
+///
+/// Kernel routing covers the *blocking classifications* (candidate segment
+/// vs obstacle distance). The candidate **constructions** — corridor frame,
+/// critical offsets, boundary endpoints, tangent lines — are shared f64 by
+/// all kernels: the search is existential over a sampled candidate set, so
+/// constructions determine only *which* witnesses are tried, while the
+/// kernel decides whether a tried witness is genuinely clear.
+///
+/// # Panics
+/// Panics if `i == j` or either index is out of bounds.
+pub fn disc_sees_disc_k<K: Kernel>(
+    i: usize,
+    j: usize,
+    centers: &[Point],
+    cfg: &VisibilityConfig,
+) -> bool {
     assert!(i != j, "a robot trivially sees itself");
     // Evaluate in normalized (lower index first) orientation: the kernel's
     // strict float comparisons are not exactly symmetric under endpoint
@@ -149,7 +183,7 @@ pub fn disc_sees_disc(i: usize, j: usize, centers: &[Point], cfg: &VisibilityCon
         .filter(|&(k, _)| k != lo && k != hi)
         .map(|(_, &c)| c)
         .collect();
-    disc_sees_disc_among(ci, cj, &others, cfg)
+    disc_sees_disc_among_k::<K>(ci, cj, &others, cfg)
 }
 
 /// Pair-level form of [`disc_sees_disc`]: decides whether the unit disc at
@@ -167,11 +201,23 @@ pub fn disc_sees_disc_among(
     obstacles: &[Point],
     cfg: &VisibilityConfig,
 ) -> bool {
+    disc_sees_disc_among_k::<EpsKernel>(ci, cj, obstacles, cfg)
+}
+
+/// [`disc_sees_disc_among`] with the blocking classifications decided by
+/// kernel `K` (see [`disc_sees_disc_k`] for what routing does and does not
+/// cover).
+pub fn disc_sees_disc_among_k<K: Kernel>(
+    ci: Point,
+    cj: Point,
+    obstacles: &[Point],
+    cfg: &VisibilityConfig,
+) -> bool {
     // The kernel runs hundreds of thousands of times per simulated second;
     // its working buffers live in a per-thread scratch so the steady state
     // performs no heap allocation (sweep workers each get their own).
     AMONG_SCRATCH.with(|scratch| {
-        disc_sees_disc_among_with(ci, cj, obstacles, cfg, &mut scratch.borrow_mut())
+        disc_sees_disc_among_with::<K>(ci, cj, obstacles, cfg, &mut scratch.borrow_mut())
     })
 }
 
@@ -194,7 +240,7 @@ thread_local! {
         std::cell::RefCell::new(AmongScratch::default());
 }
 
-fn disc_sees_disc_among_with(
+fn disc_sees_disc_among_with<K: Kernel>(
     ci: Point,
     cj: Point,
     obstacles: &[Point],
@@ -241,7 +287,7 @@ fn disc_sees_disc_among_with(
         offsets.push(o - UNIT_RADIUS - clearance);
         offsets.push(o + UNIT_RADIUS + clearance);
     }
-    offsets.retain(|o| o.abs() <= UNIT_RADIUS);
+    offsets.retain(|o| (-UNIT_RADIUS..=UNIT_RADIUS).contains(o));
 
     // Endpoint on the boundary of the disc at `center`, at perpendicular
     // offset `o`, on the side facing the other disc (`sign` = +1 towards j,
@@ -283,19 +329,14 @@ fn disc_sees_disc_among_with(
     } else {
         obstacles
     };
+    // A candidate is a genuine witness when every obstacle keeps squared
+    // distance > block_sq from it — the kernel's squared segment-distance
+    // classification (bit-identical to the historic inline closest-point
+    // computation under the ε kernel).
     let clear = |p1: Point, p2: Point| {
-        let d = p2 - p1;
-        let len_sq = d.norm_sq();
-        threat.iter().all(|&ck| {
-            let w = ck - p1;
-            let t = if len_sq <= f64::EPSILON {
-                0.0
-            } else {
-                (w.dot(d) / len_sq).clamp(0.0, 1.0)
-            };
-            let closest = p1 + d * t;
-            (ck - closest).norm_sq() > block_sq
-        })
+        threat
+            .iter()
+            .all(|&ck| K::cmp_segment_dist_sq(p1, p2, ck, block_sq) == Ordering::Greater)
     };
 
     if obstacles.len() < SORTED_THREAT_MIN {
@@ -307,7 +348,7 @@ fn disc_sees_disc_among_with(
         }
         for &o1 in offsets.iter() {
             for &o2 in offsets.iter() {
-                if (o1 - o2).abs() <= f64::EPSILON {
+                if crate::predicates::approx_eq_tol(o1, o2, f64::EPSILON) {
                     continue;
                 }
                 if clear(endpoint(ci, o1, 1.0), endpoint(cj, o2, -1.0)) {
@@ -316,7 +357,14 @@ fn disc_sees_disc_among_with(
             }
         }
     } else {
-        let point_blocked = |p: Point| threat.iter().any(|&ck| (ck - p).norm_sq() <= block_sq);
+        // Degenerate-segment form of the same kernel classification: the
+        // prune must agree with `clear`, or exact evaluation could skip a
+        // candidate the exact `clear` would have accepted.
+        let point_blocked = |p: Point| {
+            threat
+                .iter()
+                .any(|&ck| K::cmp_segment_dist_sq(p, p, ck, block_sq) != Ordering::Greater)
+        };
         ends_i.clear();
         ends_i.extend(offsets.iter().map(|&o| {
             let p = endpoint(ci, o, 1.0);
@@ -341,7 +389,7 @@ fn disc_sees_disc_among_with(
                 continue;
             }
             for (i2, &o2) in offsets.iter().enumerate() {
-                if (o1 - o2).abs() <= f64::EPSILON {
+                if crate::predicates::approx_eq_tol(o1, o2, f64::EPSILON) {
                     continue;
                 }
                 let (p2, b2) = ends_j[i2];
@@ -371,7 +419,7 @@ fn disc_sees_disc_among_with(
                 &mut lines,
             );
             for line in &lines[..count] {
-                if let Some(seg) = chord_between_discs(line, ci, cj) {
+                if let Some(seg) = chord_between_discs::<K>(line, ci, cj) {
                     if clear(seg.a, seg.b) {
                         return true;
                     }
@@ -470,12 +518,16 @@ fn tangent_candidate_lines(
 /// The portion of `line` that runs from the boundary of the unit disc at
 /// `ci` to the boundary of the unit disc at `cj`, or `None` when the line
 /// misses either disc.
-fn chord_between_discs(line: &Line, ci: Point, cj: Point) -> Option<Segment> {
-    let di = line.distance_to(ci);
-    let dj = line.distance_to(cj);
-    if di > UNIT_RADIUS || dj > UNIT_RADIUS {
+fn chord_between_discs<K: Kernel>(line: &Line, ci: Point, cj: Point) -> Option<Segment> {
+    // Whether the candidate line reaches both discs is a kernel
+    // classification; the chord endpoints below are shared constructions.
+    if line.cmp_distance_to_k::<K>(ci, UNIT_RADIUS) == Ordering::Greater
+        || line.cmp_distance_to_k::<K>(cj, UNIT_RADIUS) == Ordering::Greater
+    {
         return None;
     }
+    let di = line.distance_to(ci);
+    let dj = line.distance_to(cj);
     let pi = line.project(ci);
     let pj = line.project(cj);
     if pi.distance(pj) <= f64::EPSILON {
@@ -508,24 +560,40 @@ pub fn visible_set(i: usize, centers: &[Point], cfg: &VisibilityConfig) -> Vec<u
 /// the collinearity test; the gathering algorithm passes its own `1/n`-scaled
 /// band here.
 pub fn fully_visible_in_convex_position(centers: &[Point], collinearity_tol: f64) -> bool {
+    fully_visible_in_convex_position_k::<EpsKernel>(centers, collinearity_tol)
+}
+
+/// [`fully_visible_in_convex_position`] with the hull membership and the
+/// collinearity band decided by kernel `K`.
+pub fn fully_visible_in_convex_position_k<K: Kernel>(
+    centers: &[Point],
+    collinearity_tol: f64,
+) -> bool {
     if centers.len() <= 2 {
         return true;
     }
-    let hull = ConvexHull::from_points(centers);
+    let hull = ConvexHull::from_points_k::<K>(centers);
     if !hull.all_on_hull() {
         return false;
     }
-    no_three_collinear(centers, collinearity_tol)
+    no_three_collinear_k::<K>(centers, collinearity_tol)
 }
 
 /// `true` when no three of the given points are collinear within `tol`
 /// (tolerance on the doubled triangle area).
 pub fn no_three_collinear(points: &[Point], tol: f64) -> bool {
+    no_three_collinear_k::<EpsKernel>(points, tol)
+}
+
+/// [`no_three_collinear`] with the per-triple test decided by kernel `K`.
+pub fn no_three_collinear_k<K: Kernel>(points: &[Point], tol: f64) -> bool {
     let n = points.len();
     for a in 0..n {
         for b in (a + 1)..n {
             for c in (b + 1)..n {
-                if orientation_tol(points[a], points[b], points[c], tol) == Orientation::Collinear {
+                if K::orientation_tol(points[a], points[b], points[c], tol)
+                    == Orientation::Collinear
+                {
                     return false;
                 }
             }
@@ -537,7 +605,12 @@ pub fn no_three_collinear(points: &[Point], tol: f64) -> bool {
 /// `true` when the three points are exactly collinear within the default
 /// predicate tolerance. Convenience re-export used by the algorithm crate.
 pub fn three_collinear(a: Point, b: Point, c: Point) -> bool {
-    collinear(a, b, c)
+    three_collinear_k::<EpsKernel>(a, b, c)
+}
+
+/// [`three_collinear`] under kernel `K`'s policy collinearity width.
+pub fn three_collinear_k<K: Kernel>(a: Point, b: Point, c: Point) -> bool {
+    K::orientation(a, b, c) == Orientation::Collinear
 }
 
 /// Minimum gap (boundary-to-boundary distance) over all pairs of unit discs,

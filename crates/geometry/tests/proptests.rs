@@ -1,8 +1,9 @@
 //! Property-based tests for the geometry substrate.
 
 use fatrobots_geometry::hull::{convex_hull, ConvexHull, HullScratch};
+use fatrobots_geometry::predicates::{self, Orientation};
 use fatrobots_geometry::visibility::{disc_sees_disc, min_pairwise_gap, VisibilityConfig};
-use fatrobots_geometry::{Circle, Point, Segment, Vec2};
+use fatrobots_geometry::{Circle, EpsKernel, ExactKernel, Kernel, Point, Segment, Vec2, EPS};
 use proptest::prelude::*;
 
 fn coord() -> impl Strategy<Value = f64> {
@@ -196,5 +197,113 @@ proptest! {
         let v = Vec2::new(x, y);
         prop_assert!(v.dot(v.perp_ccw()).abs() < 1e-9);
         prop_assert!(v.dot(v.perp_cw()).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel agreement and exactness (the shadow oracle's soundness assumptions).
+// ---------------------------------------------------------------------------
+
+/// Adversarial near-collinear triples: `c` sits on the segment `ab` displaced
+/// perpendicularly by a few ulps, the regime where the ε kernel must report
+/// `Collinear` and only exact arithmetic can recover the true side.
+fn near_collinear_triple() -> impl Strategy<Value = (Point, Point, Point, i32)> {
+    (
+        (-50i32..50, -50i32..50),
+        (-50i32..50, -50i32..50),
+        0i32..17,
+        -4i32..5,
+    )
+        .prop_map(|((ax, ay), (bx, by), sixteenths, ulps)| {
+            let a = Point::new(f64::from(ax), f64::from(ay));
+            let b = Point::new(f64::from(bx), f64::from(by));
+            let t = f64::from(sixteenths) / 16.0;
+            let on_line = a.lerp(b, t);
+            let d = b - a;
+            let n = if d.is_zero() {
+                Vec2::new(0.0, 1.0)
+            } else {
+                d.perp_ccw()
+            };
+            let c = on_line + n * (f64::from(ulps) * f64::EPSILON);
+            // Rounding may snap a sub-ulp displacement back onto the line
+            // (rounding never flips a component's sign, so a partly-surviving
+            // displacement still lies on the intended side). Record the side
+            // of the *stored* point: 0 when the nudge rounded away entirely.
+            let ulps = if c == on_line { 0 } else { ulps };
+            (a, b, c, ulps)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn kernels_agree_on_orientation_far_from_collinearity(a in point(), b in point(), c in point()) {
+        prop_assume!(predicates::cross_of_triple(a, b, c).abs() > 10.0 * EPS);
+        prop_assert_eq!(EpsKernel::orientation(a, b, c), ExactKernel::orientation(a, b, c));
+    }
+
+    #[test]
+    fn kernels_agree_on_distance_comparisons_far_from_ties(
+        p1 in point(), p2 in point(), r in 0.0f64..300.0
+    ) {
+        prop_assume!((p1.distance(p2) - r).abs() > 10.0 * EPS);
+        prop_assert_eq!(EpsKernel::cmp_dist(p1, p2, r), ExactKernel::cmp_dist(p1, p2, r));
+    }
+
+    #[test]
+    fn kernels_agree_on_segment_distance_far_from_ties(
+        a in point(), b in point(), q in point(), r in 0.0f64..300.0
+    ) {
+        let seg = Segment::new(a, b);
+        prop_assume!((seg.distance_to(q) - r).abs() > 10.0 * EPS);
+        prop_assert_eq!(
+            EpsKernel::cmp_segment_dist(a, b, q, r),
+            ExactKernel::cmp_segment_dist(a, b, q, r)
+        );
+    }
+
+    #[test]
+    fn exact_orientation_is_antisymmetric_on_adversarial_triples(
+        triple in near_collinear_triple()
+    ) {
+        let (a, b, c, _ulps) = triple;
+        prop_assume!(!a.approx_eq(b));
+        let fwd = ExactKernel::orientation(a, b, c);
+        let rev = ExactKernel::orientation(b, a, c);
+        let flipped = match fwd {
+            Orientation::CounterClockwise => Orientation::Clockwise,
+            Orientation::Clockwise => Orientation::CounterClockwise,
+            Orientation::Collinear => Orientation::Collinear,
+        };
+        prop_assert_eq!(rev, flipped);
+    }
+
+    #[test]
+    fn exact_orientation_is_cyclically_consistent_on_adversarial_triples(
+        triple in near_collinear_triple()
+    ) {
+        let (a, b, c, _ulps) = triple;
+        let abc = ExactKernel::orientation(a, b, c);
+        prop_assert_eq!(abc, ExactKernel::orientation(b, c, a));
+        prop_assert_eq!(abc, ExactKernel::orientation(c, a, b));
+    }
+
+    #[test]
+    fn exact_orientation_recovers_the_true_side_of_ulp_offsets(
+        triple in near_collinear_triple()
+    ) {
+        let (a, b, c, ulps) = triple;
+        prop_assume!(!a.approx_eq(b));
+        // The displacement was constructed along ±perp_ccw, so exact
+        // arithmetic must classify the *stored* point by the sign of the
+        // offset (the strategy zeroes `ulps` when rounding erased the nudge).
+        let expected = match ulps.signum() {
+            1 => Orientation::CounterClockwise,
+            -1 => Orientation::Clockwise,
+            _ => Orientation::Collinear,
+        };
+        prop_assert_eq!(ExactKernel::orientation(a, b, c), expected);
     }
 }

@@ -1,6 +1,7 @@
 //! Geometric, state and robot configurations.
 
 use fatrobots_geometry::hull::ConvexHull;
+use fatrobots_geometry::predicates::approx_eq_tol;
 use fatrobots_geometry::visibility::{
     disc_sees_disc, min_pairwise_gap, no_three_collinear, VisibilityConfig,
 };
@@ -22,7 +23,7 @@ pub const TOUCH_TOL: f64 = 1e-6;
 /// incremental world state to stay bit-identical to the from-scratch path.
 #[inline]
 pub fn gap_touches(gap: f64) -> bool {
-    gap.abs() <= TOUCH_TOL || gap < 0.0
+    approx_eq_tol(gap, 0.0, TOUCH_TOL) || gap < 0.0
 }
 
 /// A geometric configuration `G = (c_1, …, c_n)`: the centers of the robots'

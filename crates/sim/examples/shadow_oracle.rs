@@ -1,0 +1,110 @@
+//! Shadow-oracle stall diagnosis: replay the two known convergence stalls
+//! (see ROADMAP.md) with every Compute decision re-decided under the
+//! exact-arithmetic kernel, and report whether the ε-tolerant predicates
+//! ever disagree with exact geometry.
+//!
+//! * Zero decision divergences over a stall window ⇒ the stall is a genuine
+//!   fixed point of the algorithm under the simulation model, not a
+//!   floating-point artifact.
+//! * A divergence inside the window ⇒ the ε tolerance (at the reported
+//!   predicate site) chose a different move than exact geometry — a
+//!   tolerance bug with a concrete first-failure coordinate.
+//!
+//! ```sh
+//! cargo run --release -p fatrobots-sim --example shadow_oracle
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fatrobots_geometry::kernel::shadow::PredicateSite;
+use fatrobots_sim::experiment::{run, AdversaryKind, RunSpec};
+use fatrobots_sim::init::Shape;
+
+fn diagnose(label: &str, spec: RunSpec) -> bool {
+    let start = Instant::now();
+    let summary = run(&spec);
+    let elapsed = start.elapsed();
+    let Some(stats) = summary.shadow else {
+        eprintln!("shadow_oracle: FAIL — {label}: no shadow stats recorded");
+        return false;
+    };
+    println!(
+        "{label}: {} events in {elapsed:.2?}, gathered={}, {} computes replayed, \
+         {} decision divergences, {} predicate flips",
+        summary.events,
+        summary.gathered,
+        stats.computes,
+        stats.divergent,
+        stats.predicate_flips(),
+    );
+    for site in PredicateSite::ALL {
+        if stats.log.calls_at(site) > 0 {
+            println!(
+                "  {:<22} {:>12} calls  {:>8} eps-vs-exact flips",
+                site.name(),
+                stats.log.calls_at(site),
+                stats.log.disagreements_at(site),
+            );
+        }
+    }
+    match stats.first_divergence {
+        Some(d) => println!(
+            "  FIRST DIVERGENCE at event {} robot {} (dominant site: {}):\n    eps   = {:?}\n    exact = {:?}",
+            d.event,
+            d.robot,
+            d.site.map_or("none", PredicateSite::name),
+            d.eps,
+            d.exact,
+        ),
+        None => println!("  no decision ever diverged from exact arithmetic"),
+    }
+    stats.computes > 0
+}
+
+fn main() -> ExitCode {
+    // Stall regime 1 (ROADMAP): the idle-decision fixed point. n=7 seed=7
+    // under round-robin re-decides bit-identical views forever.
+    let idle = diagnose(
+        "idle-decision fixed point (n=7 seed=7 round-robin, 30k window)",
+        RunSpec {
+            shape: Shape::Random,
+            adversary: AdversaryKind::RoundRobin,
+            max_events: 30_000,
+            shadow: true,
+            ..RunSpec::new(7, 7)
+        },
+    );
+
+    // Stall regime 2 (ROADMAP): the moving oscillation. Most n ≥ 16 random
+    // starts keep physically moving without reaching the postcondition
+    // (n=16 seeds 2 and 3 stall; seeds 1, 4, 5 gather).
+    let oscillation = diagnose(
+        "moving oscillation (n=16 seed=2 random-async, 60k window)",
+        RunSpec {
+            shape: Shape::Random,
+            max_events: 60_000,
+            shadow: true,
+            ..RunSpec::new(16, 2)
+        },
+    );
+
+    // A healthy sibling seed as a control: it gathers, and its replay count
+    // pins the oracle against the full decision stream of a complete run.
+    let control = diagnose(
+        "control (n=7 seed=1 round-robin, gathers)",
+        RunSpec {
+            shape: Shape::Random,
+            adversary: AdversaryKind::RoundRobin,
+            max_events: 60_000,
+            shadow: true,
+            ..RunSpec::new(7, 1)
+        },
+    );
+
+    if idle && oscillation && control {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

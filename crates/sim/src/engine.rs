@@ -215,6 +215,22 @@ impl Simulator {
         &self.phases
     }
 
+    /// Robot `i`'s most recent Look snapshot. Meaningful from the robot's
+    /// Look event until its next Look (the buffer is refilled in place);
+    /// in particular it is exactly the view its pending decision was
+    /// computed from while that decision is still pending.
+    pub fn view_of(&self, i: usize) -> &LocalView {
+        &self.views[i]
+    }
+
+    /// Robot `i`'s pending decision: `Some` between its Compute event and
+    /// the dispatch of the resulting Move/Done. The shadow oracle replays
+    /// the paired [`Self::view_of`] snapshot under other kernels and
+    /// compares against this value.
+    pub fn pending_decision(&self, i: usize) -> Option<Decision> {
+        self.decisions[i]
+    }
+
     /// The metrics collected so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -275,9 +291,19 @@ impl Simulator {
 
     /// Runs until every robot terminates or the event budget is exhausted.
     pub fn run(&mut self) -> RunOutcome {
+        self.run_observed(|_, _| {})
+    }
+
+    /// [`Self::run`] with a per-event observer: after each applied event the
+    /// observer sees the simulator (immutably) and the event. The event
+    /// stream is identical to [`Self::run`] — the observer only watches.
+    /// This is the hook the shadow oracle uses to re-decide every Compute
+    /// event under other kernels while the engine stays on the default path.
+    pub fn run_observed(&mut self, mut observer: impl FnMut(&Simulator, &Event)) -> RunOutcome {
         while self.metrics.events < self.config.max_events {
-            if self.step().is_none() {
-                break;
+            match self.step() {
+                Some(event) => observer(self, &event),
+                None => break,
             }
         }
         // Record one final sample so the series always covers the end state.

@@ -16,6 +16,7 @@ use fatrobots_scheduler::{
 
 use crate::engine::{SimConfig, Simulator};
 use crate::init::Shape;
+use crate::shadow::{ShadowExecutor, ShadowStats};
 
 /// Which local decision rule a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,6 +131,12 @@ pub struct RunSpec {
     pub delta: f64,
     /// Event budget.
     pub max_events: usize,
+    /// Run the exact-arithmetic shadow oracle alongside the engine and
+    /// attach its divergence tallies to the summary. Only meaningful for
+    /// [`StrategyKind::Paper`] (the oracle replays the paper's kernelised
+    /// Compute pipeline); other strategies ignore it. Off by default — the
+    /// oracle roughly triples per-Compute cost.
+    pub shadow: bool,
 }
 
 impl RunSpec {
@@ -145,6 +152,7 @@ impl RunSpec {
             adversary: AdversaryKind::RandomAsync,
             delta: 1e-3,
             max_events: 60_000 + 20_000 * n,
+            shadow: false,
         }
     }
 }
@@ -189,6 +197,9 @@ pub struct RunSummary {
     pub hull_repairs: u64,
     /// Hull-cache refreshes that fell back to a full rebuild.
     pub hull_rebuilds: u64,
+    /// Shadow-oracle tallies, present when the spec requested the oracle
+    /// and the strategy was the paper's algorithm.
+    pub shadow: Option<ShadowStats>,
 }
 
 /// Executes one run.
@@ -205,7 +216,13 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         spec.adversary.build(spec.seed, spec.n),
         config,
     );
-    let outcome = sim.run();
+    let (outcome, shadow) = if spec.shadow && spec.strategy == StrategyKind::Paper {
+        let mut oracle = ShadowExecutor::new(spec.n);
+        let outcome = sim.run_observed(|sim, event| oracle.observe(sim, event));
+        (outcome, Some(oracle.into_stats()))
+    } else {
+        (sim.run(), None)
+    };
     let (visibility_cache_hits, visibility_cache_misses) = sim.visibility_cache_stats();
     let (decision_cache_hits, decision_cache_misses) = sim.decision_cache_stats();
     let (hull_repairs, hull_rebuilds) = sim.hull_repair_stats();
@@ -226,6 +243,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         decision_cache_misses,
         hull_repairs,
         hull_rebuilds,
+        shadow,
     }
 }
 
@@ -250,6 +268,13 @@ pub struct AggregateRow {
     pub mean_expansion_monotonicity: Option<f64>,
     /// Mean convergence monotonicity over the runs that measured it.
     pub mean_convergence_monotonicity: Option<f64>,
+    /// Total shadow-oracle decision divergences (ε decision ≠ exact
+    /// decision) over the runs that ran the oracle; `None` when none did.
+    pub shadow_divergent: Option<u64>,
+    /// Total shadow-oracle predicate flips (per-site ε-vs-exact verdict
+    /// disagreements, including benign ones absorbed by control flow) over
+    /// the runs that ran the oracle; `None` when none did.
+    pub shadow_flips: Option<u64>,
 }
 
 impl AggregateRow {
@@ -266,6 +291,8 @@ impl AggregateRow {
                 Some(vals.iter().sum::<f64>() / vals.len() as f64)
             }
         };
+        let shadowed: Vec<&ShadowStats> =
+            summaries.iter().filter_map(|s| s.shadow.as_ref()).collect();
         AggregateRow {
             label: label.into(),
             runs: summaries.len(),
@@ -276,6 +303,10 @@ impl AggregateRow {
             mean_first_fully_visible: mean_opt(&|s| s.first_fully_visible.map(|v| v as f64)),
             mean_expansion_monotonicity: mean_opt(&|s| s.expansion_monotonicity),
             mean_convergence_monotonicity: mean_opt(&|s| s.convergence_monotonicity),
+            shadow_divergent: (!shadowed.is_empty())
+                .then(|| shadowed.iter().map(|s| s.divergent).sum()),
+            shadow_flips: (!shadowed.is_empty())
+                .then(|| shadowed.iter().map(|s| s.predicate_flips()).sum()),
         }
     }
 
@@ -633,6 +664,37 @@ mod tests {
         assert!(summary.terminated, "5 robots on a circle must terminate");
         assert!(summary.gathered);
         assert!(summary.cycles_per_robot >= 1.0);
+    }
+
+    #[test]
+    fn shadow_spec_attaches_oracle_stats_without_changing_the_run() {
+        let base = RunSpec {
+            max_events: 120_000,
+            shape: Shape::Circle,
+            adversary: AdversaryKind::RoundRobin,
+            ..RunSpec::new(5, 3)
+        };
+        let plain = run(&base);
+        let shadowed = run(&RunSpec {
+            shadow: true,
+            ..base
+        });
+        // The oracle only observes: every engine-level field agrees.
+        assert_eq!(plain.gathered, shadowed.gathered);
+        assert_eq!(plain.events, shadowed.events);
+        assert_eq!(plain.distance, shadowed.distance);
+        let stats = shadowed.shadow.expect("paper strategy + shadow spec");
+        assert!(stats.computes > 0);
+        assert!(stats.log.calls() > 0);
+        assert!(plain.shadow.is_none());
+        // Baselines do not run the paper pipeline; the oracle stays off.
+        let baseline = run(&RunSpec {
+            shadow: true,
+            strategy: StrategyKind::Centroid,
+            max_events: 2_000,
+            ..base
+        });
+        assert!(baseline.shadow.is_none());
     }
 
     #[test]

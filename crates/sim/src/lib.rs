@@ -18,6 +18,9 @@
 //! * [`trace`] — execution traces (events plus sampled configurations) with
 //!   CSV export;
 //! * [`render`] — small SVG / ASCII renderers for configurations;
+//! * [`shadow`] — the exact-arithmetic shadow oracle: replays every Compute
+//!   decision under the exact kernel via [`engine::Simulator::run_observed`]
+//!   and attributes ε-vs-exact decision divergences to predicate sites;
 //! * [`experiment`] — the parameter-sweep harness behind EXPERIMENTS.md and
 //!   the Criterion benches;
 //! * [`sweep`] — the parallel sweep engine: fans `RunSpec`s out over a
@@ -55,10 +58,12 @@ pub mod experiment;
 pub mod init;
 pub mod metrics;
 pub mod render;
+pub mod shadow;
 pub mod sweep;
 pub mod trace;
 pub mod world;
 
 pub use engine::{RunOutcome, SimConfig, Simulator};
 pub use metrics::Metrics;
+pub use shadow::{DivergenceRecord, ShadowExecutor, ShadowStats};
 pub use world::{World, WorldMode};

@@ -1,0 +1,243 @@
+//! The shadow oracle: replay every Compute decision of a run under the
+//! exact-arithmetic kernel and tally where the ε-tolerant production
+//! predicates disagree with exact geometry.
+//!
+//! The engine itself never leaves the default [`EpsKernel`] hot path — the
+//! oracle rides along as a [`Simulator::run_observed`] observer. After each
+//! `Compute` event the acting robot's Look snapshot and pending decision are
+//! still intact in the engine, so the oracle re-decides that exact view
+//! twice:
+//!
+//! * under [`ShadowKernel`], which evaluates both kernels per predicate and
+//!   tallies per-[`PredicateSite`] disagreements while returning ε verdicts
+//!   (by construction this reproduces the production decision bit for bit);
+//! * under [`ExactKernel`], whose decision is compared against the pending
+//!   ε decision — any difference is a *decision divergence*: a place where
+//!   ε tolerance, not geometry, chose the robot's move.
+//!
+//! Divergence attribution answers the convergence-stall question directly:
+//! if a stalled run shows zero divergences, the fixed point is real geometry
+//! (a model deviation to document); if the first divergence lands inside the
+//! stall window, the stall is a floating-point artifact of the predicate
+//! site it names.
+//!
+//! [`EpsKernel`]: fatrobots_geometry::kernel::EpsKernel
+
+use fatrobots_core::{AlgorithmParams, ComputeScratch, Decision, KernelAlgorithm};
+use fatrobots_geometry::kernel::shadow::{self, PredicateSite, ShadowKernel, ShadowLog};
+use fatrobots_geometry::kernel::ExactKernel;
+use fatrobots_model::RobotId;
+use fatrobots_scheduler::Event;
+
+use crate::engine::Simulator;
+
+/// The first Compute event whose exact-kernel decision differed from the
+/// production ε decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceRecord {
+    /// Event index (1-based position in the run's event stream) of the
+    /// diverging Compute event.
+    pub event: usize,
+    /// The robot whose decision diverged.
+    pub robot: usize,
+    /// The predicate site with the most ε-vs-exact verdict flips during
+    /// that decision — the best single-site attribution of the divergence.
+    /// `None` only in the degenerate case where the decision differed
+    /// without any logged predicate flip (not expected: constructions are
+    /// shared, so decisions can only diverge through predicate flips).
+    pub site: Option<PredicateSite>,
+    /// The production (ε-kernel) decision.
+    pub eps: Decision,
+    /// The exact-kernel decision.
+    pub exact: Decision,
+}
+
+/// Aggregated shadow-oracle output for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShadowStats {
+    /// Compute events replayed under the shadow kernels.
+    pub computes: u64,
+    /// Compute events whose exact-kernel decision differed from the ε
+    /// decision.
+    pub divergent: u64,
+    /// Per-predicate-site call and disagreement tallies, summed over every
+    /// replayed decision. Site disagreements without a decision divergence
+    /// are benign flips (the control flow absorbed them).
+    pub log: ShadowLog,
+    /// The first decision divergence, if any.
+    pub first_divergence: Option<DivergenceRecord>,
+}
+
+impl ShadowStats {
+    /// Total predicate-site disagreements (ε verdict vs exact verdict)
+    /// across all sites, including benign ones.
+    pub fn predicate_flips(&self) -> u64 {
+        self.log.disagreements()
+    }
+}
+
+/// Observer that replays every Compute decision under the shadow and exact
+/// kernels. Drive it with [`Simulator::run_observed`]:
+///
+/// ```
+/// use fatrobots_core::{AlgorithmParams, LocalAlgorithm};
+/// use fatrobots_geometry::Point;
+/// use fatrobots_scheduler::RoundRobin;
+/// use fatrobots_sim::engine::{SimConfig, Simulator};
+/// use fatrobots_sim::shadow::ShadowExecutor;
+///
+/// let n = 3;
+/// let centers = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 3.0_f64.sqrt()),
+/// ];
+/// let mut sim = Simulator::new(
+///     centers,
+///     Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+///     Box::new(RoundRobin::new()),
+///     SimConfig::default(),
+/// );
+/// let mut oracle = ShadowExecutor::new(n);
+/// let outcome = sim.run_observed(|sim, event| oracle.observe(sim, event));
+/// let stats = oracle.into_stats();
+/// assert!(outcome.gathered);
+/// assert_eq!(stats.computes, 3);
+/// ```
+#[derive(Debug)]
+pub struct ShadowExecutor {
+    params: AlgorithmParams,
+    stats: ShadowStats,
+    /// Scratch arena shared by the two replay pipelines (the buffers are
+    /// kernel-independent).
+    scratch: ComputeScratch,
+}
+
+impl ShadowExecutor {
+    /// An oracle for a system of `n` robots running the paper's algorithm.
+    pub fn new(n: usize) -> Self {
+        ShadowExecutor {
+            params: AlgorithmParams::for_n(n),
+            stats: ShadowStats::default(),
+            scratch: ComputeScratch::default(),
+        }
+    }
+
+    /// Observes one applied event. Non-Compute events are free; a Compute
+    /// event re-decides the acting robot's snapshot under both shadow
+    /// kernels. Call from the [`Simulator::run_observed`] closure.
+    pub fn observe(&mut self, sim: &Simulator, event: &Event) {
+        let Event::Compute(RobotId(i)) = event else {
+            return;
+        };
+        let Some(eps) = sim.pending_decision(*i) else {
+            return;
+        };
+        let view = sim.view_of(*i);
+        self.stats.computes += 1;
+
+        shadow::reset();
+        let shadowed =
+            KernelAlgorithm::<ShadowKernel>::new(self.params).run_with(view, &mut self.scratch);
+        let log = shadow::take();
+        debug_assert_eq!(
+            shadowed, eps,
+            "the shadow kernel returns ε verdicts and must reproduce the production decision"
+        );
+
+        let exact =
+            KernelAlgorithm::<ExactKernel>::new(self.params).run_with(view, &mut self.scratch);
+        self.stats.log.merge(&log);
+        if exact != eps {
+            self.stats.divergent += 1;
+            if self.stats.first_divergence.is_none() {
+                self.stats.first_divergence = Some(DivergenceRecord {
+                    event: sim.metrics().events,
+                    robot: *i,
+                    site: log.dominant_site(),
+                    eps,
+                    exact,
+                });
+            }
+        }
+    }
+
+    /// The tallies accumulated so far.
+    pub fn stats(&self) -> &ShadowStats {
+        &self.stats
+    }
+
+    /// Consumes the oracle, returning its tallies.
+    pub fn into_stats(self) -> ShadowStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fatrobots_core::LocalAlgorithm;
+    use fatrobots_geometry::Point;
+    use fatrobots_scheduler::RoundRobin;
+
+    use crate::engine::{SimConfig, Simulator};
+
+    fn paper_sim(centers: Vec<Point>, max_events: usize) -> Simulator {
+        let n = centers.len();
+        Simulator::new(
+            centers,
+            Box::new(LocalAlgorithm::new(AlgorithmParams::for_n(n))),
+            Box::new(RoundRobin::new()),
+            SimConfig {
+                max_events,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn oracle_covers_every_compute_event() {
+        let centers = vec![
+            Point::new(0.0, 0.0),
+            Point::new(16.0, 0.0),
+            Point::new(8.0, 14.0),
+        ];
+        let mut sim = paper_sim(centers, 50_000);
+        let mut oracle = ShadowExecutor::new(3);
+        let outcome = sim.run_observed(|sim, event| oracle.observe(sim, event));
+        assert!(outcome.terminated);
+        let stats = oracle.into_stats();
+        assert_eq!(
+            stats.computes, outcome.metrics.computes as u64,
+            "every Compute event must be replayed"
+        );
+        assert!(stats.log.calls() > 0, "the replay must exercise predicates");
+        assert!(stats.divergent <= stats.computes);
+        if stats.divergent == 0 {
+            assert_eq!(stats.first_divergence, None);
+        }
+    }
+
+    #[test]
+    fn oracle_does_not_perturb_the_run() {
+        // The observed run's outcome and final centers are bit-identical to
+        // an unobserved run: the oracle only watches.
+        let centers = || {
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(16.0, 0.0),
+                Point::new(16.0, 16.0),
+                Point::new(0.0, 16.0),
+            ]
+        };
+        let mut plain = paper_sim(centers(), 100_000);
+        let plain_outcome = plain.run();
+
+        let mut observed = paper_sim(centers(), 100_000);
+        let mut oracle = ShadowExecutor::new(4);
+        let observed_outcome = observed.run_observed(|sim, event| oracle.observe(sim, event));
+
+        assert_eq!(plain_outcome, observed_outcome);
+        assert_eq!(plain.centers(), observed.centers());
+    }
+}

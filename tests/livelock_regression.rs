@@ -2,8 +2,11 @@
 //!
 //! `Shape::Random` with `n = 7`, `seed = 7` under the friendly `RoundRobin`
 //! schedule never gathers: the run is still going at 400k events where
-//! every other small seed finishes in ~2–6k. The suspicion is a
-//! hull/interior cycle that an ε-tolerance fails to break.
+//! every other small seed finishes in ~2–6k. The exact-arithmetic shadow
+//! oracle has since settled the cause (see
+//! `livelock_window_has_no_eps_vs_exact_divergence` below and ROADMAP.md):
+//! the stalled configuration is a genuine fixed point of the algorithm
+//! under the simulation model, not an ε-tolerance artifact.
 //!
 //! The test is `#[ignore]`d because it *currently fails* — it exists so the
 //! eventual fix has a ready-made witness. Run it explicitly with:
@@ -17,6 +20,51 @@
 use fatrobots::prelude::*;
 use fatrobots::sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
 use fatrobots::sim::init::Shape;
+
+/// Shadow-oracle verdict on the livelock, pinned (see ROADMAP.md): over a
+/// 30k-event window of the n=7/seed=7 stall, replaying every Compute
+/// decision under the exact-arithmetic kernel produces **zero** decision
+/// divergences and **zero** predicate flips. The stalled configuration is a
+/// genuine fixed point of the algorithm under the simulation model — not a
+/// floating-point artifact of the ε-tolerant predicates. If this test ever
+/// fails with a nonzero count, a tolerance change has made ε and exact
+/// geometry disagree inside the stall window: the dumped counters and the
+/// first-divergence record say exactly where.
+#[test]
+fn livelock_window_has_no_eps_vs_exact_divergence() {
+    let summary = run(&RunSpec {
+        shape: Shape::Random,
+        adversary: AdversaryKind::RoundRobin,
+        strategy: StrategyKind::Paper,
+        max_events: 30_000,
+        shadow: true,
+        ..RunSpec::new(7, 7)
+    });
+    assert!(!summary.terminated, "the known livelock is gone?!");
+    let stats = summary.shadow.expect("shadow oracle ran");
+    eprintln!(
+        "livelock shadow oracle: {} computes replayed, {} divergences, \
+         {} predicate flips, first divergence: {:?}",
+        stats.computes,
+        stats.divergent,
+        stats.predicate_flips(),
+        stats.first_divergence,
+    );
+    assert!(stats.computes > 0, "the oracle must replay the window");
+    assert_eq!(
+        stats.divergent, 0,
+        "exact arithmetic newly disagrees with an ε decision inside the \
+         livelock window: first divergence {:?}",
+        stats.first_divergence,
+    );
+    assert_eq!(
+        stats.predicate_flips(),
+        0,
+        "a predicate site newly flips between ε and exact verdicts inside \
+         the livelock window (absorbed by control flow, but still a \
+         tolerance-boundary crossing)"
+    );
+}
 
 #[test]
 #[ignore = "known livelock (ROADMAP): random n=7 seed=7 under round-robin never gathers; un-ignore with the fix"]
