@@ -24,7 +24,7 @@ use fatrobots_bench::{
 };
 use fatrobots_sim::experiment::{
     adversary_table_spec, baseline_table_spec, delta_table_spec, expansion_table_spec,
-    scaling_table_spec, shape_table_spec, ExperimentTable, TableSpec,
+    scaling_table_spec_with_cap, shape_table_spec, ExperimentTable, TableSpec, LARGE_N_EVENT_CAP,
 };
 use fatrobots_sim::sweep::{self, SweepPool};
 
@@ -51,6 +51,11 @@ Options:
                  land in the JSON report (schema v4 'shadow' records)
   --jobs <N>     worker threads for the sweeps (default: available cores;
                  output is byte-identical for every N)
+  --event-cap <N>
+                 event budget for E1's large-n rows (default: 60000; must
+                 be a positive integer). The cap only bounds rows at or
+                 above the large-n threshold — small-n rows keep their
+                 scale-with-n budget unless the cap is tighter
   --json <PATH>  also write every run and aggregate row to PATH as JSON
   --baseline <PATH>
                  diff the fresh rows against a previous bench_report.json:
@@ -73,6 +78,8 @@ struct Cli {
     /// Relative `mean_events` regression threshold, as a fraction (the
     /// flag takes percent).
     baseline_threshold: f64,
+    /// Event budget for E1's large-n rows (`--event-cap`).
+    event_cap: usize,
     figures: bool,
     /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
     selected: Vec<&'static str>,
@@ -87,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         json: None,
         baseline: None,
         baseline_threshold: BASELINE_EVENTS_THRESHOLD,
+        event_cap: LARGE_N_EVENT_CAP,
         figures: false,
         selected: Vec::new(),
     };
@@ -116,6 +124,17 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs wants a positive integer, got '{value}'"))?;
+            }
+            "--event-cap" => {
+                let value = iter.next().ok_or("--event-cap requires a value")?;
+                cli.event_cap =
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("--event-cap wants a positive integer, got '{value}'")
+                        })?;
             }
             "--json" => {
                 let value = iter.next().ok_or("--json requires a path")?;
@@ -153,7 +172,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     Ok(Some(cli))
 }
 
-fn build_table_spec(id: &str, quick: bool, seeds: &[u64]) -> TableSpec {
+fn build_table_spec(id: &str, quick: bool, seeds: &[u64], event_cap: usize) -> TableSpec {
     match id {
         "e1" => {
             // The large-n rows (48, 96) run with scaling_table's bounded
@@ -164,7 +183,7 @@ fn build_table_spec(id: &str, quick: bool, seeds: &[u64]) -> TableSpec {
             } else {
                 &[3, 5, 6, 8, 10, 12, 48, 96]
             };
-            scaling_table_spec(ns, seeds)
+            scaling_table_spec_with_cap(ns, seeds, event_cap)
         }
         "e2e3" => expansion_table_spec(6, seeds),
         "e4" => adversary_table_spec(6, seeds),
@@ -259,7 +278,7 @@ fn main() -> ExitCode {
     let mut pool = SweepPool::new(cli.jobs);
     let mut tables: Vec<ExperimentTable> = Vec::new();
     for id in &ids {
-        let mut spec = build_table_spec(id, cli.quick, seeds);
+        let mut spec = build_table_spec(id, cli.quick, seeds, cli.event_cap);
         if cli.shadow {
             // The oracle rides along on every run; experiment::run keeps it
             // off for non-paper strategies, so baselines stay untouched.

@@ -49,7 +49,13 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   addition; [`diff_against_baseline`] applies its shadow-divergence rule
 ///   only when *both* sides carry the counters, so v1–v3 baselines keep
 ///   diffing cleanly against v4 tables.
-pub const REPORT_SCHEMA_VERSION: i64 = 4;
+/// * **v5** — pair-store telemetry. Per-run records additionally carry
+///   `world_pair_entries` / `world_pair_registrations`: the visibility
+///   pair-store size at the end of the run (the full Θ(n²) triangle under
+///   the dense world mode, only the computed pairs under the sparse one)
+///   and its live corridor-registration count. A pure field addition;
+///   v1–v4 baselines keep diffing cleanly against v5 tables.
+pub const REPORT_SCHEMA_VERSION: i64 = 5;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -307,6 +313,14 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             JsonValue::Int(s.hull_rebuilds as i64),
         ),
         (
+            "world_pair_entries".into(),
+            JsonValue::Int(s.world_pair_entries as i64),
+        ),
+        (
+            "world_pair_registrations".into(),
+            JsonValue::Int(s.world_pair_registrations as i64),
+        ),
+        (
             "shadow".into(),
             s.shadow.as_ref().map_or(JsonValue::Null, shadow_json),
         ),
@@ -354,7 +368,7 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 4,
+///   "schema_version": 5,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
 ///   "shadow": false,
@@ -463,6 +477,13 @@ mod tests {
         assert!(runs[0].get("hull_repairs").is_some());
         assert!(matches!(
             runs[0].get("hull_rebuilds"),
+            Some(&JsonValue::Int(m)) if m > 0
+        ));
+        // v5: pair-store telemetry — the default dense world reports the
+        // full n(n-1)/2 triangle (n=3 → 3 entries).
+        assert_eq!(runs[0].get("world_pair_entries"), Some(&JsonValue::Int(3)));
+        assert!(matches!(
+            runs[0].get("world_pair_registrations"),
             Some(&JsonValue::Int(m)) if m > 0
         ));
         let aggregate = groups[0].get("aggregate").unwrap();

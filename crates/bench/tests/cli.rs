@@ -40,6 +40,7 @@ fn help_exits_zero_and_documents_the_flags() {
         "--e1",
         "--baseline",
         "--baseline-threshold",
+        "--event-cap",
     ] {
         assert!(stdout.contains(flag), "--help must mention {flag}");
     }
@@ -73,6 +74,24 @@ fn jobs_rejects_missing_and_malformed_values() {
         let out = report(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
         assert!(String::from_utf8(out.stderr).unwrap().contains("--jobs"));
+    }
+}
+
+#[test]
+fn event_cap_rejects_missing_and_malformed_values() {
+    for args in [
+        &["--event-cap"][..],
+        &["--event-cap", "lots"],
+        &["--event-cap", "0"],
+        &["--event-cap", "-1"],
+        &["--event-cap", "1.5"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(String::from_utf8(out.stderr)
+            .unwrap()
+            .contains("--event-cap"));
+        assert!(out.stdout.is_empty(), "usage errors must not print tables");
     }
 }
 
@@ -145,6 +164,9 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 // Schema v4: the shadow-oracle record (null without
                 // --shadow, but the key is always present).
                 "shadow",
+                // Schema v5: the pair-store telemetry.
+                "world_pair_entries",
+                "world_pair_registrations",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }

@@ -59,6 +59,15 @@ pub type CellHashBuilder = BuildHasherDefault<CellHasher>;
 /// A hash map keyed by grid cells, using the fast cell hasher.
 pub type CellMap<V> = HashMap<CellCoord, V, CellHashBuilder>;
 
+/// Number of grid levels: level 0 is the base cell, each coarser level
+/// multiplies the cell edge by [`GRID_LEVEL_SCALE`]. Three levels span the
+/// scales the simulator meets: contact-radius queries (level 0), mid-range
+/// corridors, and the cross-configuration chords of an n = 10⁴ world.
+pub const GRID_LEVELS: usize = 3;
+
+/// Edge-length ratio between consecutive grid levels.
+pub const GRID_LEVEL_SCALE: i64 = 8;
+
 /// A uniform grid of square cells indexing a set of point sites by
 /// position.
 ///
@@ -71,6 +80,10 @@ pub struct UniformGrid {
     cell: f64,
     positions: Vec<Point>,
     cells: CellMap<Vec<usize>>,
+    /// Site counts per coarse cell, one map per level above the base
+    /// (levels `1..GRID_LEVELS`). Corridor walks over long chords consult
+    /// these to skip empty regions a whole coarse cell at a time.
+    coarse_counts: Vec<CellMap<u32>>,
 }
 
 impl UniformGrid {
@@ -87,9 +100,15 @@ impl UniformGrid {
             cell,
             positions: points.to_vec(),
             cells: CellMap::default(),
+            coarse_counts: vec![CellMap::default(); GRID_LEVELS - 1],
         };
         for (i, &p) in points.iter().enumerate() {
-            grid.cells.entry(grid.cell_of(p)).or_default().push(i);
+            let base = grid.cell_of(p);
+            grid.cells.entry(base).or_default().push(i);
+            for level in 1..GRID_LEVELS {
+                let coarse = grid.cell_of_at(p, level);
+                *grid.coarse_counts[level - 1].entry(coarse).or_default() += 1;
+            }
         }
         grid
     }
@@ -122,6 +141,40 @@ impl UniformGrid {
         )
     }
 
+    /// The cell edge length at the given level (`level 0` is
+    /// [`UniformGrid::cell_size`]; each coarser level multiplies it by
+    /// [`GRID_LEVEL_SCALE`]).
+    ///
+    /// # Panics
+    /// Panics if `level >= GRID_LEVELS`.
+    pub fn cell_size_at(&self, level: usize) -> f64 {
+        assert!(level < GRID_LEVELS, "grid level out of range");
+        self.cell * GRID_LEVEL_SCALE.pow(level as u32) as f64
+    }
+
+    /// The level-`level` cell containing `p`.
+    ///
+    /// # Panics
+    /// Panics if `level >= GRID_LEVELS`.
+    pub fn cell_of_at(&self, p: Point, level: usize) -> CellCoord {
+        let edge = self.cell_size_at(level);
+        ((p.x / edge).floor() as i64, (p.y / edge).floor() as i64)
+    }
+
+    /// `true` when at least one site is hashed into the given cell of the
+    /// given level.
+    ///
+    /// # Panics
+    /// Panics if `level >= GRID_LEVELS`.
+    pub fn occupied_at(&self, level: usize, cell: CellCoord) -> bool {
+        assert!(level < GRID_LEVELS, "grid level out of range");
+        if level == 0 {
+            self.cells.contains_key(&cell)
+        } else {
+            self.coarse_counts[level - 1].contains_key(&cell)
+        }
+    }
+
     /// Moves site `i` to `new`, rehashing it into its new cell. Returns the
     /// previous position.
     ///
@@ -143,6 +196,20 @@ impl UniformGrid {
             }
             self.cells.entry(to).or_default().push(i);
         }
+        for level in 1..GRID_LEVELS {
+            let from = self.cell_of_at(old, level);
+            let to = self.cell_of_at(new, level);
+            if from != to {
+                let counts = &mut self.coarse_counts[level - 1];
+                if let Some(count) = counts.get_mut(&from) {
+                    *count -= 1;
+                    if *count == 0 {
+                        counts.remove(&from);
+                    }
+                }
+                *counts.entry(to).or_default() += 1;
+            }
+        }
         old
     }
 
@@ -158,41 +225,89 @@ impl UniformGrid {
         a: Point,
         b: Point,
         radius: f64,
+        visit: impl FnMut(CellCoord) -> bool,
+    ) {
+        walk_cells_near_segment(self.cell, a, b, radius, visit);
+    }
+
+    /// [`UniformGrid::for_each_cell_near_segment`] at a coarser grid level:
+    /// visits the conservative cover of the capsule in level-`level` cells.
+    /// The same cover guarantee holds at every level — a point within
+    /// `radius` of the segment always lies in a visited level-`level` cell.
+    ///
+    /// # Panics
+    /// Panics if `level >= GRID_LEVELS`.
+    pub fn for_each_cell_near_segment_at(
+        &self,
+        level: usize,
+        a: Point,
+        b: Point,
+        radius: f64,
+        visit: impl FnMut(CellCoord) -> bool,
+    ) {
+        walk_cells_near_segment(self.cell_size_at(level), a, b, radius, visit);
+    }
+
+    /// Hierarchical corridor walk: visits every **base** cell of the
+    /// conservative capsule cover that lies inside an *occupied* level-1
+    /// cell, skipping empty regions [`GRID_LEVEL_SCALE`]² base cells at a
+    /// time. Because empty cells hold no sites, the visited cells contain
+    /// exactly the same sites as the full [`for_each_cell_near_segment`]
+    /// cover — callers gathering *sites* (not registering future
+    /// dependencies) get an identical result, output-sensitively in the
+    /// occupied length of the corridor. The closure returns `false` to stop
+    /// early. Visit order is deterministic (coarse row-major, base
+    /// row-major within each coarse cell) but differs from the flat walk.
+    pub fn for_each_occupied_cell_near_segment(
+        &self,
+        a: Point,
+        b: Point,
+        radius: f64,
         mut visit: impl FnMut(CellCoord) -> bool,
     ) {
-        // Column-band walk: for each cell column intersecting the capsule's
-        // x-extent, visit the cells of that column's y-band. The band is the
-        // y-range the segment sweeps over the (radius-widened) column,
-        // padded by the radius — a superset of the capsule's cells in that
-        // column, without scanning the full bounding box of a diagonal
-        // segment.
-        let (min_x, max_x) = (a.x.min(b.x) - radius, a.x.max(b.x) + radius);
-        let cx0 = (min_x / self.cell).floor() as i64;
-        let cx1 = (max_x / self.cell).floor() as i64;
         let dx = b.x - a.x;
         let dy = b.y - a.y;
-        for cx in cx0..=cx1 {
-            let x0 = cx as f64 * self.cell;
-            let x1 = x0 + self.cell;
-            // Parameter range of the segment whose x lies within `radius`
-            // of this column (the whole segment when it is near-vertical).
-            let (t0, t1) = if approx_eq_tol(dx, 0.0, f64::EPSILON) {
-                (0.0, 1.0)
-            } else {
-                let ta = ((x0 - radius - a.x) / dx).clamp(0.0, 1.0);
-                let tb = ((x1 + radius - a.x) / dx).clamp(0.0, 1.0);
-                (ta.min(tb), ta.max(tb))
-            };
-            let ya = a.y + t0 * dy;
-            let yb = a.y + t1 * dy;
-            let cy0 = ((ya.min(yb) - radius) / self.cell).floor() as i64;
-            let cy1 = ((ya.max(yb) + radius) / self.cell).floor() as i64;
-            for cy in cy0..=cy1 {
-                if !visit((cx, cy)) {
-                    return;
+        let mut go = true;
+        self.for_each_cell_near_segment_at(1, a, b, radius, |coarse| {
+            if !self.occupied_at(1, coarse) {
+                return true;
+            }
+            // Base-cell block of this coarse cell, clipped per column to
+            // the same y-band formula as the flat walk — the union over all
+            // occupied coarse cells is the flat cover minus cells inside
+            // empty coarse cells.
+            let bx0 = coarse.0 * GRID_LEVEL_SCALE;
+            let by0 = coarse.1 * GRID_LEVEL_SCALE;
+            for cx in bx0..bx0 + GRID_LEVEL_SCALE {
+                let x0 = cx as f64 * self.cell;
+                let x1 = x0 + self.cell;
+                let (t0, t1) = if approx_eq_tol(dx, 0.0, f64::EPSILON) {
+                    (0.0, 1.0)
+                } else {
+                    let ta = ((x0 - radius - a.x) / dx).clamp(0.0, 1.0);
+                    let tb = ((x1 + radius - a.x) / dx).clamp(0.0, 1.0);
+                    (ta.min(tb), ta.max(tb))
+                };
+                // Columns outside the capsule's x-extent contribute nothing:
+                // the clamp collapses their parameter range onto a segment
+                // endpoint, whose band may still not reach this column.
+                if x1 < a.x.min(b.x) - radius || x0 > a.x.max(b.x) + radius {
+                    continue;
+                }
+                let ya = a.y + t0 * dy;
+                let yb = a.y + t1 * dy;
+                let cy0 = (((ya.min(yb) - radius) / self.cell).floor() as i64).max(by0);
+                let cy1 = (((ya.max(yb) + radius) / self.cell).floor() as i64)
+                    .min(by0 + GRID_LEVEL_SCALE - 1);
+                for cy in cy0..=cy1 {
+                    if !visit((cx, cy)) {
+                        go = false;
+                        return false;
+                    }
                 }
             }
-        }
+            go
+        });
     }
 
     /// Appends (to `out`) the indices of every site in the conservative
@@ -227,6 +342,48 @@ impl UniformGrid {
     /// `None` when the cell is empty.
     pub fn sites_in(&self, cell: CellCoord) -> Option<&[usize]> {
         self.cells.get(&cell).map(Vec::as_slice)
+    }
+}
+
+/// Column-band walk over a square grid of edge `cell`: for each cell column
+/// intersecting the capsule's x-extent, visit the cells of that column's
+/// y-band. The band is the y-range the segment sweeps over the
+/// (radius-widened) column, padded by the radius — a superset of the
+/// capsule's cells in that column, without scanning the full bounding box
+/// of a diagonal segment. Row-major, early-exit on `false`.
+fn walk_cells_near_segment(
+    cell: f64,
+    a: Point,
+    b: Point,
+    radius: f64,
+    mut visit: impl FnMut(CellCoord) -> bool,
+) {
+    let (min_x, max_x) = (a.x.min(b.x) - radius, a.x.max(b.x) + radius);
+    let cx0 = (min_x / cell).floor() as i64;
+    let cx1 = (max_x / cell).floor() as i64;
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    for cx in cx0..=cx1 {
+        let x0 = cx as f64 * cell;
+        let x1 = x0 + cell;
+        // Parameter range of the segment whose x lies within `radius`
+        // of this column (the whole segment when it is near-vertical).
+        let (t0, t1) = if approx_eq_tol(dx, 0.0, f64::EPSILON) {
+            (0.0, 1.0)
+        } else {
+            let ta = ((x0 - radius - a.x) / dx).clamp(0.0, 1.0);
+            let tb = ((x1 + radius - a.x) / dx).clamp(0.0, 1.0);
+            (ta.min(tb), ta.max(tb))
+        };
+        let ya = a.y + t0 * dy;
+        let yb = a.y + t1 * dy;
+        let cy0 = ((ya.min(yb) - radius) / cell).floor() as i64;
+        let cy1 = ((ya.max(yb) + radius) / cell).floor() as i64;
+        for cy in cy0..=cy1 {
+            if !visit((cx, cy)) {
+                return;
+            }
+        }
     }
 }
 
@@ -323,5 +480,105 @@ mod tests {
     #[should_panic]
     fn zero_cell_edge_is_rejected() {
         let _ = UniformGrid::new(0.0, &[]);
+    }
+
+    #[test]
+    fn coarse_levels_track_occupancy_across_moves() {
+        let pts = vec![p(0.5, 0.5), p(200.0, 200.0)];
+        let mut grid = UniformGrid::new(1.0, &pts);
+        for level in 0..GRID_LEVELS {
+            assert!(grid.occupied_at(level, grid.cell_of_at(p(0.5, 0.5), level)));
+            assert!(grid.occupied_at(level, grid.cell_of_at(p(200.0, 200.0), level)));
+        }
+        assert_eq!(grid.cell_size_at(1), 8.0);
+        assert_eq!(grid.cell_size_at(2), 64.0);
+        // Moving the far site empties its coarse cells and fills new ones.
+        grid.move_point(1, p(-300.0, -300.0));
+        for level in 1..GRID_LEVELS {
+            assert!(
+                !grid.occupied_at(level, grid.cell_of_at(p(200.0, 200.0), level)),
+                "vacated level-{level} cell must drop to empty"
+            );
+            assert!(grid.occupied_at(level, grid.cell_of_at(p(-300.0, -300.0), level)));
+        }
+        // Both sites sharing one coarse cell: leaving decrements, not drops.
+        grid.move_point(1, p(1.5, 1.5));
+        grid.move_point(1, p(100.0, 0.0));
+        assert!(grid.occupied_at(1, grid.cell_of_at(p(0.5, 0.5), 1)));
+    }
+
+    #[test]
+    fn occupied_cell_walk_finds_every_site_the_flat_walk_finds() {
+        // A sparse field with a long empty middle: the pruned walk must
+        // still surface every site near the segment, at every geometry.
+        let mut pts: Vec<Point> = (0..10).map(|i| p(i as f64 * 2.0, (i % 3) as f64)).collect();
+        pts.push(p(400.0, 3.0));
+        pts.push(p(401.0, -2.0));
+        pts.push(p(-50.0, -50.0));
+        let grid = UniformGrid::new(4.0, &pts);
+        for (a, b, radius) in [
+            (p(0.0, 0.0), p(402.0, 0.0), 3.0),
+            (p(-60.0, -60.0), p(5.0, 5.0), 2.0),
+            (p(400.0, 0.0), p(400.0, 10.0), 5.0),
+            (p(1.0, 1.0), p(1.0, 1.0), 4.0),
+        ] {
+            let mut flat: Vec<usize> = Vec::new();
+            grid.for_each_cell_near_segment(a, b, radius, |cell| {
+                if let Some(sites) = grid.sites_in(cell) {
+                    flat.extend_from_slice(sites);
+                }
+                true
+            });
+            flat.sort_unstable();
+            let mut pruned: Vec<usize> = Vec::new();
+            grid.for_each_occupied_cell_near_segment(a, b, radius, |cell| {
+                if let Some(sites) = grid.sites_in(cell) {
+                    pruned.extend_from_slice(sites);
+                }
+                true
+            });
+            pruned.sort_unstable();
+            assert_eq!(
+                flat, pruned,
+                "pruned walk lost sites for segment {a:?}-{b:?} r={radius}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupied_cell_walk_early_exit_stops() {
+        let pts: Vec<Point> = (0..20).map(|i| p(i as f64, 0.0)).collect();
+        let grid = UniformGrid::new(1.0, &pts);
+        let mut visited = 0;
+        grid.for_each_occupied_cell_near_segment(p(0.0, 0.0), p(19.0, 0.0), 1.0, |_| {
+            visited += 1;
+            visited < 3
+        });
+        assert_eq!(visited, 3, "the pruned walk must stop when asked to");
+    }
+
+    #[test]
+    fn coarse_cover_contains_every_point_near_the_segment() {
+        let grid = UniformGrid::new(4.0, &[]);
+        let (a, b, radius) = (p(3.0, -2.0), p(77.0, 31.0), 6.0);
+        for level in 0..GRID_LEVELS {
+            let mut cover = Vec::new();
+            grid.for_each_cell_near_segment_at(level, a, b, radius, |cell| {
+                cover.push(cell);
+                true
+            });
+            let seg = Segment::new(a, b);
+            for step in 0..200 {
+                let t = step as f64 / 199.0;
+                let on = seg.point_at(t);
+                for (ox, oy) in [(radius, 0.0), (-radius, 0.0), (0.0, radius), (0.0, -radius)] {
+                    let q = p(on.x + ox, on.y + oy);
+                    assert!(
+                        cover.contains(&grid.cell_of_at(q, level)),
+                        "level-{level} cover misses {q:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,83 @@
+//! Throwaway calibration harness for the sparse world at large n (not part
+//! of CI): times row init and steady-state refresh separately so hot-path
+//! work can be attributed. Run with `N_SIDE=...` to change the field size.
+
+use std::time::Instant;
+
+use fatrobots_geometry::visibility::VisibilityConfig;
+use fatrobots_geometry::Point;
+use fatrobots_sim::world::{World, WorldMode};
+
+fn main() {
+    let side: usize = std::env::var("N_SIDE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let spacing: f64 = std::env::var("SPACING")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    let n = side * side;
+    let mut state = 0x5ca1ab1e_u64;
+    let mut lcg = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let hex = std::env::var("HEX").is_ok();
+    let centers: Vec<Point> = (0..n)
+        .map(|i| {
+            let (row, col) = (i / side, i % side);
+            let jx = (lcg() - 0.5) * 0.02;
+            let jy = (lcg() - 0.5) * 0.02;
+            if hex {
+                let row_h = spacing * 3f64.sqrt() / 2.0;
+                let stagger = if row % 2 == 1 { spacing / 2.0 } else { 0.0 };
+                Point::new(col as f64 * spacing + stagger + jx, row as f64 * row_h + jy)
+            } else {
+                Point::new(col as f64 * spacing + jx, row as f64 * spacing + jy)
+            }
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut world = World::new(
+        centers.clone(),
+        VisibilityConfig::default(),
+        WorldMode::Sparse,
+    );
+    println!("World::new: {:?}", t0.elapsed());
+
+    let mover = n / 2 + side / 2;
+    let home = centers[mover];
+    let mut visible = Vec::new();
+
+    let t0 = Instant::now();
+    world.visible_of_into(mover, &mut visible);
+    println!(
+        "row init: {:?}  visible={} (n={n}, spacing={spacing})",
+        t0.elapsed(),
+        visible.len()
+    );
+
+    // Steady state: oscillate and re-Look.
+    let rounds = 20;
+    let t0 = Instant::now();
+    for r in 0..rounds {
+        let dx = if r % 2 == 0 { 0.005 } else { -0.005 };
+        world.move_robot(mover, Point::new(home.x + dx, home.y));
+        world.visible_of_into(mover, &mut visible);
+    }
+    let el = t0.elapsed();
+    println!(
+        "steady move+refresh: {:?}/cycle over {rounds} cycles, visible={}",
+        el / rounds,
+        visible.len()
+    );
+    let (hits, misses) = world.cache_stats();
+    let (entries, regs) = world.pair_store_stats();
+    let (covers, skips) = world.cert_stats();
+    println!(
+        "hits={hits} misses={misses} entries={entries} regs={regs} covers={covers} skips={skips}"
+    );
+}

@@ -210,6 +210,13 @@ impl Simulator {
         self.world.hull_repair_stats()
     }
 
+    /// Pair-store telemetry: `(entries, registrations)` of the world's
+    /// visibility pair store — materialized pair entries and live corridor
+    /// registrations (see [`World::pair_store_stats`]).
+    pub fn pair_store_stats(&self) -> (u64, u64) {
+        self.world.pair_store_stats()
+    }
+
     /// Current robot phases.
     pub fn phases(&self) -> &[Phase] {
         &self.phases

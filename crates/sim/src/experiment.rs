@@ -17,6 +17,7 @@ use fatrobots_scheduler::{
 use crate::engine::{SimConfig, Simulator};
 use crate::init::Shape;
 use crate::shadow::{ShadowExecutor, ShadowStats};
+use crate::world::WorldMode;
 
 /// Which local decision rule a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,6 +138,10 @@ pub struct RunSpec {
     /// Compute pipeline); other strategies ignore it. Off by default — the
     /// oracle roughly triples per-Compute cost.
     pub shadow: bool,
+    /// How the world answers queries: the dense incremental cache (the
+    /// default), the sparse store for large n, or from-scratch reference
+    /// recomputation. All three are event-for-event identical.
+    pub world_mode: WorldMode,
 }
 
 impl RunSpec {
@@ -153,6 +158,7 @@ impl RunSpec {
             delta: 1e-3,
             max_events: 60_000 + 20_000 * n,
             shadow: false,
+            world_mode: WorldMode::Incremental,
         }
     }
 }
@@ -197,6 +203,13 @@ pub struct RunSummary {
     pub hull_repairs: u64,
     /// Hull-cache refreshes that fell back to a full rebuild.
     pub hull_rebuilds: u64,
+    /// Visibility pair-store entries materialized by the end of the run —
+    /// the full Θ(n²) triangle in the dense world, only the computed pairs
+    /// in the sparse one.
+    pub world_pair_entries: u64,
+    /// Live corridor registrations held by the pair store at the end of
+    /// the run.
+    pub world_pair_registrations: u64,
     /// Shadow-oracle tallies, present when the spec requested the oracle
     /// and the strategy was the paper's algorithm.
     pub shadow: Option<ShadowStats>,
@@ -208,6 +221,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let config = SimConfig {
         max_events: spec.max_events,
         liveness: Liveness::new(spec.delta),
+        world_mode: spec.world_mode,
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(
@@ -226,6 +240,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let (visibility_cache_hits, visibility_cache_misses) = sim.visibility_cache_stats();
     let (decision_cache_hits, decision_cache_misses) = sim.decision_cache_stats();
     let (hull_repairs, hull_rebuilds) = sim.hull_repair_stats();
+    let (world_pair_entries, world_pair_registrations) = sim.pair_store_stats();
     RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
@@ -243,6 +258,8 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         decision_cache_misses,
         hull_repairs,
         hull_rebuilds,
+        world_pair_entries,
+        world_pair_registrations,
         shadow,
     }
 }
@@ -492,8 +509,17 @@ pub fn scaling_table(ns: &[usize], seeds: &[u64], jobs: usize) -> ExperimentTabl
     scaling_table_spec(ns, seeds).execute(jobs)
 }
 
-/// The [`TableSpec`] behind [`scaling_table`].
+/// The [`TableSpec`] behind [`scaling_table`], with the default
+/// [`LARGE_N_EVENT_CAP`] budget on the large-`n` rows.
 pub fn scaling_table_spec(ns: &[usize], seeds: &[u64]) -> TableSpec {
+    scaling_table_spec_with_cap(ns, seeds, LARGE_N_EVENT_CAP)
+}
+
+/// [`scaling_table_spec`] with an explicit event budget for the rows at or
+/// above [`LARGE_N_THRESHOLD`] (the `report --event-cap` flag). The cap
+/// only ever *lowers* a row's budget — small-n rows keep their
+/// scale-with-n default unless the cap is tighter.
+pub fn scaling_table_spec_with_cap(ns: &[usize], seeds: &[u64], event_cap: usize) -> TableSpec {
     TableSpec {
         id: "e1",
         title: "E1 — gathering cost vs number of robots (random starts, random-async adversary)"
@@ -504,7 +530,7 @@ pub fn scaling_table_spec(ns: &[usize], seeds: &[u64]) -> TableSpec {
                 SpecGroup::per_seed(format!("n={n}"), seeds, |seed| {
                     let mut spec = RunSpec::new(n, seed);
                     if n >= LARGE_N_THRESHOLD {
-                        spec.max_events = spec.max_events.min(LARGE_N_EVENT_CAP);
+                        spec.max_events = spec.max_events.min(event_cap);
                     }
                     spec
                 })

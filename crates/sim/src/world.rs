@@ -49,11 +49,14 @@
 //! [`WorldMode::Scratch`] recomputes everything per query, which is how the
 //! determinism suite pins the equivalence event-for-event.
 
-use fatrobots_geometry::grid::{CellMap, UniformGrid};
+use std::collections::HashMap;
+
+use fatrobots_geometry::grid::{CellCoord, CellHashBuilder, CellMap, UniformGrid, GRID_LEVELS};
 use fatrobots_geometry::hull::{ConvexHull, HullScratch};
 use fatrobots_geometry::visibility::{
-    disc_sees_disc_among, min_pairwise_gap, no_three_collinear, visible_set, VisibilityConfig,
-    VISIBILITY_PRUNE_RADIUS,
+    corridor_filter_soa, disc_sees_disc_among, min_pairwise_gap, no_three_collinear,
+    strip_cover_blocked, strip_cover_blocked_with_slack, visible_set, VisibilityConfig,
+    COVER_STABILITY_RADIUS, VISIBILITY_PRUNE_RADIUS,
 };
 use fatrobots_geometry::{Point, Segment, Vec2, UNIT_RADIUS};
 use fatrobots_model::config::{gap_touches, TOUCH_TOL};
@@ -81,9 +84,18 @@ const REGISTRATION_COMPACT_LEN: usize = 64;
 /// How a [`World`] answers queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorldMode {
-    /// Cached pair matrix with grid-indexed dirty-pair invalidation (the
-    /// default).
+    /// Cached dense pair matrix with grid-indexed dirty-pair invalidation
+    /// (the default, and the pinned reference for the sparse mode). Memory
+    /// is Θ(n²) in the pair matrix alone — fine at the bench tables' n,
+    /// fatal at n = 10⁴.
     Incremental,
+    /// Sparse visibility state: per-robot adjacency lists, a hash-map pair
+    /// store that only materializes computed pairs, and corridor
+    /// registrations placed at a chord-length-matched grid level so each
+    /// pair holds O(1) cells. Answers are event-for-event identical to
+    /// [`WorldMode::Incremental`] (same kernels, same invalidation rule);
+    /// memory is linear in n + computed pairs.
+    Sparse,
     /// Every query recomputes from scratch, exactly like the seed engine.
     /// Used by the determinism suite as the reference behaviour.
     Scratch,
@@ -97,7 +109,29 @@ struct PairEntry {
     /// generation are dead.
     gen: u32,
     dirty: bool,
+    /// Sparse store only: the last recompute certified "blocked" through
+    /// [`strip_cover_blocked_with_slack`], so the answer provably stays
+    /// `false` while **every** robot — both endpoints and every corridor
+    /// obstacle — remains within [`CERT_DRIFT_RADIUS`] of its anchor.
+    /// Lets the drain *skip* a certified registration for any in-drift
+    /// move with a single branch (the flag is copied into the
+    /// registration record, so no pair-store lookup is needed): the
+    /// mechanism that makes both a mover's own far-pair row and the
+    /// thousands of third-party corridors crossing its cell survive
+    /// oscillation with zero per-move work.
+    certified: bool,
 }
+
+/// Maximum distance a robot may drift from its anchor before the anchor
+/// resets (the resetting move itself fails every skip check, so it drains
+/// and dirties every certified registration it covers first). Certificates
+/// are issued when the endpoints are within this radius of their anchors
+/// and honored while every robot involved stays within it, so any robot's
+/// position differs from its certification-time one by at most
+/// `2·CERT_DRIFT_RADIUS = COVER_STABILITY_RADIUS` — exactly the per-robot
+/// drift [`strip_cover_blocked_with_slack`] guarantees against, for
+/// obstacles as well as endpoints.
+const CERT_DRIFT_RADIUS: f64 = COVER_STABILITY_RADIUS / 2.0;
 
 /// One corridor registration: "pair `{a, b}` (entry `idx`, at generation
 /// `gen`) depends on this cell". The endpoints ride along so a drain can
@@ -117,6 +151,104 @@ struct PairRef {
 struct CellRegs {
     refs: Vec<PairRef>,
     compact_at: usize,
+}
+
+/// Chord lengths up to this many cell edges register at a grid level; a
+/// longer chord moves up one level. Keeps every pair's corridor
+/// registration at O(1) cells regardless of chord length (the memory term
+/// that would otherwise scale with the configuration diameter).
+const SPARSE_REG_SPAN_CELLS: f64 = 8.0;
+
+/// Packed key of the unordered pair `{a, b}` (`a < b`) in the sparse pair
+/// store.
+fn pair_key(a: usize, b: usize) -> u64 {
+    debug_assert!(a < b);
+    ((a as u64) << 32) | b as u64
+}
+
+/// One corridor registration of the sparse store: pair `{a, b}` at
+/// generation `gen` depends on the registered cell.
+#[derive(Debug, Clone, Copy)]
+struct SparseRef {
+    a: u32,
+    b: u32,
+    gen: u32,
+    /// Copy of [`PairEntry::certified`] at registration time, so the drain
+    /// fast path can skip certified registrations without touching the
+    /// pair store. A stale copy is harmless: if the pair has since been
+    /// recomputed, this ref is dead (generation mismatch) and skipping it
+    /// merely retains garbage — the *live* registration written by that
+    /// recompute carries the current flag and is the one that matters.
+    /// Stale refs are reaped by the drain's slow path and the amortized
+    /// compaction sweeps.
+    certified: bool,
+}
+
+/// A cell's sparse-store registrations plus the amortized-compaction
+/// watermark (same scheme as [`CellRegs`]).
+#[derive(Debug, Default)]
+struct SparseCellRegs {
+    refs: Vec<SparseRef>,
+    compact_at: usize,
+}
+
+/// A robot's queue of pairs to recompute at its next row refresh. May hold
+/// stale entries (pairs already recomputed through the partner's row); the
+/// drain skips anything no longer dirty. `compact_at` bounds the queue of
+/// rows that rarely refresh (amortized-compaction watermark).
+#[derive(Debug, Default)]
+struct PendingRow {
+    js: Vec<u32>,
+    compact_at: usize,
+}
+
+/// The sparse visibility state of [`WorldMode::Sparse`]: everything is
+/// sized by what has actually been computed, never by n².
+#[derive(Debug, Default)]
+struct SparseVis {
+    /// Pair entries for every pair computed so far, keyed by [`pair_key`].
+    /// Absent means "never computed" — equivalent to the dense store's
+    /// initial dirty entry.
+    pairs: HashMap<u64, PairEntry, CellHashBuilder>,
+    /// Sorted adjacency: `adj[i]` holds exactly the robots whose pair with
+    /// `i` is stored with `seen == true` (possibly dirty — a row refresh
+    /// recomputes the dirty pairs before the list is read).
+    adj: Vec<Vec<u32>>,
+    /// Per-robot recompute queues, fed by the cell drains.
+    pending: Vec<PendingRow>,
+    /// Whether row `i` has ever been fully computed. A row's first refresh
+    /// computes all of its pairs; afterwards only dirtied pairs recompute.
+    row_init: Vec<bool>,
+    /// Corridor registrations per grid level (index = level).
+    regs: Vec<CellMap<SparseCellRegs>>,
+}
+
+/// Queues `j` on a pending row, keeping the queue bounded by the number of
+/// distinct partners: past the watermark the queue is sorted and
+/// deduplicated (stale entries are cheap to carry — the drain skips
+/// anything no longer dirty — but duplicates must not accumulate without
+/// bound on rows that rarely refresh).
+fn push_pending(row: &mut PendingRow, j: u32) {
+    row.js.push(j);
+    if row.js.len() >= row.compact_at.max(REGISTRATION_COMPACT_LEN) {
+        row.js.sort_unstable();
+        row.js.dedup();
+        row.compact_at = row.js.len() * 2;
+    }
+}
+
+/// Inserts `v` into a sorted adjacency list (no-op when present).
+fn adj_insert(list: &mut Vec<u32>, v: u32) {
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
+    }
+}
+
+/// Removes `v` from a sorted adjacency list (no-op when absent).
+fn adj_remove(list: &mut Vec<u32>, v: u32) {
+    if let Ok(pos) = list.binary_search(&v) {
+        list.remove(pos);
+    }
 }
 
 /// A computed minimum pairwise gap: the gap value plus the (ascending)
@@ -158,11 +290,27 @@ pub struct World {
     grid: UniformGrid,
     /// Configuration version: incremented once per applied move.
     version: u64,
-    /// Triangular pair matrix, indexed by `pair_index`.
+    /// Triangular pair matrix, indexed by `pair_index`. Allocated only in
+    /// [`WorldMode::Incremental`] (empty otherwise — this Θ(n²) block is
+    /// exactly what [`WorldMode::Sparse`] exists to avoid).
     pairs: Vec<PairEntry>,
     /// Corridor registrations per grid cell: the pairs to dirty when the
     /// cell is touched by a move.
     cell_pairs: CellMap<CellRegs>,
+    /// Sparse visibility state ([`WorldMode::Sparse`] only; empty
+    /// otherwise).
+    sparse: SparseVis,
+    /// Per-robot certificate anchors ([`WorldMode::Sparse`] only; empty
+    /// otherwise). Invariant outside `move_robot`: every robot is within
+    /// [`CERT_DRIFT_RADIUS`] of its anchor — a move that would break this
+    /// first fails every skip check (dirtying the row as usual) and then
+    /// resets the anchor to the new position.
+    anchors: Vec<Point>,
+    /// Structure-of-arrays mirror of `centers`, kept in sync by
+    /// [`Self::move_robot`]: the batched corridor filter reads coordinates
+    /// from flat lanes instead of an array-of-structs.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
     /// Lazily recomputed global state, each tagged with the version it was
     /// computed at. The hull is rebuilt **in place** (its buffers and the
     /// construction scratch are reused across version bumps): `hull_version`
@@ -193,9 +341,20 @@ pub struct World {
     /// repair vs full rebuilds.
     hull_repairs: u64,
     hull_rebuilds: u64,
+    /// Blocked-certificate telemetry: recomputes whose answer came from a
+    /// strip cover (slack or exact) instead of the witness kernel, and
+    /// drain visits that skipped dirtying a certified pair.
+    cover_answers: u64,
+    cert_skips: u64,
     /// Reusable query buffers.
     cand_buf: Vec<usize>,
     obs_buf: Vec<Point>,
+    /// Reusable SoA buffers of the batched corridor filter: candidate
+    /// coordinates gathered into flat lanes, and the surviving lane
+    /// indices.
+    soa_xs: Vec<f64>,
+    soa_ys: Vec<f64>,
+    keep_buf: Vec<u32>,
 }
 
 impl World {
@@ -203,21 +362,49 @@ impl World {
     pub fn new(centers: Vec<Point>, vis: VisibilityConfig, mode: WorldMode) -> Self {
         let n = centers.len();
         let grid = UniformGrid::new(GRID_CELL, &centers);
+        let pairs = if mode == WorldMode::Incremental {
+            vec![
+                PairEntry {
+                    seen: false,
+                    gen: 0,
+                    dirty: true,
+                    certified: false,
+                };
+                n * n.saturating_sub(1) / 2
+            ]
+        } else {
+            Vec::new()
+        };
+        let sparse = if mode == WorldMode::Sparse {
+            SparseVis {
+                pairs: HashMap::default(),
+                adj: vec![Vec::new(); n],
+                pending: (0..n).map(|_| PendingRow::default()).collect(),
+                row_init: vec![false; n],
+                regs: (0..GRID_LEVELS).map(|_| CellMap::default()).collect(),
+            }
+        } else {
+            SparseVis::default()
+        };
+        let xs = centers.iter().map(|c| c.x).collect();
+        let ys = centers.iter().map(|c| c.y).collect();
+        let anchors = if mode == WorldMode::Sparse {
+            centers.clone()
+        } else {
+            Vec::new()
+        };
         World {
             mode,
             vis,
             centers,
             grid,
             version: 0,
-            pairs: vec![
-                PairEntry {
-                    seen: false,
-                    gen: 0,
-                    dirty: true,
-                };
-                n * n.saturating_sub(1) / 2
-            ],
+            pairs,
             cell_pairs: CellMap::default(),
+            sparse,
+            anchors,
+            xs,
+            ys,
             hull: ConvexHull::default(),
             hull_scratch: HullScratch::default(),
             hull_version: None,
@@ -231,8 +418,13 @@ impl World {
             misses: 0,
             hull_repairs: 0,
             hull_rebuilds: 0,
+            cover_answers: 0,
+            cert_skips: 0,
             cand_buf: Vec::new(),
             obs_buf: Vec::new(),
+            soa_xs: Vec::new(),
+            soa_ys: Vec::new(),
+            keep_buf: Vec::new(),
         }
     }
 
@@ -274,6 +466,39 @@ impl World {
         (self.hull_repairs, self.hull_rebuilds)
     }
 
+    /// Pair-store telemetry: `(entries, registrations)` — materialized pair
+    /// entries and live corridor registrations. In
+    /// [`WorldMode::Incremental`] the entry count is the full Θ(n²)
+    /// triangle; in [`WorldMode::Sparse`] it is only the pairs actually
+    /// computed, which is what the scale gate's linear-memory assertion
+    /// watches. Both are 0 in [`WorldMode::Scratch`].
+    pub fn pair_store_stats(&self) -> (u64, u64) {
+        match self.mode {
+            WorldMode::Scratch => (0, 0),
+            WorldMode::Incremental => (
+                self.pairs.len() as u64,
+                self.cell_pairs.values().map(|r| r.refs.len() as u64).sum(),
+            ),
+            WorldMode::Sparse => (
+                self.sparse.pairs.len() as u64,
+                self.sparse
+                    .regs
+                    .iter()
+                    .flat_map(CellMap::values)
+                    .map(|r| r.refs.len() as u64)
+                    .sum(),
+            ),
+        }
+    }
+
+    /// Blocked-certificate telemetry: `(cover_answers, cert_skips)` —
+    /// recomputes answered by a strip cover instead of the witness kernel,
+    /// and drain visits that kept a certified pair clean through an
+    /// endpoint move. Both are 0 outside [`WorldMode::Sparse`].
+    pub fn cert_stats(&self) -> (u64, u64) {
+        (self.cover_answers, self.cert_skips)
+    }
+
     /// The view version of robot `i`. The contract the engine's decision
     /// memoization rests on: read the version right after taking robot
     /// `i`'s Look snapshot ([`Self::visible_of_into`], which recomputes
@@ -306,30 +531,59 @@ impl World {
         }
         self.version += 1;
         self.hull_staleness.record_move(i);
-        if self.mode == WorldMode::Incremental {
-            // The mover's own view always changes (its center is part of
-            // it). Every *other* affected view is bumped either by
-            // `dirty_cell` (clean seen pairs being dirtied — the robots
-            // that can watch this move happen) or by the flip check in
-            // `sees` when a dirty pair is recomputed. No O(n) scan
-            // anywhere: moving a robot nobody sees bumps only the mover.
-            self.view_versions[i] += 1;
-            let from = self.grid.cell_of(old);
-            let to = self.grid.cell_of(p);
-            self.dirty_cell(from, i, old, p);
-            if to != from {
-                self.dirty_cell(to, i, old, p);
+        match self.mode {
+            WorldMode::Incremental => {
+                // The mover's own view always changes (its center is part of
+                // it). Every *other* affected view is bumped either by
+                // `dirty_cell` (clean seen pairs being dirtied — the robots
+                // that can watch this move happen) or by the flip check in
+                // `sees` when a dirty pair is recomputed. No O(n) scan
+                // anywhere: moving a robot nobody sees bumps only the mover.
+                self.view_versions[i] += 1;
+                let from = self.grid.cell_of(old);
+                let to = self.grid.cell_of(p);
+                self.dirty_cell(from, i, old, p);
+                if to != from {
+                    self.dirty_cell(to, i, old, p);
+                }
             }
-        } else {
-            // Scratch mode keeps no dirty-pair machinery; conservatively
-            // treat every view as changed by any effective move.
-            for v in &mut self.view_versions {
-                *v += 1;
+            WorldMode::Sparse => {
+                // Same invalidation rule, but registrations live at every
+                // grid level (each pair picks the level matching its chord
+                // length), so the move drains its from/to cell at each
+                // level. Coarser cells hold more incidental registrations;
+                // the drain's exact chord-distance test filters them, so
+                // coarseness costs drain time, never correctness.
+                self.view_versions[i] += 1;
+                for level in 0..GRID_LEVELS {
+                    let from = self.grid.cell_of_at(old, level);
+                    let to = self.grid.cell_of_at(p, level);
+                    self.sparse_dirty_cell(level, from, i, old, p);
+                    if to != from {
+                        self.sparse_dirty_cell(level, to, i, old, p);
+                    }
+                }
+                // Anchor maintenance, after the drains: a move beyond the
+                // drift radius has just failed every skip check (dirtying
+                // the mover's certified pairs), so re-anchoring here cannot
+                // strand a certificate issued against the old anchor.
+                if p.distance_sq(self.anchors[i]) > CERT_DRIFT_RADIUS * CERT_DRIFT_RADIUS {
+                    self.anchors[i] = p;
+                }
+            }
+            WorldMode::Scratch => {
+                // Scratch mode keeps no dirty-pair machinery; conservatively
+                // treat every view as changed by any effective move.
+                for v in &mut self.view_versions {
+                    *v += 1;
+                }
             }
         }
         self.grid.move_point(i, p);
         self.centers[i] = p;
-        if self.mode == WorldMode::Incremental {
+        self.xs[i] = p.x;
+        self.ys[i] = p.y;
+        if self.mode != WorldMode::Scratch {
             self.update_min_gap_after_move(i);
         }
     }
@@ -446,6 +700,83 @@ impl World {
         }
     }
 
+    /// [`Self::dirty_cell`] for the sparse store: drains one cell of one
+    /// grid level. The affectedness test is identical (endpoint, or old/new
+    /// position within the pruning radius of the chord); additionally every
+    /// dirtied pair is queued on both endpoints' pending rows so the next
+    /// row refresh recomputes exactly the dirtied pairs instead of probing
+    /// all n.
+    fn sparse_dirty_cell(
+        &mut self,
+        level: usize,
+        cell: CellCoord,
+        mover: usize,
+        old: Point,
+        new: Point,
+    ) {
+        use std::collections::hash_map::Entry;
+        let SparseVis {
+            pairs,
+            pending,
+            regs,
+            ..
+        } = &mut self.sparse;
+        let Entry::Occupied(mut slot) = regs[level].entry(cell) else {
+            return;
+        };
+        let regs = slot.get_mut();
+        let centers = &self.centers;
+        let view_versions = &mut self.view_versions;
+        let cert_skips = &mut self.cert_skips;
+        let prune_sq = VISIBILITY_PRUNE_RADIUS * VISIBILITY_PRUNE_RADIUS;
+        let drift_sq = CERT_DRIFT_RADIUS * CERT_DRIFT_RADIUS;
+        // Hoisted skip predicate: this move keeps the mover within the
+        // drift radius of its anchor. While that holds, every certified
+        // registration — the mover's own pairs *and* third-party corridors
+        // crossing this cell — provably keeps its "blocked" answer (see
+        // [`CERT_DRIFT_RADIUS`]), so the fast path below retains it with
+        // one branch and no pair-store lookup. A move beyond the radius
+        // makes this `false` for the whole drain, which dirties every
+        // certified pair the mover could affect *before* `move_robot`
+        // resets the anchor.
+        let mover_within_drift = new.distance_sq(self.anchors[mover]) <= drift_sq;
+        regs.refs.retain(|r| {
+            if r.certified && mover_within_drift {
+                *cert_skips += 1;
+                return true;
+            }
+            let (a, b) = (r.a as usize, r.b as usize);
+            let Some(entry) = pairs.get_mut(&pair_key(a, b)) else {
+                return false;
+            };
+            if entry.gen != r.gen || entry.dirty {
+                return false; // dead registration
+            }
+            let affected = a == mover || b == mover || {
+                let chord = Segment::new(centers[a], centers[b]);
+                chord.distance_sq_to(old) <= prune_sq || chord.distance_sq_to(new) <= prune_sq
+            };
+            if affected {
+                entry.dirty = true;
+                // Same view-version rule as the dense drain: a dirtied
+                // *seen* pair bumps both endpoints; unseen pairs wait for
+                // the flip check at the recompute.
+                if entry.seen {
+                    view_versions[a] += 1;
+                    view_versions[b] += 1;
+                }
+                push_pending(&mut pending[a], b as u32);
+                push_pending(&mut pending[b], a as u32);
+            }
+            !affected
+        });
+        if regs.refs.is_empty() {
+            slot.remove();
+        } else {
+            regs.compact_at = regs.refs.len() * 2;
+        }
+    }
+
     /// Index of the unordered pair `{a, b}` in the triangular matrix.
     fn pair_index(&self, a: usize, b: usize) -> usize {
         debug_assert!(a < b && b < self.len());
@@ -465,6 +796,16 @@ impl World {
             return fatrobots_geometry::visibility::disc_sees_disc(i, j, &self.centers, &self.vis);
         }
         let (a, b) = if i < j { (i, j) } else { (j, i) };
+        if self.mode == WorldMode::Sparse {
+            if let Some(e) = self.sparse.pairs.get(&pair_key(a, b)) {
+                if !e.dirty {
+                    self.hits += 1;
+                    return e.seen;
+                }
+            }
+            self.misses += 1;
+            return self.sparse_recompute_pair(a, b);
+        }
         let idx = self.pair_index(a, b);
         if !self.pairs[idx].dirty {
             self.hits += 1;
@@ -546,6 +887,204 @@ impl World {
         seen
     }
 
+    /// The grid level a pair registers its corridor at: the finest level
+    /// whose cells are large enough that the chord's cover holds O(1) of
+    /// them ([`SPARSE_REG_SPAN_CELLS`]). Long chords land on the coarsest
+    /// level, whose cover is a handful of cells even across the whole
+    /// configuration.
+    fn sparse_reg_level(&self, ca: Point, cb: Point) -> usize {
+        let chord = ca.distance(cb);
+        for level in 0..GRID_LEVELS {
+            if chord <= self.grid.cell_size_at(level) * SPARSE_REG_SPAN_CELLS {
+                return level;
+            }
+        }
+        GRID_LEVELS - 1
+    }
+
+    /// Recomputes one pair of the sparse store and re-registers its
+    /// corridor. Same contract as [`Self::recompute_and_register_pair`]
+    /// (and the same kernel, so the answer is bit-identical); the obstacle
+    /// slice is gathered through the occupancy-pruned hierarchical walk and
+    /// trimmed by the batched SoA corridor filter instead of a per-site
+    /// scalar filter. Both filters accept a superset of the centers within
+    /// [`VISIBILITY_PRUNE_RADIUS`] of the chord, which is all
+    /// `disc_sees_disc_among` needs for the exhaustive answer.
+    fn sparse_recompute_pair(&mut self, a: usize, b: usize) -> bool {
+        let (ca, cb) = (self.centers[a], self.centers[b]);
+        let level = self.sparse_reg_level(ca, cb);
+        let entry = self
+            .sparse
+            .pairs
+            .entry(pair_key(a, b))
+            .or_insert(PairEntry {
+                seen: false,
+                gen: 0,
+                dirty: true,
+                certified: false,
+            });
+        entry.gen = entry.gen.wrapping_add(1);
+        entry.dirty = false;
+        let old_seen = entry.seen;
+        let gen = entry.gen;
+        // Candidate obstacles: sites of the occupied base cells of the
+        // corridor cover (the pruned walk surfaces exactly the sites the
+        // flat walk would).
+        let mut cand = std::mem::take(&mut self.cand_buf);
+        cand.clear();
+        {
+            let grid = &self.grid;
+            grid.for_each_occupied_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                if let Some(sites) = grid.sites_in(cell) {
+                    cand.extend(sites.iter().copied().filter(|&k| k != a && k != b));
+                }
+                true
+            });
+        }
+        let mut sx = std::mem::take(&mut self.soa_xs);
+        let mut sy = std::mem::take(&mut self.soa_ys);
+        sx.clear();
+        sy.clear();
+        for &k in &cand {
+            sx.push(self.xs[k]);
+            sy.push(self.ys[k]);
+        }
+        let mut keep = std::mem::take(&mut self.keep_buf);
+        keep.clear();
+        corridor_filter_soa(ca, cb, VISIBILITY_PRUNE_RADIUS, &sx, &sy, &mut keep);
+        let mut obs = std::mem::take(&mut self.obs_buf);
+        obs.clear();
+        obs.extend(
+            keep.iter()
+                .map(|&l| Point::new(sx[l as usize], sy[l as usize])),
+        );
+        // Two-tier blocked fast path before the O(k²) witness kernel. The
+        // slack cover additionally certifies the answer against endpoint
+        // drift (see [`PairEntry::certified`]); the exact cover only
+        // answers this recompute. Both are one-sided — `false` falls
+        // through to the kernel — so the answer is always the kernel's.
+        let mut certified = false;
+        let seen = if strip_cover_blocked_with_slack(ca, cb, &obs) {
+            certified = true;
+            self.cover_answers += 1;
+            false
+        } else if strip_cover_blocked(ca, cb, &obs) {
+            self.cover_answers += 1;
+            false
+        } else {
+            disc_sees_disc_among(ca, cb, &obs, &self.vis)
+        };
+        self.cand_buf = cand;
+        self.soa_xs = sx;
+        self.soa_ys = sy;
+        self.keep_buf = keep;
+        self.obs_buf = obs;
+        if old_seen != seen {
+            // Flip: both Look snapshots change (identical rule to the dense
+            // path — a fresh entry starts unseen, so a first computation
+            // that lands on `true` bumps, exactly like the dense matrix's
+            // initial dirty entries).
+            self.view_versions[a] += 1;
+            self.view_versions[b] += 1;
+            if seen {
+                adj_insert(&mut self.sparse.adj[a], b as u32);
+                adj_insert(&mut self.sparse.adj[b], a as u32);
+            } else {
+                adj_remove(&mut self.sparse.adj[a], b as u32);
+                adj_remove(&mut self.sparse.adj[b], a as u32);
+            }
+        }
+        let entry = self
+            .sparse
+            .pairs
+            .get_mut(&pair_key(a, b))
+            .expect("entry was just inserted");
+        entry.seen = seen;
+        entry.certified = certified;
+        // Register on the chosen level's conservative cover, carrying the
+        // just-computed certified flag so drains can honor it without a
+        // pair-store lookup. The *registration* walk must not skip empty
+        // cells: a future mover can enter one.
+        let sref = SparseRef {
+            a: a as u32,
+            b: b as u32,
+            gen,
+            certified,
+        };
+        {
+            let SparseVis { pairs, regs, .. } = &mut self.sparse;
+            let pairs = &*pairs;
+            let level_regs = &mut regs[level];
+            self.grid.for_each_cell_near_segment_at(
+                level,
+                ca,
+                cb,
+                VISIBILITY_PRUNE_RADIUS,
+                |cell| {
+                    let slot = level_regs.entry(cell).or_default();
+                    if slot.refs.len() >= slot.compact_at.max(REGISTRATION_COMPACT_LEN) {
+                        slot.refs.retain(|r| {
+                            pairs
+                                .get(&pair_key(r.a as usize, r.b as usize))
+                                .is_some_and(|e| e.gen == r.gen && !e.dirty)
+                        });
+                        slot.compact_at = slot.refs.len() * 2;
+                    }
+                    slot.refs.push(sref);
+                    true
+                },
+            );
+        }
+        seen
+    }
+
+    /// Brings every pair of row `i` up to date in the sparse store, so that
+    /// `adj[i]` *is* the visible set. A row's first refresh computes all of
+    /// its pairs (the unavoidable O(n) the dense matrix pays eagerly at
+    /// construction); afterwards only the pairs queued dirty by the cell
+    /// drains recompute — the output-sensitive steady state.
+    fn sparse_refresh_row(&mut self, i: usize) {
+        if !self.sparse.row_init[i] {
+            for j in 0..self.len() {
+                if j == i {
+                    continue;
+                }
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                match self.sparse.pairs.get(&pair_key(a, b)) {
+                    Some(e) if !e.dirty => self.hits += 1,
+                    _ => {
+                        self.misses += 1;
+                        self.sparse_recompute_pair(a, b);
+                    }
+                }
+            }
+            self.sparse.row_init[i] = true;
+            self.sparse.pending[i] = PendingRow::default();
+            return;
+        }
+        let mut js = std::mem::take(&mut self.sparse.pending[i].js);
+        js.sort_unstable();
+        js.dedup();
+        for &j in &js {
+            let j = j as usize;
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            // Stale queue entries (already recomputed through the partner's
+            // row or a direct `sees` probe) are skipped by the dirty check.
+            if self
+                .sparse
+                .pairs
+                .get(&pair_key(a, b))
+                .is_some_and(|e| e.dirty)
+            {
+                self.misses += 1;
+                self.sparse_recompute_pair(a, b);
+            }
+        }
+        js.clear();
+        self.sparse.pending[i].js = js;
+        self.sparse.pending[i].compact_at = 0;
+    }
+
     /// Indices of the robots visible to robot `i`, ascending — the cached
     /// equivalent of `visible_set`.
     ///
@@ -568,6 +1107,13 @@ impl World {
         out.clear();
         if self.mode == WorldMode::Scratch {
             out.extend(visible_set(i, &self.centers, &self.vis));
+            return;
+        }
+        if self.mode == WorldMode::Sparse {
+            // Refresh recomputes exactly the dirty pairs of row `i`; the
+            // sorted adjacency list then *is* the ascending visible set.
+            self.sparse_refresh_row(i);
+            out.extend(self.sparse.adj[i].iter().map(|&j| j as usize));
             return;
         }
         for j in 0..self.len() {
@@ -593,7 +1139,7 @@ impl World {
             (_, None) => true,
         };
         if stale {
-            let repaired = self.mode == WorldMode::Incremental
+            let repaired = self.mode != WorldMode::Scratch
                 && self.hull_version.is_some()
                 && match self.hull_staleness {
                     HullStaleness::One(i) => {
@@ -607,7 +1153,7 @@ impl World {
             } else {
                 self.hull
                     .rebuild_with(&self.centers, &mut self.hull_scratch);
-                if self.mode == WorldMode::Incremental {
+                if self.mode != WorldMode::Scratch {
                     self.hull_rebuilds += 1;
                 }
             }
@@ -1132,6 +1678,136 @@ mod tests {
         assert!(
             worst <= 2 * REGISTRATION_COMPACT_LEN,
             "registration lists must stay bounded (worst {worst})"
+        );
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn sparse_world_matches_scratch_through_moves() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(10.0, 0.0), p(20.0, 0.0), p(10.0, 12.0)],
+            WorldMode::Sparse,
+        );
+        assert_matches_scratch(&mut w);
+        w.move_robot(1, p(10.0, 5.0));
+        assert_matches_scratch(&mut w);
+        assert!(w.sees(0, 2));
+        w.move_robot(1, p(10.0, 0.0));
+        assert_matches_scratch(&mut w);
+        assert!(!w.sees(0, 2));
+        w.move_robot(3, p(9.0, 11.0));
+        w.move_robot(0, p(1.0, 0.5));
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_event_for_event() {
+        let centers = vec![
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(20.0, 0.0),
+            p(10.0, 12.0),
+            p(5.0, 30.0),
+        ];
+        let mut s = world(centers.clone(), WorldMode::Sparse);
+        let mut d = world(centers, WorldMode::Incremental);
+        let script = [
+            (1, p(10.0, 5.0)),
+            (4, p(5.0, 1.0)),
+            (3, p(10.0, 0.5)),
+            (1, p(10.0, 0.0)),
+            (0, p(0.0, 1.0)),
+            (4, p(5.0, 30.0)),
+        ];
+        for &(m, to) in &script {
+            s.move_robot(m, to);
+            d.move_robot(m, to);
+            for i in 0..s.len() {
+                assert_eq!(
+                    s.visible_of(i),
+                    d.visible_of(i),
+                    "sparse and dense visible sets of robot {i} diverged"
+                );
+                // The two modes share the exact invalidation rule (the
+                // dirtied-pair set is identical), so the view-version
+                // streams — the engine's decision-cache keys — must match
+                // bump-for-bump, not just in their guarantee.
+                assert_eq!(
+                    s.view_version(i),
+                    d.view_version(i),
+                    "view-version stream of robot {i} diverged"
+                );
+            }
+            assert_eq!(s.is_valid(), d.is_valid());
+            assert_eq!(s.is_connected(), d.is_connected());
+            assert_eq!(s.all_on_hull(), d.all_on_hull());
+            assert_eq!(s.is_gathered(1e-9), d.is_gathered(1e-9));
+            assert_eq!(s.min_pairwise_gap(), d.min_pairwise_gap());
+        }
+    }
+
+    #[test]
+    fn sparse_pair_store_only_materializes_queried_rows() {
+        let n = 40;
+        let centers: Vec<Point> = (0..n)
+            .map(|i| p((i % 8) as f64 * 5.0, (i / 8) as f64 * 5.0))
+            .collect();
+        let mut w = world(centers, WorldMode::Sparse);
+        let _ = w.visible_of(0);
+        let (entries, _) = w.pair_store_stats();
+        assert_eq!(
+            entries,
+            (n - 1) as u64,
+            "one row refresh must materialize exactly its own pairs"
+        );
+    }
+
+    #[test]
+    fn sparse_long_chords_register_coarsely_and_still_invalidate() {
+        // The 0–1 chord is far longer than SPARSE_REG_SPAN_CELLS base
+        // cells, so its corridor registers at a coarse level; a robot
+        // jumping into the corridor must still dirty it through the
+        // coarse-cell drain.
+        let mut w = world(
+            vec![p(0.0, 0.0), p(200.0, 0.0), p(100.0, 50.0)],
+            WorldMode::Sparse,
+        );
+        assert!(w.sees(0, 1));
+        w.move_robot(2, p(100.0, 0.0));
+        assert!(!w.sees(0, 1), "the newcomer must block the long sight line");
+        assert_matches_scratch(&mut w);
+        w.move_robot(2, p(100.0, 50.0));
+        assert!(w.sees(0, 1));
+        assert_matches_scratch(&mut w);
+    }
+
+    #[test]
+    fn sparse_registrations_and_pending_queues_stay_bounded() {
+        let mut w = world(
+            vec![p(0.0, 0.0), p(40.0, 0.0), p(20.0, 3.0)],
+            WorldMode::Sparse,
+        );
+        for k in 0..500 {
+            let y = if k % 2 == 0 { 0.0 } else { 3.0 };
+            w.move_robot(2, p(20.0, y));
+            let _ = w.visible_of(0);
+        }
+        let worst = w
+            .sparse
+            .regs
+            .iter()
+            .flat_map(CellMap::values)
+            .map(|r| r.refs.len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            worst <= 2 * REGISTRATION_COMPACT_LEN,
+            "sparse registration lists must stay bounded (worst {worst})"
+        );
+        let worst_pending = w.sparse.pending.iter().map(|q| q.js.len()).max().unwrap();
+        assert!(
+            worst_pending <= 2 * REGISTRATION_COMPACT_LEN.max(w.len()),
+            "pending queues must stay bounded (worst {worst_pending})"
         );
         assert_matches_scratch(&mut w);
     }

@@ -136,6 +136,40 @@ proptest! {
         }
     }
 
+    /// The sparse-world invariant: [`WorldMode::Sparse`] (hash-map pair
+    /// store, per-level corridor registrations, pending-row queues) answers
+    /// exactly like the from-scratch reference after arbitrary randomized
+    /// moves — and its view-version stream matches the dense world's
+    /// bump-for-bump, so the engine's decision cache keys identically
+    /// under either mode.
+    #[test]
+    fn sparse_world_matches_scratch_and_dense_after_moves(
+        centers in base_centers(9),
+        script in moves(14),
+    ) {
+        let mut sparse = World::new(centers.clone(), VisibilityConfig::default(), WorldMode::Sparse);
+        let mut dense = World::new(centers.clone(), VisibilityConfig::default(), WorldMode::Incremental);
+        let mut centers = centers;
+        let _ = sparse.visible_of(0);
+        let _ = dense.visible_of(0);
+        for (pick, x, y) in script {
+            let i = pick % centers.len();
+            let p = Point::new(x, y);
+            sparse.move_robot(i, p);
+            dense.move_robot(i, p);
+            centers[i] = p;
+            assert_world_matches_scratch(&mut sparse, &centers)?;
+            for j in 0..centers.len() {
+                let _ = dense.visible_of(j);
+                prop_assert!(
+                    sparse.view_version(j) == dense.view_version(j),
+                    "view-version stream of robot {} diverged between modes",
+                    j
+                );
+            }
+        }
+    }
+
     /// Interleaving queries between moves (so entries are computed at many
     /// different configuration versions) never desynchronises the cache.
     #[test]

@@ -83,6 +83,48 @@ fn world_backed_runs_replay_identically_across_the_matrix() {
     }
 }
 
+/// The sparse-world pin: [`WorldMode::Sparse`] (adjacency lists plus a
+/// hash-map pair store, built for n = 10⁴) must replay event-for-event
+/// identical to both the dense incremental world and the from-scratch
+/// reference, across the same Shape × AdversaryKind matrix. All three
+/// modes answer through the same geometric kernels; this test pins that
+/// the sparse bookkeeping (per-level corridor registrations, pending-row
+/// queues, lazy row initialization) never changes observable behaviour.
+#[test]
+fn sparse_world_runs_replay_identically_across_the_matrix() {
+    for shape in Shape::ALL {
+        for adversary in AdversaryKind::ALL {
+            let (sparse_outcome, sparse_centers, sparse_events) =
+                run_with_mode(5, 2, shape, adversary, WorldMode::Sparse);
+            let (dense_outcome, dense_centers, dense_events) =
+                run_with_mode(5, 2, shape, adversary, WorldMode::Incremental);
+            let label = format!("shape={} adversary={}", shape.name(), adversary.name());
+            assert_eq!(
+                sparse_events, dense_events,
+                "sparse event stream diverged from dense for {label}"
+            );
+            assert_eq!(
+                sparse_centers, dense_centers,
+                "sparse final centers diverged from dense for {label}"
+            );
+            assert_eq!(
+                sparse_outcome, dense_outcome,
+                "sparse run outcome diverged from dense for {label}"
+            );
+            // And against the reference recomputation, so a bug shared by
+            // both cached modes cannot pass as agreement.
+            let (scratch_outcome, scratch_centers, scratch_events) =
+                run_with_mode(5, 2, shape, adversary, WorldMode::Scratch);
+            assert_eq!(
+                sparse_events, scratch_events,
+                "sparse event stream diverged from scratch for {label}"
+            );
+            assert_eq!(sparse_centers, scratch_centers);
+            assert_eq!(sparse_outcome, scratch_outcome);
+        }
+    }
+}
+
 /// The decision-memoization pin: with the cache on (the default), every
 /// Compute event whose robot's view version is unchanged replays the
 /// memoized decision instead of running `Strategy::decide_with`. The
