@@ -24,7 +24,8 @@ use fatrobots_bench::{
 };
 use fatrobots_sim::experiment::{
     adversary_table_spec, baseline_table_spec, delta_table_spec, expansion_table_spec,
-    scaling_table_spec_with_cap, shape_table_spec, ExperimentTable, TableSpec, LARGE_N_EVENT_CAP,
+    scale_table_spec, scaling_table_spec_with_cap, shape_table_spec, ExperimentTable, TableSpec,
+    LARGE_N_EVENT_CAP,
 };
 use fatrobots_sim::sweep::{self, SweepPool};
 
@@ -41,6 +42,9 @@ Table selection:
   --e5           E5  the paper's algorithm vs the baselines
   --e6           E6  sensitivity to the liveness distance delta
   --e7           E7  sensitivity to the initial configuration shape
+  --scale        SCALE  event throughput at n = 10^3 and 10^4 (hex packing,
+                 sparse world; its event budget is also bounded by
+                 --event-cap)
   --figures      print how to reproduce the figures (F1-F5)
 
 Options:
@@ -51,6 +55,11 @@ Options:
                  land in the JSON report (schema v4 'shadow' records)
   --jobs <N>     worker threads for the sweeps (default: available cores;
                  output is byte-identical for every N)
+  --threads <N>  intra-run threads for every simulator run (default: 1 =
+                 the serial event loop; N > 1 routes runs through the
+                 commutation-batching parallel executor, which is pinned
+                 event-for-event identical to serial, so every table is
+                 byte-identical for every N)
   --event-cap <N>
                  event budget for E1's large-n rows (default: 60000; must
                  be a positive integer). The cap only bounds rows at or
@@ -73,6 +82,8 @@ struct Cli {
     quick: bool,
     shadow: bool,
     jobs: usize,
+    /// Intra-run thread count applied to every `RunSpec` (`--threads`).
+    threads: usize,
     json: Option<String>,
     baseline: Option<String>,
     /// Relative `mean_events` regression threshold, as a fraction (the
@@ -91,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         quick: false,
         shadow: false,
         jobs: sweep::default_jobs(),
+        threads: 1,
         json: None,
         baseline: None,
         baseline_threshold: BASELINE_EVENTS_THRESHOLD,
@@ -117,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--e5" => select(&mut cli.selected, "e5"),
             "--e6" => select(&mut cli.selected, "e6"),
             "--e7" => select(&mut cli.selected, "e7"),
+            "--scale" => select(&mut cli.selected, "scale"),
             "--jobs" => {
                 let value = iter.next().ok_or("--jobs requires a value")?;
                 cli.jobs = value
@@ -124,6 +137,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs wants a positive integer, got '{value}'"))?;
+            }
+            "--threads" => {
+                let value = iter.next().ok_or("--threads requires a value")?;
+                cli.threads = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--threads wants a positive integer, got '{value}'"))?;
             }
             "--event-cap" => {
                 let value = iter.next().ok_or("--event-cap requires a value")?;
@@ -166,7 +187,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     }
     // Canonical order regardless of flag order, so `--e4 --e1` prints E1
     // first — same as the all-tables run.
-    let order = ["e1", "e2e3", "e4", "e5", "e6", "e7"];
+    let order = ["e1", "e2e3", "e4", "e5", "e6", "e7", "scale"];
     cli.selected
         .sort_by_key(|id| order.iter().position(|o| o == id));
     Ok(Some(cli))
@@ -190,6 +211,10 @@ fn build_table_spec(id: &str, quick: bool, seeds: &[u64], event_cap: usize) -> T
         "e5" => baseline_table_spec(6, seeds),
         "e6" => delta_table_spec(6, &[1e-4, 1e-3, 1e-2, 5e-2], seeds),
         "e7" => shape_table_spec(6, seeds),
+        // The scale table ignores `quick`/`seeds`: one seed at n = 10³ and
+        // 10⁴ is already the expensive part, and its rows measure per-event
+        // throughput, not gathering statistics.
+        "scale" => scale_table_spec(event_cap),
         other => unreachable!("unknown table id {other}"),
     }
 }
@@ -268,7 +293,7 @@ fn main() -> ExitCode {
     }
 
     let ids: Vec<&'static str> = if cli.selected.is_empty() && !cli.figures {
-        vec!["e1", "e2e3", "e4", "e5", "e6", "e7"]
+        vec!["e1", "e2e3", "e4", "e5", "e6", "e7", "scale"]
     } else {
         cli.selected.clone()
     };
@@ -288,13 +313,20 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if cli.threads > 1 {
+            for group in &mut spec.groups {
+                for run_spec in &mut group.specs {
+                    run_spec.threads = cli.threads;
+                }
+            }
+        }
         let table = spec.execute_on(&mut pool);
         print_table(&table);
         tables.push(table);
     }
 
     if let Some(path) = &cli.json {
-        let text = report_json(&tables, cli.quick, cli.jobs, cli.shadow);
+        let text = report_json(&tables, cli.quick, cli.jobs, cli.shadow, cli.threads);
         if let Err(err) = std::fs::write(path, &text) {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;

@@ -55,7 +55,19 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   the dense world mode, only the computed pairs under the sparse one)
 ///   and its live corridor-registration count. A pure field addition;
 ///   v1–v4 baselines keep diffing cleanly against v5 tables.
-pub const REPORT_SCHEMA_VERSION: i64 = 5;
+/// * **v6** — parallel-executor telemetry. The document root carries a
+///   `threads` key (the `--threads` value every run executed with, 1 =
+///   serial loop), and per-run records carry `threads` plus the executor's
+///   counters: `par_batches` / `par_batched_events` (commutation batches
+///   committed and the events inside multi-event batches) and
+///   `speculation_hits` / `speculation_aborts` (speculative Compute
+///   decisions consumed vs. discarded at version validation). All zero for
+///   serial runs. The parallel executor is pinned event-for-event identical
+///   to serial, so every *other* field is independent of `threads` — which
+///   is exactly what lets [`diff_against_baseline`] compare a `--threads 4`
+///   report against a serial baseline. A pure field addition; v1–v5
+///   baselines keep diffing cleanly against v6 tables.
+pub const REPORT_SCHEMA_VERSION: i64 = 6;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -320,6 +332,20 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             "world_pair_registrations".into(),
             JsonValue::Int(s.world_pair_registrations as i64),
         ),
+        ("threads".into(), JsonValue::Int(s.spec.threads as i64)),
+        ("par_batches".into(), JsonValue::Int(s.par_batches as i64)),
+        (
+            "par_batched_events".into(),
+            JsonValue::Int(s.par_batched_events as i64),
+        ),
+        (
+            "speculation_hits".into(),
+            JsonValue::Int(s.speculation_hits as i64),
+        ),
+        (
+            "speculation_aborts".into(),
+            JsonValue::Int(s.speculation_aborts as i64),
+        ),
         (
             "shadow".into(),
             s.shadow.as_ref().map_or(JsonValue::Null, shadow_json),
@@ -368,18 +394,25 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 5,
+///   "schema_version": 6,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
 ///   "shadow": false,
 ///   "jobs": 2,
+///   "threads": 1,
 ///   "tables": [
 ///     { "id": "e1", "title": "…",
 ///       "groups": [ { "label": "n=3", "aggregate": {…}, "runs": [ {…} ] } ] }
 ///   ]
 /// }
 /// ```
-pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize, shadow: bool) -> String {
+pub fn report_json(
+    tables: &[ExperimentTable],
+    quick: bool,
+    jobs: usize,
+    shadow: bool,
+    threads: usize,
+) -> String {
     let tables_json = tables
         .iter()
         .map(|table| {
@@ -416,6 +449,7 @@ pub fn report_json(tables: &[ExperimentTable], quick: bool, jobs: usize, shadow:
         ("quick".into(), JsonValue::Bool(quick)),
         ("shadow".into(), JsonValue::Bool(shadow)),
         ("jobs".into(), JsonValue::Int(jobs as i64)),
+        ("threads".into(), JsonValue::Int(threads as i64)),
         ("tables".into(), JsonValue::Arr(tables_json)),
     ])
     .to_pretty()
@@ -443,7 +477,7 @@ mod tests {
     #[test]
     fn report_json_round_trips_and_counts_runs() {
         let table = scaling_table(&[3], &[1, 2], 2);
-        let text = report_json(std::slice::from_ref(&table), true, 2, false);
+        let text = report_json(std::slice::from_ref(&table), true, 2, false, 1);
         let doc = json::parse(&text).expect("report JSON parses");
         assert_eq!(
             doc.get("schema_version"),
@@ -486,6 +520,14 @@ mod tests {
             runs[0].get("world_pair_registrations"),
             Some(&JsonValue::Int(m)) if m > 0
         ));
+        // v6: parallel-executor telemetry — serial runs carry the keys with
+        // thread count 1 and all counters zero.
+        assert_eq!(doc.get("threads"), Some(&JsonValue::Int(1)));
+        assert_eq!(runs[0].get("threads"), Some(&JsonValue::Int(1)));
+        assert_eq!(runs[0].get("par_batches"), Some(&JsonValue::Int(0)));
+        assert_eq!(runs[0].get("par_batched_events"), Some(&JsonValue::Int(0)));
+        assert_eq!(runs[0].get("speculation_hits"), Some(&JsonValue::Int(0)));
+        assert_eq!(runs[0].get("speculation_aborts"), Some(&JsonValue::Int(0)));
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
         // v4: without --shadow the shadow keys are present but null.
@@ -503,7 +545,7 @@ mod tests {
             ..RunSpec::new(3, seed)
         })];
         let table = sweep_table("e1", "shadow smoke", groups, 1);
-        let text = report_json(std::slice::from_ref(&table), true, 1, true);
+        let text = report_json(std::slice::from_ref(&table), true, 1, true, 1);
         let doc = json::parse(&text).expect("shadow report parses");
         assert_eq!(doc.get("shadow"), Some(&JsonValue::Bool(true)));
         let group = &doc.get("tables").and_then(JsonValue::as_arr).unwrap()[0]
@@ -627,7 +669,14 @@ mod tests {
     #[test]
     fn baseline_self_diff_has_no_regressions() {
         let table = scaling_table(&[3], &[1, 2], 2);
-        let doc = json::parse(&report_json(std::slice::from_ref(&table), true, 2, false)).unwrap();
+        let doc = json::parse(&report_json(
+            std::slice::from_ref(&table),
+            true,
+            2,
+            false,
+            1,
+        ))
+        .unwrap();
         let diff = diff_against_baseline(
             std::slice::from_ref(&table),
             &doc,

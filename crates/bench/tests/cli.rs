@@ -36,8 +36,10 @@ fn help_exits_zero_and_documents_the_flags() {
         "--quick",
         "--shadow",
         "--jobs",
+        "--threads",
         "--json",
         "--e1",
+        "--scale",
         "--baseline",
         "--baseline-threshold",
         "--event-cap",
@@ -74,6 +76,19 @@ fn jobs_rejects_missing_and_malformed_values() {
         let out = report(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
         assert!(String::from_utf8(out.stderr).unwrap().contains("--jobs"));
+    }
+}
+
+#[test]
+fn threads_rejects_missing_and_malformed_values() {
+    for args in [
+        &["--threads"][..],
+        &["--threads", "many"],
+        &["--threads", "0"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(String::from_utf8(out.stderr).unwrap().contains("--threads"));
     }
 }
 
@@ -135,10 +150,10 @@ fn json_report_is_parseable_with_one_record_per_run() {
     assert_eq!(tables.len(), 1);
     assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e7"));
 
-    // --quick --e7 sweeps the 5 shapes over 3 seeds: 5 groups, 3 runs
+    // --quick --e7 sweeps the 6 shapes over 3 seeds: 6 groups, 3 runs
     // each, plus one aggregate row per group.
     let groups = tables[0].get("groups").and_then(JsonValue::as_arr).unwrap();
-    assert_eq!(groups.len(), 5);
+    assert_eq!(groups.len(), 6);
     for group in groups {
         let runs = group.get("runs").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(runs.len(), 3, "one JSON record per run");
@@ -167,11 +182,33 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 // Schema v5: the pair-store telemetry.
                 "world_pair_entries",
                 "world_pair_registrations",
+                // Schema v6: the parallel-executor telemetry.
+                "threads",
+                "par_batches",
+                "par_batched_events",
+                "speculation_hits",
+                "speculation_aborts",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }
         }
     }
+}
+
+#[test]
+fn threaded_table_output_is_byte_identical_to_serial() {
+    // The parallel executor is pinned event-for-event against the serial
+    // loop, so every table — and therefore the whole report — must be
+    // byte-identical for every --threads value.
+    let serial = report(&["--quick", "--e7", "--jobs", "1"]);
+    let threaded = report(&["--quick", "--e7", "--jobs", "1", "--threads", "4"]);
+    assert!(serial.status.success());
+    assert!(threaded.status.success());
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, threaded.stdout,
+        "table output must not depend on the intra-run thread count"
+    );
 }
 
 #[test]

@@ -14,12 +14,23 @@
 //! budget, the pair-store cap, the event-rate floor or any physical
 //! invariant breaks.
 //!
-//! Telemetry (events/s, cache/cover counters, heap) is printed and, when
-//! `SCALE_TELEMETRY` names a path, written there as JSON for the CI
-//! artifact.
+//! Each cycle performs the 16 movers' Looks first and then their moves.
+//! With `--threads N` (default 1) the Look phase batches movers whose
+//! recompute plans ([`World::look_plan`]) are pair-disjoint and fans their
+//! pair kernels out over `N` threads ([`compute_pair_answers`]), committing
+//! each Look in slot order with the precomputed answers injected — the
+//! same commutation-batching protocol as the engine's parallel executor.
+//! The injected answers are answer-preserving, so the final world state
+//! and every cache counter are bit-identical across thread counts; the
+//! telemetry carries a state fingerprint the CI `scale` job compares
+//! between its serial and `--threads 2` runs.
+//!
+//! Telemetry (events/s, cache/cover counters, batching counters, heap,
+//! fingerprint) is printed and, when `SCALE_TELEMETRY` names a path,
+//! written there as JSON for the CI artifact.
 //!
 //! ```sh
-//! cargo run --release -p fatrobots-sim --example scale_smoke
+//! cargo run --release -p fatrobots-sim --example scale_smoke -- --threads 2
 //! ```
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -29,7 +40,8 @@ use std::time::Instant;
 
 use fatrobots_geometry::visibility::VisibilityConfig;
 use fatrobots_geometry::Point;
-use fatrobots_sim::world::{World, WorldMode};
+use fatrobots_sim::parallel::compute_pair_answers;
+use fatrobots_sim::world::{PairAnswers, World, WorldMode};
 
 const SIDE: usize = 100;
 const N: usize = SIDE * SIDE;
@@ -111,7 +123,96 @@ fn lcg_unit(state: &mut u64) -> f64 {
     ((*state >> 11) as f64) / ((1u64 << 53) as f64)
 }
 
+/// FNV-1a word fold.
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Order-sensitive fingerprint of the world's observable state: every
+/// center's exact bit pattern plus the cache/cover/store counters. Serial
+/// and `--threads N` runs must produce the same value — the CI `scale` job
+/// gates on it.
+fn fingerprint(world: &World) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for c in world.centers() {
+        h = fnv(h, c.x.to_bits());
+        h = fnv(h, c.y.to_bits());
+    }
+    let (hits, misses) = world.cache_stats();
+    let (entries, registrations) = world.pair_store_stats();
+    let (covers, skips) = world.cert_stats();
+    for v in [hits, misses, entries, registrations, covers, skips] {
+        h = fnv(h, v);
+    }
+    h
+}
+
+/// Commits the pending Look batch: fans the pooled pair plans out over the
+/// thread budget, then refreshes each batched mover's row in slot order
+/// with the answers injected. Returns `false` when a mover sees nobody
+/// (the smoke's visibility invariant broke).
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    world: &mut World,
+    batch: &mut Vec<usize>,
+    plan: &mut Vec<(usize, usize)>,
+    in_batch: &mut [bool],
+    answers: &mut PairAnswers,
+    threads: usize,
+    visible: &mut Vec<usize>,
+    stats: &mut BatchStats,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    compute_pair_answers(world, plan, threads, answers);
+    stats.batches += 1;
+    if batch.len() > 1 {
+        stats.batched_looks += batch.len() as u64;
+    }
+    stats.pair_tasks += plan.len() as u64;
+    for &mover in batch.iter() {
+        world.visible_of_into_with(mover, visible, Some(answers));
+        in_batch[mover] = false;
+        if visible.is_empty() {
+            eprintln!("scale_smoke: FAIL — robot {mover} sees nobody");
+            return false;
+        }
+    }
+    batch.clear();
+    plan.clear();
+    true
+}
+
+/// Batching telemetry for the parallel Look phase.
+#[derive(Default)]
+struct BatchStats {
+    batches: u64,
+    batched_looks: u64,
+    pair_tasks: u64,
+}
+
 fn main() -> ExitCode {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("scale_smoke: --threads needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "scale_smoke: unknown argument {other}; usage: scale_smoke [--threads N]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let mut rng = 0x5ca1ab1e_u64;
     let row_h = SPACING * 3f64.sqrt() / 2.0;
     let centers: Vec<Point> = (0..N)
@@ -140,23 +241,83 @@ fn main() -> ExitCode {
 
     let mut world = World::new(centers, VisibilityConfig::default(), WorldMode::Sparse);
     let mut visible = Vec::new();
+    let mut batch: Vec<usize> = Vec::new();
+    let mut plan: Vec<(usize, usize)> = Vec::new();
+    let mut in_batch = vec![false; N];
+    let mut answers = PairAnswers::default();
+    let mut stats = BatchStats::default();
     let mut ok = true;
+    let cycles = EVENT_BUDGET / ACTIVE;
     let start = Instant::now();
-    for event in 0..EVENT_BUDGET {
-        let slot = event % ACTIVE;
-        let mover = movers[slot];
-        world.visible_of_into(mover, &mut visible);
-        if visible.is_empty() {
-            eprintln!("scale_smoke: FAIL — robot {mover} sees nobody at event {event}");
-            ok = false;
-            break;
+    'run: for cycle in 0..cycles {
+        // Look phase: all ACTIVE movers observe the pre-move configuration.
+        if threads <= 1 {
+            for &mover in &movers {
+                world.visible_of_into(mover, &mut visible);
+                if visible.is_empty() {
+                    eprintln!("scale_smoke: FAIL — robot {mover} sees nobody in cycle {cycle}");
+                    ok = false;
+                    break 'run;
+                }
+            }
+        } else {
+            // Batch movers whose recompute plans are pair-disjoint; flush
+            // (and re-plan) whenever a mover's plan touches a robot already
+            // in the batch, then commit in slot order with the precomputed
+            // answers injected — answer-preserving, so state and counters
+            // match the serial path bit-for-bit.
+            for &mover in &movers {
+                loop {
+                    let plan_start = plan.len();
+                    world.look_plan(mover, &mut plan);
+                    let conflict = plan[plan_start..]
+                        .iter()
+                        .any(|&(a, b)| in_batch[a] || in_batch[b]);
+                    if !conflict {
+                        batch.push(mover);
+                        in_batch[mover] = true;
+                        break;
+                    }
+                    plan.truncate(plan_start);
+                    if !flush_batch(
+                        &mut world,
+                        &mut batch,
+                        &mut plan,
+                        &mut in_batch,
+                        &mut answers,
+                        threads,
+                        &mut visible,
+                        &mut stats,
+                    ) {
+                        ok = false;
+                        break 'run;
+                    }
+                }
+            }
+            if !flush_batch(
+                &mut world,
+                &mut batch,
+                &mut plan,
+                &mut in_batch,
+                &mut answers,
+                threads,
+                &mut visible,
+                &mut stats,
+            ) {
+                ok = false;
+                break 'run;
+            }
         }
-        let (dx, dy) = PHASES[(event / ACTIVE) % PHASES.len()];
-        let home = homes[slot];
-        world.move_robot(mover, Point::new(home.x + dx, home.y + dy));
-        if event % 10_000 == 9_999 {
+        // Move phase: the whole cohort advances to this cycle's oscillation
+        // phase, draining each mover's registrations against the warm rows.
+        let (dx, dy) = PHASES[cycle % PHASES.len()];
+        for (slot, &mover) in movers.iter().enumerate() {
+            let home = homes[slot];
+            world.move_robot(mover, Point::new(home.x + dx, home.y + dy));
+        }
+        if cycle % 625 == 624 {
             if !world.is_valid() {
-                eprintln!("scale_smoke: FAIL — overlapping robots at event {event}");
+                eprintln!("scale_smoke: FAIL — overlapping robots in cycle {cycle}");
                 ok = false;
                 break;
             }
@@ -176,16 +337,20 @@ fn main() -> ExitCode {
     let (hits, misses) = world.cache_stats();
     let (entries, registrations) = world.pair_store_stats();
     let (covers, skips) = world.cert_stats();
+    let state_fp = fingerprint(&world);
     let (live, peak) = (LIVE.load(Ordering::Relaxed), PEAK.load(Ordering::Relaxed));
     let (live_mib, peak_mib) = (
         live as f64 / (1024.0 * 1024.0),
         peak as f64 / (1024.0 * 1024.0),
     );
     println!(
-        "scale_smoke: n={N} events={EVENT_BUDGET} ({events_per_sec:.0} events/s) \
+        "scale_smoke: n={N} events={EVENT_BUDGET} threads={threads} \
+         ({events_per_sec:.0} events/s) \
          cache hits={hits} misses={misses} cover answers={covers} cert skips={skips} \
          pair entries={entries} registrations={registrations} \
-         heap live={live_mib:.1} MiB peak={peak_mib:.1} MiB",
+         batches={} batched looks={} pair tasks={} \
+         heap live={live_mib:.1} MiB peak={peak_mib:.1} MiB fingerprint={state_fp:#018x}",
+        stats.batches, stats.batched_looks, stats.pair_tasks,
     );
 
     if !world.is_valid() {
@@ -217,12 +382,15 @@ fn main() -> ExitCode {
 
     if let Ok(path) = std::env::var("SCALE_TELEMETRY") {
         let json = format!(
-            "{{\n  \"n\": {N},\n  \"events\": {EVENT_BUDGET},\n  \
+            "{{\n  \"n\": {N},\n  \"events\": {EVENT_BUDGET},\n  \"threads\": {threads},\n  \
              \"events_per_sec\": {events_per_sec:.1},\n  \"cache_hits\": {hits},\n  \
              \"cache_misses\": {misses},\n  \"cover_answers\": {covers},\n  \
              \"cert_skips\": {skips},\n  \"pair_entries\": {entries},\n  \
-             \"registrations\": {registrations},\n  \"heap_live_mib\": {live_mib:.1},\n  \
-             \"heap_peak_mib\": {peak_mib:.1},\n  \"ok\": {ok}\n}}\n"
+             \"registrations\": {registrations},\n  \"par_batches\": {},\n  \
+             \"par_batched_looks\": {},\n  \"par_pair_tasks\": {},\n  \
+             \"fingerprint\": \"{state_fp:#018x}\",\n  \"heap_live_mib\": {live_mib:.1},\n  \
+             \"heap_peak_mib\": {peak_mib:.1},\n  \"ok\": {ok}\n}}\n",
+            stats.batches, stats.batched_looks, stats.pair_tasks,
         );
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("scale_smoke: FAIL — cannot write telemetry to {path}: {e}");

@@ -142,6 +142,16 @@ pub struct RunSpec {
     /// default), the sparse store for large n, or from-scratch reference
     /// recomputation. All three are event-for-event identical.
     pub world_mode: WorldMode,
+    /// Thread budget for the run ([`SimConfig::threads`]): `1` (the
+    /// default) runs the serial event loop, more routes the run through the
+    /// deterministic parallel executor — identical events, metrics, and
+    /// outcome, only throughput changes (`report --threads N`).
+    pub threads: usize,
+    /// Configuration-sampling period ([`SimConfig::sample_every`]). The
+    /// default matches the engine's; the `scale` table sets 0 — a single
+    /// predicate sample at n = 10⁴ forces the whole lazy visibility graph
+    /// and would dwarf the event window it is meant to measure.
+    pub sample_every: usize,
 }
 
 impl RunSpec {
@@ -159,6 +169,8 @@ impl RunSpec {
             max_events: 60_000 + 20_000 * n,
             shadow: false,
             world_mode: WorldMode::Incremental,
+            threads: 1,
+            sample_every: SimConfig::default().sample_every,
         }
     }
 }
@@ -210,6 +222,16 @@ pub struct RunSummary {
     /// Live corridor registrations held by the pair store at the end of
     /// the run.
     pub world_pair_registrations: u64,
+    /// Batches committed by the parallel executor (0 for serial runs).
+    pub par_batches: u64,
+    /// Events committed inside multi-event batches — the events that
+    /// actually ran grouped (0 for serial runs).
+    pub par_batched_events: u64,
+    /// Speculative decisions consumed by a Compute event (each replayed as
+    /// the decision-cache miss it would have been serially).
+    pub speculation_hits: u64,
+    /// Speculative decisions discarded on a stale version stamp.
+    pub speculation_aborts: u64,
     /// Shadow-oracle tallies, present when the spec requested the oracle
     /// and the strategy was the paper's algorithm.
     pub shadow: Option<ShadowStats>,
@@ -222,6 +244,8 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         max_events: spec.max_events,
         liveness: Liveness::new(spec.delta),
         world_mode: spec.world_mode,
+        threads: spec.threads.max(1),
+        sample_every: spec.sample_every,
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(
@@ -241,6 +265,8 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let (decision_cache_hits, decision_cache_misses) = sim.decision_cache_stats();
     let (hull_repairs, hull_rebuilds) = sim.hull_repair_stats();
     let (world_pair_entries, world_pair_registrations) = sim.pair_store_stats();
+    let (par_batches, par_batched_events, speculation_hits, speculation_aborts) =
+        sim.parallel_stats();
     RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
@@ -260,6 +286,10 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         hull_rebuilds,
         world_pair_entries,
         world_pair_registrations,
+        par_batches,
+        par_batched_events,
+        speculation_hits,
+        speculation_aborts,
         shadow,
     }
 }
@@ -651,6 +681,46 @@ pub fn shape_table_spec(n: usize, seeds: &[u64]) -> TableSpec {
             .map(|&shape| {
                 SpecGroup::per_seed(shape.name(), seeds, |seed| RunSpec {
                     shape,
+                    ..RunSpec::new(n, seed)
+                })
+            })
+            .collect(),
+    }
+}
+
+/// Event budget for the `scale` table rows. The rows measure per-event
+/// cost (row-init Looks over the sparse world), not time-to-gather, so a
+/// short fixed window keeps the quick report fast while still exercising
+/// tens of thousands of pair kernels per row at n = 10⁴ (each n = 10⁴
+/// Look initializes a full sparse row: ~10⁴ corridor gathers and
+/// strip-cover certificates, ~200 ms serially).
+pub const SCALE_TABLE_EVENT_CAP: usize = 64;
+
+/// `scale` — large-n event throughput over the sparse world (n ∈ {10³,
+/// 10⁴}), so the scaling curve the CI `scale` job gates is also tracked in
+/// the committed baseline.
+pub fn scale_table(event_cap: usize, jobs: usize) -> ExperimentTable {
+    scale_table_spec(event_cap).execute(jobs)
+}
+
+/// The [`TableSpec`] behind [`scale_table`]. One seed per row: the hex
+/// packing is deterministic and the round-robin schedule seed-free, so
+/// extra seeds would replay the same run. `--event-cap` below the default
+/// [`SCALE_TABLE_EVENT_CAP`] tightens the window further.
+pub fn scale_table_spec(event_cap: usize) -> TableSpec {
+    TableSpec {
+        id: "scale",
+        title: "SCALE — event throughput at large n (hex packing, sparse world, round-robin)"
+            .into(),
+        groups: [1_000usize, 10_000]
+            .iter()
+            .map(|&n| {
+                SpecGroup::per_seed(format!("n={n}"), &[1], |seed| RunSpec {
+                    shape: Shape::Hex,
+                    adversary: AdversaryKind::RoundRobin,
+                    world_mode: WorldMode::Sparse,
+                    max_events: SCALE_TABLE_EVENT_CAP.min(event_cap),
+                    sample_every: 0,
                     ..RunSpec::new(n, seed)
                 })
             })

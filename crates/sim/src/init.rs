@@ -142,6 +142,50 @@ pub fn clusters(n: usize, clusters: usize, seed: u64) -> Vec<Point> {
     centers
 }
 
+/// `n` robots on a jittered hexagonal packing with the given center
+/// spacing — the dense-but-valid layout the n = 10⁴ scale workloads use
+/// (each disc has up to six neighbours just out of contact, so visibility
+/// is strictly local). The jitter is a deterministic per-index hash kept
+/// small enough that validity is preserved by construction.
+///
+/// # Panics
+/// Panics if `n == 0` or the spacing leaves less than the generator
+/// clearance between neighbouring discs after jitter.
+pub fn hex(n: usize, spacing: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    // Adjacent centers sit `spacing` apart (same row) or `spacing` along
+    // the staggered diagonal; the jitter moves each center by at most
+    // `jitter * √2`, so two neighbours lose at most twice that.
+    let jitter = 0.015 * spacing;
+    assert!(
+        spacing - 2.0 * jitter * std::f64::consts::SQRT_2 > 2.0,
+        "a hex packing with spacing {spacing} cannot hold jittered unit discs"
+    );
+    let side = (n as f64).sqrt().ceil() as usize;
+    let row_height = spacing * 3.0_f64.sqrt() / 2.0;
+    // Cheap deterministic per-index hash onto [-1, 1] (splitmix-style).
+    let unit = |k: u64| {
+        let mut x = k
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0x5ca1_ab1e);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        // 53 uniform bits over [0, 2) shifted to [-1, 1).
+        (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    };
+    (0..n)
+        .map(|i| {
+            let (r, c) = (i / side, i % side);
+            let stagger = if r % 2 == 1 { spacing / 2.0 } else { 0.0 };
+            Point::new(
+                c as f64 * spacing + stagger + jitter * unit(2 * i as u64),
+                r as f64 * row_height + jitter * unit(2 * i as u64 + 1),
+            )
+        })
+        .collect()
+}
+
 /// Named initial-configuration shapes used by the experiment harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shape {
@@ -155,16 +199,19 @@ pub enum Shape {
     Circle,
     /// [`clusters`] with `⌈n/4⌉` groups.
     Clusters,
+    /// [`hex`] with the scale workloads' 2.1 spacing.
+    Hex,
 }
 
 impl Shape {
     /// All shapes, for sweeps.
-    pub const ALL: [Shape; 5] = [
+    pub const ALL: [Shape; 6] = [
         Shape::Random,
         Shape::Line,
         Shape::Grid,
         Shape::Circle,
         Shape::Clusters,
+        Shape::Hex,
     ];
 
     /// A short name used in reports.
@@ -175,6 +222,7 @@ impl Shape {
             Shape::Grid => "grid",
             Shape::Circle => "circle",
             Shape::Clusters => "clusters",
+            Shape::Hex => "hex",
         }
     }
 
@@ -186,6 +234,7 @@ impl Shape {
             Shape::Grid => grid(n, 1.0),
             Shape::Circle => circle(n, (n as f64).max(4.0)),
             Shape::Clusters => clusters(n, n.div_ceil(4).max(1), seed),
+            Shape::Hex => hex(n, 2.1),
         }
     }
 }
@@ -218,6 +267,17 @@ mod tests {
         assert_valid(&grid(10, 1.0), 10);
         assert_valid(&circle(8, 8.0), 8);
         assert_valid(&clusters(13, 4, 3), 13);
+        assert_valid(&hex(100, 2.1), 100);
+    }
+
+    #[test]
+    fn hex_is_deterministic_and_jittered() {
+        let a = hex(64, 2.1);
+        assert_eq!(a, hex(64, 2.1));
+        assert_valid(&a, 64);
+        // The jitter must actually perturb the lattice (no robot sits on an
+        // exact grid point after the hash offset).
+        assert!(a.iter().any(|c| c.x.fract().abs() > 1e-6));
     }
 
     #[test]

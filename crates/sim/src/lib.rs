@@ -15,6 +15,9 @@
 //!   line, grid, circle, clusters);
 //! * [`metrics`] — per-run metrics: event counts, travelled distance, times
 //!   to all-on-hull / full visibility / connectivity, hull-area series;
+//! * [`parallel`] — the deterministic intra-run parallel executor:
+//!   commutation batching of disjoint Looks plus speculative Compute,
+//!   committed in the serial event order (`SimConfig::threads`);
 //! * [`trace`] — execution traces (events plus sampled configurations) with
 //!   CSV export;
 //! * [`render`] — small SVG / ASCII renderers for configurations;
@@ -57,6 +60,7 @@ pub mod engine;
 pub mod experiment;
 pub mod init;
 pub mod metrics;
+pub mod parallel;
 pub mod render;
 pub mod shadow;
 pub mod sweep;

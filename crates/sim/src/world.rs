@@ -251,6 +251,69 @@ fn adj_remove(list: &mut Vec<u32>, v: u32) {
     }
 }
 
+/// One pair visibility answer computed **read-only** by
+/// [`World::compute_pair_answer`], ready to be injected into a commit
+/// ([`World::visible_of_into_with`]). Carrying the answer instead of
+/// recomputing it at commit time is what lets worker threads run the pair
+/// kernels on a shared `&World` while the serial commit replays every piece
+/// of bookkeeping (generation bumps, registrations, view versions,
+/// telemetry) in the original event order.
+#[derive(Debug, Clone, Copy)]
+pub struct PairAnswer {
+    /// Lower endpoint of the unordered pair.
+    pub a: usize,
+    /// Upper endpoint of the unordered pair (`a < b`).
+    pub b: usize,
+    /// The kernel's visibility verdict for the pair.
+    pub seen: bool,
+    /// Sparse store only: the answer was certified "blocked" by the slack
+    /// strip cover (see [`PairEntry::certified`]'s doc on the `World`
+    /// internals).
+    certified: bool,
+    /// The answer came from a strip cover (slack or exact) instead of the
+    /// witness kernel — replayed into the `cover_answers` telemetry at
+    /// commit.
+    cover_answered: bool,
+}
+
+/// Per-thread scratch buffers for [`World::compute_pair_answer`] — the
+/// read-only twin of the `World`'s own reusable query buffers, owned by the
+/// caller so concurrent probes never share storage.
+#[derive(Debug, Default)]
+pub struct PairProbe {
+    cand: Vec<usize>,
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    keep: Vec<u32>,
+    obs: Vec<Point>,
+}
+
+/// Precomputed pair answers keyed by unordered pair, injected into
+/// [`World::visible_of_into_with`]. An absent pair is not an error — the
+/// commit simply recomputes it serially, so injection can only change
+/// *where* a kernel runs, never its result.
+#[derive(Debug, Default)]
+pub struct PairAnswers {
+    map: HashMap<u64, PairAnswer, CellHashBuilder>,
+}
+
+impl PairAnswers {
+    /// Drops every stored answer (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Stores one computed answer (last write wins).
+    pub fn insert(&mut self, answer: PairAnswer) {
+        self.map.insert(pair_key(answer.a, answer.b), answer);
+    }
+
+    /// The stored answer for the unordered pair `{a, b}`, if any.
+    fn get(&self, a: usize, b: usize) -> Option<&PairAnswer> {
+        self.map.get(&pair_key(a, b))
+    }
+}
+
 /// A computed minimum pairwise gap: the gap value plus the (ascending)
 /// pair achieving it, or `None` for fewer than two robots. The achieving
 /// pair is what lets a single move maintain the cache in O(n): only a
@@ -887,6 +950,36 @@ impl World {
         seen
     }
 
+    /// The registration half of [`Self::recompute_and_register_pair`]: the
+    /// identical cell walk (including the amortized compaction sweeps) with
+    /// the obstacle gathering skipped — used when the pair's answer was
+    /// already computed read-only and is being committed by injection.
+    fn register_pair_dense(&mut self, a: usize, b: usize, idx: usize) {
+        let (ca, cb) = (self.centers[a], self.centers[b]);
+        let gen = self.pairs[idx].gen;
+        let pair_ref = PairRef {
+            idx: idx as u32,
+            gen,
+            a: a as u32,
+            b: b as u32,
+        };
+        let pairs = &self.pairs;
+        let cell_pairs = &mut self.cell_pairs;
+        self.grid
+            .for_each_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                let regs = cell_pairs.entry(cell).or_default();
+                if regs.refs.len() >= regs.compact_at.max(REGISTRATION_COMPACT_LEN) {
+                    regs.refs.retain(|r| {
+                        let e = &pairs[r.idx as usize];
+                        e.gen == r.gen && !e.dirty
+                    });
+                    regs.compact_at = regs.refs.len() * 2;
+                }
+                regs.refs.push(pair_ref);
+                true
+            });
+    }
+
     /// The grid level a pair registers its corridor at: the finest level
     /// whose cells are large enough that the chord's cover holds O(1) of
     /// them ([`SPARSE_REG_SPAN_CELLS`]). Long chords land on the coarsest
@@ -902,6 +995,112 @@ impl World {
         GRID_LEVELS - 1
     }
 
+    /// Computes one pair's visibility answer **without mutating anything**:
+    /// the same candidate walk, SoA corridor filter, strip covers and
+    /// witness kernel as the committing recompute, on caller-owned scratch.
+    /// Safe to call from worker threads on a shared `&World` — the commit
+    /// that later injects the result replays all bookkeeping serially and
+    /// lands in exactly the state a serial recompute would have produced
+    /// (no robot moves between the probe and its commit, so the inputs are
+    /// frozen).
+    ///
+    /// # Panics
+    /// Panics if `a >= b`, either index is out of bounds, or the world is
+    /// in [`WorldMode::Scratch`] (which has no pair store to commit into).
+    pub fn compute_pair_answer(&self, a: usize, b: usize, probe: &mut PairProbe) -> PairAnswer {
+        assert!(a < b && b < self.len(), "invalid pair");
+        assert!(
+            self.mode != WorldMode::Scratch,
+            "scratch mode has no pair store"
+        );
+        let (ca, cb) = (self.centers[a], self.centers[b]);
+        if self.mode == WorldMode::Incremental {
+            // Same cells, same sites, same order and same trim as the
+            // gathering half of `recompute_and_register_pair`.
+            let chord = Segment::new(ca, cb);
+            let prune_sq = VISIBILITY_PRUNE_RADIUS * VISIBILITY_PRUNE_RADIUS;
+            probe.obs.clear();
+            let grid = &self.grid;
+            let centers = &self.centers;
+            let obs = &mut probe.obs;
+            grid.for_each_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                if let Some(sites) = grid.sites_in(cell) {
+                    obs.extend(
+                        sites
+                            .iter()
+                            .filter(|&&k| k != a && k != b)
+                            .map(|&k| centers[k])
+                            .filter(|&c| chord.distance_sq_to(c) <= prune_sq),
+                    );
+                }
+                true
+            });
+            let seen = disc_sees_disc_among(ca, cb, &probe.obs, &self.vis);
+            return PairAnswer {
+                a,
+                b,
+                seen,
+                certified: false,
+                cover_answered: false,
+            };
+        }
+        // Sparse: the gathering half of `sparse_recompute_pair`, verbatim.
+        probe.cand.clear();
+        {
+            let grid = &self.grid;
+            let cand = &mut probe.cand;
+            grid.for_each_occupied_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                if let Some(sites) = grid.sites_in(cell) {
+                    cand.extend(sites.iter().copied().filter(|&k| k != a && k != b));
+                }
+                true
+            });
+        }
+        probe.sx.clear();
+        probe.sy.clear();
+        for &k in &probe.cand {
+            probe.sx.push(self.xs[k]);
+            probe.sy.push(self.ys[k]);
+        }
+        probe.keep.clear();
+        corridor_filter_soa(
+            ca,
+            cb,
+            VISIBILITY_PRUNE_RADIUS,
+            &probe.sx,
+            &probe.sy,
+            &mut probe.keep,
+        );
+        probe.obs.clear();
+        let (sx, sy) = (&probe.sx, &probe.sy);
+        probe.obs.extend(
+            probe
+                .keep
+                .iter()
+                .map(|&l| Point::new(sx[l as usize], sy[l as usize])),
+        );
+        let obs = &probe.obs;
+        let mut certified = false;
+        let mut cover_answered = false;
+        let seen = if strip_cover_blocked_with_slack(ca, cb, obs) {
+            certified = true;
+            cover_answered = true;
+            false
+        } else if strip_cover_blocked(ca, cb, obs) {
+            cover_answered = true;
+            false
+        } else {
+            disc_sees_disc_among(ca, cb, obs, &self.vis)
+        };
+        PairAnswer {
+            a,
+            b,
+            seen,
+            certified,
+            cover_answered,
+        }
+    }
+
     /// Recomputes one pair of the sparse store and re-registers its
     /// corridor. Same contract as [`Self::recompute_and_register_pair`]
     /// (and the same kernel, so the answer is bit-identical); the obstacle
@@ -911,6 +1110,21 @@ impl World {
     /// [`VISIBILITY_PRUNE_RADIUS`] of the chord, which is all
     /// `disc_sees_disc_among` needs for the exhaustive answer.
     fn sparse_recompute_pair(&mut self, a: usize, b: usize) -> bool {
+        self.sparse_recompute_pair_with(a, b, None)
+    }
+
+    /// [`Self::sparse_recompute_pair`], optionally short-circuiting the
+    /// gather-and-kernel half with a precomputed [`PairAnswer`]. Every
+    /// side effect — generation bump, dirty clear, cover telemetry, view
+    /// versions, adjacency, registration — runs here either way, so an
+    /// injected answer leaves the world in exactly the state a serial
+    /// recompute would.
+    fn sparse_recompute_pair_with(
+        &mut self,
+        a: usize,
+        b: usize,
+        answer: Option<&PairAnswer>,
+    ) -> bool {
         let (ca, cb) = (self.centers[a], self.centers[b]);
         let level = self.sparse_reg_level(ca, cb);
         let entry = self
@@ -927,58 +1141,68 @@ impl World {
         entry.dirty = false;
         let old_seen = entry.seen;
         let gen = entry.gen;
-        // Candidate obstacles: sites of the occupied base cells of the
-        // corridor cover (the pruned walk surfaces exactly the sites the
-        // flat walk would).
-        let mut cand = std::mem::take(&mut self.cand_buf);
-        cand.clear();
-        {
-            let grid = &self.grid;
-            grid.for_each_occupied_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
-                if let Some(sites) = grid.sites_in(cell) {
-                    cand.extend(sites.iter().copied().filter(|&k| k != a && k != b));
-                }
-                true
-            });
-        }
-        let mut sx = std::mem::take(&mut self.soa_xs);
-        let mut sy = std::mem::take(&mut self.soa_ys);
-        sx.clear();
-        sy.clear();
-        for &k in &cand {
-            sx.push(self.xs[k]);
-            sy.push(self.ys[k]);
-        }
-        let mut keep = std::mem::take(&mut self.keep_buf);
-        keep.clear();
-        corridor_filter_soa(ca, cb, VISIBILITY_PRUNE_RADIUS, &sx, &sy, &mut keep);
-        let mut obs = std::mem::take(&mut self.obs_buf);
-        obs.clear();
-        obs.extend(
-            keep.iter()
-                .map(|&l| Point::new(sx[l as usize], sy[l as usize])),
-        );
-        // Two-tier blocked fast path before the O(k²) witness kernel. The
-        // slack cover additionally certifies the answer against endpoint
-        // drift (see [`PairEntry::certified`]); the exact cover only
-        // answers this recompute. Both are one-sided — `false` falls
-        // through to the kernel — so the answer is always the kernel's.
-        let mut certified = false;
-        let seen = if strip_cover_blocked_with_slack(ca, cb, &obs) {
-            certified = true;
-            self.cover_answers += 1;
-            false
-        } else if strip_cover_blocked(ca, cb, &obs) {
-            self.cover_answers += 1;
-            false
+        let (seen, certified) = if let Some(ans) = answer {
+            debug_assert!(ans.a == a && ans.b == b, "answer injected for wrong pair");
+            if ans.cover_answered {
+                self.cover_answers += 1;
+            }
+            (ans.seen, ans.certified)
         } else {
-            disc_sees_disc_among(ca, cb, &obs, &self.vis)
+            // Candidate obstacles: sites of the occupied base cells of the
+            // corridor cover (the pruned walk surfaces exactly the sites the
+            // flat walk would).
+            let mut cand = std::mem::take(&mut self.cand_buf);
+            cand.clear();
+            {
+                let grid = &self.grid;
+                grid.for_each_occupied_cell_near_segment(ca, cb, VISIBILITY_PRUNE_RADIUS, |cell| {
+                    if let Some(sites) = grid.sites_in(cell) {
+                        cand.extend(sites.iter().copied().filter(|&k| k != a && k != b));
+                    }
+                    true
+                });
+            }
+            let mut sx = std::mem::take(&mut self.soa_xs);
+            let mut sy = std::mem::take(&mut self.soa_ys);
+            sx.clear();
+            sy.clear();
+            for &k in &cand {
+                sx.push(self.xs[k]);
+                sy.push(self.ys[k]);
+            }
+            let mut keep = std::mem::take(&mut self.keep_buf);
+            keep.clear();
+            corridor_filter_soa(ca, cb, VISIBILITY_PRUNE_RADIUS, &sx, &sy, &mut keep);
+            let mut obs = std::mem::take(&mut self.obs_buf);
+            obs.clear();
+            obs.extend(
+                keep.iter()
+                    .map(|&l| Point::new(sx[l as usize], sy[l as usize])),
+            );
+            // Two-tier blocked fast path before the O(k²) witness kernel.
+            // The slack cover additionally certifies the answer against
+            // endpoint drift (see [`PairEntry::certified`]); the exact
+            // cover only answers this recompute. Both are one-sided —
+            // `false` falls through to the kernel — so the answer is
+            // always the kernel's.
+            let mut certified = false;
+            let seen = if strip_cover_blocked_with_slack(ca, cb, &obs) {
+                certified = true;
+                self.cover_answers += 1;
+                false
+            } else if strip_cover_blocked(ca, cb, &obs) {
+                self.cover_answers += 1;
+                false
+            } else {
+                disc_sees_disc_among(ca, cb, &obs, &self.vis)
+            };
+            self.cand_buf = cand;
+            self.soa_xs = sx;
+            self.soa_ys = sy;
+            self.keep_buf = keep;
+            self.obs_buf = obs;
+            (seen, certified)
         };
-        self.cand_buf = cand;
-        self.soa_xs = sx;
-        self.soa_ys = sy;
-        self.keep_buf = keep;
-        self.obs_buf = obs;
         if old_seen != seen {
             // Flip: both Look snapshots change (identical rule to the dense
             // path — a fresh entry starts unseen, so a first computation
@@ -1043,7 +1267,12 @@ impl World {
     /// its pairs (the unavoidable O(n) the dense matrix pays eagerly at
     /// construction); afterwards only the pairs queued dirty by the cell
     /// drains recompute — the output-sensitive steady state.
-    fn sparse_refresh_row(&mut self, i: usize) {
+    ///
+    /// Each recompute is answered from the injected [`PairAnswers`] when
+    /// present (serially recomputed otherwise). The drain order, the
+    /// hit/miss telemetry and every state transition are identical either
+    /// way.
+    fn sparse_refresh_row_with(&mut self, i: usize, answers: Option<&PairAnswers>) {
         if !self.sparse.row_init[i] {
             for j in 0..self.len() {
                 if j == i {
@@ -1054,7 +1283,8 @@ impl World {
                     Some(e) if !e.dirty => self.hits += 1,
                     _ => {
                         self.misses += 1;
-                        self.sparse_recompute_pair(a, b);
+                        let ans = answers.and_then(|s| s.get(a, b));
+                        self.sparse_recompute_pair_with(a, b, ans);
                     }
                 }
             }
@@ -1077,12 +1307,77 @@ impl World {
                 .is_some_and(|e| e.dirty)
             {
                 self.misses += 1;
-                self.sparse_recompute_pair(a, b);
+                let ans = answers.and_then(|s| s.get(a, b));
+                self.sparse_recompute_pair_with(a, b, ans);
             }
         }
         js.clear();
         self.sparse.pending[i].js = js;
         self.sparse.pending[i].compact_at = 0;
+    }
+
+    /// The pairs the next [`Self::visible_of_into`] for robot `i` would
+    /// recompute, **right now** (read-only; appended to `out` as sorted
+    /// `(a, b)` endpoint pairs, deduplicated). This is the commutation
+    /// interface of the parallel executor: two Looks whose plans share no
+    /// pair recompute disjoint pair sets, so their kernel work can run
+    /// concurrently and commit in either order with identical results —
+    /// and since a robot's plan only ever contains its own pairs, two
+    /// plans can only share the one pair joining the two robots.
+    ///
+    /// Valid until the next mutating call (a move dirties pairs and queues
+    /// pending work; a refresh consumes it).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn look_plan(&self, i: usize, out: &mut Vec<(usize, usize)>) {
+        assert!(i < self.len(), "robot index out of bounds");
+        match self.mode {
+            WorldMode::Scratch => {}
+            WorldMode::Incremental => {
+                for j in 0..self.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let (a, b) = if i < j { (i, j) } else { (j, i) };
+                    if self.pairs[self.pair_index(a, b)].dirty {
+                        out.push((a, b));
+                    }
+                }
+            }
+            WorldMode::Sparse => {
+                if !self.sparse.row_init[i] {
+                    for j in 0..self.len() {
+                        if j == i {
+                            continue;
+                        }
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        match self.sparse.pairs.get(&pair_key(a, b)) {
+                            Some(e) if !e.dirty => {}
+                            _ => out.push((a, b)),
+                        }
+                    }
+                } else {
+                    // Mirror the refresh's drain: sorted, deduplicated,
+                    // dirty-only.
+                    let mut js: Vec<u32> = self.sparse.pending[i].js.clone();
+                    js.sort_unstable();
+                    js.dedup();
+                    for &j in &js {
+                        let j = j as usize;
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        if self
+                            .sparse
+                            .pairs
+                            .get(&pair_key(a, b))
+                            .is_some_and(|e| e.dirty)
+                        {
+                            out.push((a, b));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Indices of the robots visible to robot `i`, ascending — the cached
@@ -1103,6 +1398,25 @@ impl World {
     /// # Panics
     /// Panics if `i` is out of bounds.
     pub fn visible_of_into(&mut self, i: usize, out: &mut Vec<usize>) {
+        self.visible_of_into_with(i, out, None);
+    }
+
+    /// [`Self::visible_of_into`] with precomputed pair answers: every
+    /// recompute the refresh hits is answered from `answers` when present
+    /// (committing all bookkeeping here, serially) and recomputed in place
+    /// otherwise. With `None` — or an empty set — this **is** the serial
+    /// path: injection only moves kernel evaluations onto other threads,
+    /// never changes what is computed, in which order it is committed, or
+    /// what the telemetry counts.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn visible_of_into_with(
+        &mut self,
+        i: usize,
+        out: &mut Vec<usize>,
+        answers: Option<&PairAnswers>,
+    ) {
         assert!(i < self.len(), "robot index out of bounds");
         out.clear();
         if self.mode == WorldMode::Scratch {
@@ -1112,12 +1426,45 @@ impl World {
         if self.mode == WorldMode::Sparse {
             // Refresh recomputes exactly the dirty pairs of row `i`; the
             // sorted adjacency list then *is* the ascending visible set.
-            self.sparse_refresh_row(i);
+            self.sparse_refresh_row_with(i, answers);
             out.extend(self.sparse.adj[i].iter().map(|&j| j as usize));
             return;
         }
         for j in 0..self.len() {
-            if j != i && self.sees(i, j) {
+            if j == i {
+                continue;
+            }
+            // Inlined `sees(i, j)` with the recompute optionally answered
+            // by injection: same counters, same generation bump, same flip
+            // rule, same registration walk.
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            let idx = self.pair_index(a, b);
+            let seen = if !self.pairs[idx].dirty {
+                self.hits += 1;
+                self.pairs[idx].seen
+            } else {
+                self.misses += 1;
+                {
+                    let entry = &mut self.pairs[idx];
+                    entry.gen = entry.gen.wrapping_add(1);
+                    entry.dirty = false;
+                }
+                let seen = match answers.and_then(|s| s.get(a, b)) {
+                    Some(ans) => {
+                        debug_assert!(ans.a == a && ans.b == b);
+                        self.register_pair_dense(a, b, idx);
+                        ans.seen
+                    }
+                    None => self.recompute_and_register_pair(a, b, idx),
+                };
+                if self.pairs[idx].seen != seen {
+                    self.view_versions[a] += 1;
+                    self.view_versions[b] += 1;
+                }
+                self.pairs[idx].seen = seen;
+                seen
+            };
+            if seen {
                 out.push(j);
             }
         }
