@@ -27,10 +27,12 @@ use fatrobots_sim::experiment::{
     scale_table_spec, scaling_table_spec_with_cap, shape_table_spec, ExperimentTable, TableSpec,
     LARGE_N_EVENT_CAP,
 };
+use fatrobots_sim::fuzz::{self, FuzzConfig, FuzzReport};
 use fatrobots_sim::sweep::{self, SweepPool};
 
 const USAGE: &str = "\
 Usage: report [OPTIONS]
+       report fuzz [--budget <N>] [--fuzz-seed <N>] [--out <DIR>] [--json <PATH>]
 
 Regenerates the experiment tables of EXPERIMENTS.md. With no table flags,
 every table is produced.
@@ -75,6 +77,22 @@ Options:
                  row counts as a regression (default: 10; gathered-rate
                  drops of any size always fail). Requires --baseline
   -h, --help     print this help and exit
+
+Fuzz mode (report fuzz):
+  Runs the shrinking scenario fuzzer instead of the tables: sweeps shape x
+  adversary x fault x n x seed scenarios under a total event budget, flags
+  every run that fails to gather within its per-scenario cap, shrinks each
+  find via deterministic replay and (with --out) writes one regression
+  fixture per find. Deterministic in (--fuzz-seed, --budget). Table and
+  sweep flags (--e*, --quick, --shadow, --jobs, --threads, --event-cap,
+  --baseline, --baseline-threshold, --figures) are rejected in fuzz mode.
+  --budget <N>   total discovery event budget (default: 400000)
+  --fuzz-seed <N>
+                 seed of the random scenario generator (default: 7)
+  --out <DIR>    write the shrunk findings as fixture JSON files into DIR
+                 (created if missing)
+  --json <PATH>  write the fuzz telemetry (scenario / event / shrink
+                 counters plus every finding) to PATH as JSON
 ";
 
 /// Parsed command line.
@@ -94,6 +112,15 @@ struct Cli {
     figures: bool,
     /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
     selected: Vec<&'static str>,
+    /// Fuzz mode (`report fuzz`): run the shrinking scenario fuzzer
+    /// instead of the tables.
+    fuzz: bool,
+    /// Total discovery event budget of the fuzzer (`--budget`).
+    budget: u64,
+    /// Seed of the fuzzer's random scenario generator (`--fuzz-seed`).
+    fuzz_seed: u64,
+    /// Directory the fuzzer writes regression fixtures into (`--out`).
+    out: Option<String>,
 }
 
 /// Parses arguments; `Err` carries the message for stderr (usage error).
@@ -109,8 +136,28 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         event_cap: LARGE_N_EVENT_CAP,
         figures: false,
         selected: Vec::new(),
+        fuzz: false,
+        budget: FuzzConfig::default().budget,
+        fuzz_seed: FuzzConfig::default().seed,
+        out: None,
     };
     let mut threshold_given = false;
+    let mut jobs_given = false;
+    let mut threads_given = false;
+    let mut event_cap_given = false;
+    let mut budget_given = false;
+    let mut fuzz_seed_given = false;
+    // A flag that takes a path must not swallow the next flag as its value
+    // (`--baseline --quick` is a missing path, not a file named --quick).
+    fn path_value<'a>(
+        iter: &mut std::slice::Iter<'a, String>,
+        flag: &str,
+    ) -> Result<&'a String, String> {
+        match iter.next() {
+            Some(value) if !value.starts_with('-') => Ok(value),
+            _ => Err(format!("{flag} requires a path")),
+        }
+    }
     fn select(selected: &mut Vec<&'static str>, id: &'static str) {
         if !selected.contains(&id) {
             selected.push(id);
@@ -120,6 +167,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "-h" | "--help" => return Ok(None),
+            "fuzz" => cli.fuzz = true,
             "--quick" => cli.quick = true,
             "--shadow" => cli.shadow = true,
             "--figures" => cli.figures = true,
@@ -131,6 +179,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--e7" => select(&mut cli.selected, "e7"),
             "--scale" => select(&mut cli.selected, "scale"),
             "--jobs" => {
+                jobs_given = true;
                 let value = iter.next().ok_or("--jobs requires a value")?;
                 cli.jobs = value
                     .parse::<usize>()
@@ -139,6 +188,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     .ok_or_else(|| format!("--jobs wants a positive integer, got '{value}'"))?;
             }
             "--threads" => {
+                threads_given = true;
                 let value = iter.next().ok_or("--threads requires a value")?;
                 cli.threads = value
                     .parse::<usize>()
@@ -147,6 +197,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                     .ok_or_else(|| format!("--threads wants a positive integer, got '{value}'"))?;
             }
             "--event-cap" => {
+                event_cap_given = true;
                 let value = iter.next().ok_or("--event-cap requires a value")?;
                 cli.event_cap =
                     value
@@ -157,13 +208,24 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                             format!("--event-cap wants a positive integer, got '{value}'")
                         })?;
             }
-            "--json" => {
-                let value = iter.next().ok_or("--json requires a path")?;
-                cli.json = Some(value.clone());
+            "--json" => cli.json = Some(path_value(&mut iter, "--json")?.clone()),
+            "--baseline" => cli.baseline = Some(path_value(&mut iter, "--baseline")?.clone()),
+            "--out" => cli.out = Some(path_value(&mut iter, "--out")?.clone()),
+            "--budget" => {
+                budget_given = true;
+                let value = iter.next().ok_or("--budget requires a value")?;
+                cli.budget = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--budget wants a positive integer, got '{value}'"))?;
             }
-            "--baseline" => {
-                let value = iter.next().ok_or("--baseline requires a path")?;
-                cli.baseline = Some(value.clone());
+            "--fuzz-seed" => {
+                fuzz_seed_given = true;
+                let value = iter.next().ok_or("--fuzz-seed requires a value")?;
+                cli.fuzz_seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("--fuzz-seed wants an unsigned integer, got '{value}'"))?;
             }
             "--baseline-threshold" => {
                 let value = iter
@@ -184,6 +246,32 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     }
     if threshold_given && cli.baseline.is_none() {
         return Err("--baseline-threshold requires --baseline".into());
+    }
+    if cli.fuzz {
+        // Fuzz mode is a different program: table and sweep flags are
+        // rejected outright rather than silently ignored.
+        let conflicts = [
+            (cli.quick, "--quick"),
+            (cli.shadow, "--shadow"),
+            (cli.figures, "--figures"),
+            (!cli.selected.is_empty(), "table selection flags"),
+            (cli.baseline.is_some(), "--baseline"),
+            (jobs_given, "--jobs"),
+            (threads_given, "--threads"),
+            (event_cap_given, "--event-cap"),
+        ];
+        if let Some((_, flag)) = conflicts.iter().find(|(given, _)| *given) {
+            return Err(format!("{flag} cannot be combined with fuzz mode"));
+        }
+    } else {
+        let fuzz_only = [
+            (budget_given, "--budget"),
+            (fuzz_seed_given, "--fuzz-seed"),
+            (cli.out.is_some(), "--out"),
+        ];
+        if let Some((_, flag)) = fuzz_only.iter().find(|(given, _)| *given) {
+            return Err(format!("{flag} requires fuzz mode ('report fuzz ...')"));
+        }
     }
     // Canonical order regardless of flag order, so `--e4 --e1` prints E1
     // first — same as the all-tables run.
@@ -219,6 +307,138 @@ fn build_table_spec(id: &str, quick: bool, seeds: &[u64], event_cap: usize) -> T
     }
 }
 
+/// Runs one fuzz campaign (`report fuzz`): sweep, shrink, and write the
+/// fixtures / telemetry the flags asked for.
+fn run_fuzz(cli: &Cli) -> ExitCode {
+    let config = FuzzConfig {
+        budget: cli.budget,
+        seed: cli.fuzz_seed,
+        ..FuzzConfig::default()
+    };
+    let report = fuzz::fuzz(&config);
+    println!("== FUZZ: shrinking scenario sweep ==");
+    println!("fuzz seed {}, event budget {}", config.seed, config.budget);
+    println!(
+        "scenarios {}, events spent {}, confirm replays {}, shrink replays {}, findings {}",
+        report.scenarios,
+        report.events_spent,
+        report.confirm_replays,
+        report.shrink_replays,
+        report.findings.len()
+    );
+    for finding in &report.findings {
+        let spec = &finding.spec;
+        println!(
+            "  [{}] shape={} adversary={} k={} n={} seed={} cap={} | events={} gathered={} shrink_steps={}",
+            finding.origin,
+            spec.shape.name(),
+            spec.adversary.name(),
+            spec.adversary.fault_k(),
+            spec.n,
+            spec.seed,
+            spec.max_events,
+            finding.census.events,
+            finding.census.gathered,
+            finding.shrink_steps,
+        );
+    }
+    if let Some(dir) = &cli.out {
+        match fuzz::write_fixtures(&report, std::path::Path::new(dir)) {
+            Ok(paths) => eprintln!("report: wrote {} fixture(s) to {dir}", paths.len()),
+            Err(err) => {
+                eprintln!("report: cannot write fixtures to '{dir}': {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &cli.json {
+        if let Err(err) = std::fs::write(path, fuzz_json(&config, &report)) {
+            eprintln!("report: cannot write '{path}': {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report: wrote {path} (fuzz telemetry)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// The fuzz telemetry document (`report fuzz --json`): campaign counters
+/// plus every shrunk finding, schema-versioned alongside the table report.
+fn fuzz_json(config: &FuzzConfig, report: &FuzzReport) -> String {
+    use json::JsonValue;
+    let findings: Vec<JsonValue> = report
+        .findings
+        .iter()
+        .map(|finding| {
+            let spec = &finding.spec;
+            JsonValue::Obj(vec![
+                ("origin".into(), JsonValue::Str(finding.origin.into())),
+                ("shape".into(), JsonValue::Str(spec.shape.name().into())),
+                (
+                    "adversary".into(),
+                    JsonValue::Str(spec.adversary.name().into()),
+                ),
+                (
+                    "fault_k".into(),
+                    JsonValue::Int(spec.adversary.fault_k() as i64),
+                ),
+                ("n".into(), JsonValue::Int(spec.n as i64)),
+                ("seed".into(), JsonValue::Int(spec.seed as i64)),
+                ("max_events".into(), JsonValue::Int(spec.max_events as i64)),
+                (
+                    "shrink_steps".into(),
+                    JsonValue::Int(finding.shrink_steps as i64),
+                ),
+                (
+                    "census".into(),
+                    JsonValue::Obj(vec![
+                        ("gathered".into(), JsonValue::Bool(finding.census.gathered)),
+                        (
+                            "terminated".into(),
+                            JsonValue::Bool(finding.census.terminated),
+                        ),
+                        (
+                            "events".into(),
+                            JsonValue::Int(finding.census.events as i64),
+                        ),
+                        (
+                            "distance_bits".into(),
+                            JsonValue::Int(finding.census.distance_bits as i64),
+                        ),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "schema_version".into(),
+            JsonValue::Int(fatrobots_bench::REPORT_SCHEMA_VERSION),
+        ),
+        (
+            "generator".into(),
+            JsonValue::Str("fatrobots-bench report".into()),
+        ),
+        ("mode".into(), JsonValue::Str("fuzz".into())),
+        ("fuzz_seed".into(), JsonValue::Int(config.seed as i64)),
+        ("budget".into(), JsonValue::Int(config.budget as i64)),
+        ("scenarios".into(), JsonValue::Int(report.scenarios as i64)),
+        (
+            "events_spent".into(),
+            JsonValue::Int(report.events_spent as i64),
+        ),
+        (
+            "confirm_replays".into(),
+            JsonValue::Int(report.confirm_replays as i64),
+        ),
+        (
+            "shrink_replays".into(),
+            JsonValue::Int(report.shrink_replays as i64),
+        ),
+        ("findings".into(), JsonValue::Arr(findings)),
+    ])
+    .to_pretty()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -246,6 +466,10 @@ fn main() -> ExitCode {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if cli.fuzz {
+        return run_fuzz(&cli);
     }
 
     // Likewise read and validate the baseline before sweeping.

@@ -67,7 +67,19 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   is exactly what lets [`diff_against_baseline`] compare a `--threads 4`
 ///   report against a serial baseline. A pure field addition; v1–v5
 ///   baselines keep diffing cleanly against v6 tables.
-pub const REPORT_SCHEMA_VERSION: i64 = 6;
+/// * **v7** — fault-injection telemetry. Per-run records carry the fault
+///   adversaries' counters: `fault_crashed_robots` (victims permanently
+///   crash-stopped by the schedule), `fault_starved_directives`
+///   (activations granted to non-victims while a persistent-sleep window
+///   starved its victims) and `fault_truncated_directives` (directives a
+///   slow coalition truncated to the δ minimum). All zero under fault-free
+///   adversaries; the E4 table also gains the three fault-adversary rows.
+///   v7 additionally introduces the *fuzz telemetry* document
+///   (`report fuzz --json`): a sibling format with `"mode": "fuzz"`,
+///   campaign counters and the shrunk findings — baseline diffing only
+///   ever reads table documents. A pure field addition; v1–v6 baselines
+///   keep diffing cleanly against v7 tables.
+pub const REPORT_SCHEMA_VERSION: i64 = 7;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -347,6 +359,18 @@ fn summary_json(s: &RunSummary) -> JsonValue {
             JsonValue::Int(s.speculation_aborts as i64),
         ),
         (
+            "fault_crashed_robots".into(),
+            JsonValue::Int(s.fault_crashed_robots as i64),
+        ),
+        (
+            "fault_starved_directives".into(),
+            JsonValue::Int(s.fault_starved_directives as i64),
+        ),
+        (
+            "fault_truncated_directives".into(),
+            JsonValue::Int(s.fault_truncated_directives as i64),
+        ),
+        (
             "shadow".into(),
             s.shadow.as_ref().map_or(JsonValue::Null, shadow_json),
         ),
@@ -528,6 +552,19 @@ mod tests {
         assert_eq!(runs[0].get("par_batched_events"), Some(&JsonValue::Int(0)));
         assert_eq!(runs[0].get("speculation_hits"), Some(&JsonValue::Int(0)));
         assert_eq!(runs[0].get("speculation_aborts"), Some(&JsonValue::Int(0)));
+        // v7: fault-injection telemetry — zero under fault-free adversaries.
+        assert_eq!(
+            runs[0].get("fault_crashed_robots"),
+            Some(&JsonValue::Int(0))
+        );
+        assert_eq!(
+            runs[0].get("fault_starved_directives"),
+            Some(&JsonValue::Int(0))
+        );
+        assert_eq!(
+            runs[0].get("fault_truncated_directives"),
+            Some(&JsonValue::Int(0))
+        );
         let aggregate = groups[0].get("aggregate").unwrap();
         assert_eq!(aggregate.get("runs"), Some(&JsonValue::Int(2)));
         // v4: without --shadow the shadow keys are present but null.

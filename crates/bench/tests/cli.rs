@@ -43,6 +43,10 @@ fn help_exits_zero_and_documents_the_flags() {
         "--baseline",
         "--baseline-threshold",
         "--event-cap",
+        "report fuzz",
+        "--budget",
+        "--fuzz-seed",
+        "--out",
     ] {
         assert!(stdout.contains(flag), "--help must mention {flag}");
     }
@@ -110,6 +114,150 @@ fn event_cap_rejects_missing_and_malformed_values() {
     }
 }
 
+#[test]
+fn fuzz_mode_rejects_table_and_sweep_flags() {
+    for args in [
+        &["fuzz", "--shadow"][..],
+        &["fuzz", "--quick"],
+        &["fuzz", "--figures"],
+        &["fuzz", "--e1"],
+        &["fuzz", "--jobs", "2"],
+        &["fuzz", "--threads", "2"],
+        &["fuzz", "--event-cap", "100"],
+        &["fuzz", "--baseline", "whatever.json"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("cannot be combined with fuzz mode"),
+            "{args:?}: {stderr}"
+        );
+        assert!(stderr.contains("Usage: report"));
+        assert!(out.stdout.is_empty(), "usage errors must not fuzz or sweep");
+    }
+}
+
+#[test]
+fn fuzz_only_flags_require_fuzz_mode() {
+    for args in [
+        &["--budget", "1000"][..],
+        &["--fuzz-seed", "7"],
+        &["--out", "/tmp/fixtures"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("requires fuzz mode") && stderr.contains(args[0]),
+            "{args:?}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "usage errors must not print tables");
+    }
+}
+
+#[test]
+fn fuzz_budget_and_seed_reject_missing_and_malformed_values() {
+    for args in [
+        &["fuzz", "--budget"][..],
+        &["fuzz", "--budget", "lots"],
+        &["fuzz", "--budget", "0"],
+        &["fuzz", "--fuzz-seed"],
+        &["fuzz", "--fuzz-seed", "lucky"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        assert!(String::from_utf8(out.stderr).unwrap().contains(args[1]));
+    }
+}
+
+#[test]
+fn path_flags_do_not_swallow_the_next_flag() {
+    // `--baseline --quick` is a missing path, not a baseline file named
+    // "--quick" (the old parser fell through to a confusing read error).
+    for args in [
+        &["--baseline", "--quick"][..],
+        &["--json", "--quick"],
+        &["fuzz", "--out", "--quick"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("requires a path") && stderr.contains(args[args.len() - 2]),
+            "{args:?}: {stderr}"
+        );
+        assert!(out.stdout.is_empty(), "usage errors must not print tables");
+    }
+}
+
+#[test]
+fn fuzz_smoke_rediscovers_the_committed_pilot_fixture() {
+    // A budget of 1 stops the sweep after the first pilot scenario — the
+    // canonical n = 16 / seed 2 stall — which must shrink to exactly the
+    // committed fixture, byte for byte.
+    let dir = std::env::temp_dir().join(format!("fuzz_smoke_cli_{}", std::process::id()));
+    let json = std::env::temp_dir().join(format!("fuzz_smoke_cli_{}.json", std::process::id()));
+    let out = report(&[
+        "fuzz",
+        "--budget",
+        "1",
+        "--fuzz-seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("FUZZ"), "stdout: {stdout}");
+    assert!(stdout.contains("findings 1"), "stdout: {stdout}");
+
+    let emitted: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(emitted.len(), 1, "exactly one fixture for one finding");
+    let emitted_path = emitted[0].as_ref().unwrap().path();
+    let committed = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/livelock")
+        .join(emitted_path.file_name().unwrap());
+    assert!(
+        committed.exists(),
+        "the pilot finding {} is not among the committed fixtures",
+        emitted_path.display()
+    );
+    assert_eq!(
+        std::fs::read_to_string(&emitted_path).unwrap(),
+        std::fs::read_to_string(&committed).unwrap(),
+        "the rediscovered fixture must be byte-identical to the committed one"
+    );
+
+    let telemetry = json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(
+        telemetry.get("schema_version"),
+        Some(&JsonValue::Int(fatrobots_bench::REPORT_SCHEMA_VERSION))
+    );
+    assert_eq!(
+        telemetry.get("mode").and_then(JsonValue::as_str),
+        Some("fuzz")
+    );
+    let findings = telemetry
+        .get("findings")
+        .and_then(JsonValue::as_arr)
+        .unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("census").and_then(|c| c.get("gathered")),
+        Some(&JsonValue::Bool(false))
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&json);
+}
+
 // The tests below exercise E7 (shape table, n = 6) rather than E1: E1 now
 // carries the large-n throughput rows (n = 48, 96), which are meant for the
 // release-mode bench-report job and would dominate a debug-mode test run.
@@ -150,10 +298,10 @@ fn json_report_is_parseable_with_one_record_per_run() {
     assert_eq!(tables.len(), 1);
     assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e7"));
 
-    // --quick --e7 sweeps the 6 shapes over 3 seeds: 6 groups, 3 runs
+    // --quick --e7 sweeps the 9 shapes over 3 seeds: 9 groups, 3 runs
     // each, plus one aggregate row per group.
     let groups = tables[0].get("groups").and_then(JsonValue::as_arr).unwrap();
-    assert_eq!(groups.len(), 6);
+    assert_eq!(groups.len(), 9);
     for group in groups {
         let runs = group.get("runs").and_then(JsonValue::as_arr).unwrap();
         assert_eq!(runs.len(), 3, "one JSON record per run");
@@ -188,6 +336,10 @@ fn json_report_is_parseable_with_one_record_per_run() {
                 "par_batched_events",
                 "speculation_hits",
                 "speculation_aborts",
+                // Schema v7: the fault-injection telemetry.
+                "fault_crashed_robots",
+                "fault_starved_directives",
+                "fault_truncated_directives",
             ] {
                 assert!(run.get(key).is_some(), "run record missing '{key}'");
             }

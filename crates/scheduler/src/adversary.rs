@@ -89,18 +89,64 @@ pub struct Directive {
     pub motion: MotionControl,
 }
 
+/// Counters reported by the fault-injection adversaries, for telemetry.
+/// All zero for the fault-free schedules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Robots permanently crashed by a fired crash-stop fault.
+    pub crashed_robots: u64,
+    /// Scheduling decisions taken while at least one sleep victim was
+    /// starved (denied activation inside its sleep window).
+    pub starved_directives: u64,
+    /// Directives truncated to the liveness minimum δ by a slow coalition.
+    pub truncated_directives: u64,
+}
+
 /// An adversary strategy.
 ///
 /// Implementations must satisfy liveness condition 1: as long as some robot
 /// has not terminated, [`Adversary::next`] keeps scheduling every active
-/// robot infinitely often. All strategies below do so by construction
-/// (round-robin or uniform random over the active robots).
+/// robot infinitely often. The fault-free strategies below do so by
+/// construction (round-robin or uniform random over the active robots); the
+/// fault injectors deliberately violate it for their victims — [`CrashStop`]
+/// permanently, which it must report through
+/// [`Adversary::permanently_stopped`] so the engine can settle the run on
+/// the survivors instead of waiting forever.
 pub trait Adversary {
     /// Choose the next step, or `None` when every robot has terminated.
     fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive>;
 
     /// A short human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
+
+    /// `true` when robot `robot` has permanently stopped activating under
+    /// this adversary (a crash-stop fault has fired for it). The engine
+    /// excludes such robots from termination detection and restricts the
+    /// gathering criterion to the live robots. Fault-free adversaries never
+    /// stop a robot permanently.
+    fn permanently_stopped(&self, _robot: usize) -> bool {
+        false
+    }
+
+    /// The fault counters accumulated so far (all zero for fault-free
+    /// adversaries).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// Picks `k` distinct victim indices out of `n` robots, seed-deterministic.
+/// Requires `k <= n` (callers clamp).
+fn pick_victims(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut victims: Vec<usize> = Vec::with_capacity(k);
+    while victims.len() < k {
+        let v = rng.gen_range(0..n);
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims.sort_unstable();
+    victims
 }
 
 /// The friendliest schedule: robots take steps in round-robin order and every
@@ -217,14 +263,28 @@ impl Adversary for StopHappy {
 /// after the rest of the system has moved on.
 #[derive(Debug, Clone)]
 pub struct SlowRobot {
-    victim: usize,
+    victim: Option<usize>,
     cursor: usize,
 }
 
 impl SlowRobot {
     /// Creates the adversary with the given victim robot index.
     pub fn new(victim: usize) -> Self {
-        SlowRobot { victim, cursor: 0 }
+        SlowRobot {
+            victim: Some(victim),
+            cursor: 0,
+        }
+    }
+
+    /// Seed-derived victim for a system of `n` robots. A 1-robot system has
+    /// no "rest of the system" for the victim to fall behind, so the
+    /// schedule degenerates gracefully to plain full-speed round-robin (no
+    /// victim at all) instead of pointlessly dragging the only robot at δ.
+    pub fn for_system(seed: u64, n: usize) -> Self {
+        SlowRobot {
+            victim: (n > 1).then(|| (seed % n as u64) as usize),
+            cursor: 0,
+        }
     }
 }
 
@@ -236,7 +296,7 @@ impl Adversary for SlowRobot {
         }
         let pick = system.nth_active(self.cursor % count)?;
         self.cursor = self.cursor.wrapping_add(1);
-        let motion = if pick == self.victim {
+        let motion = if Some(pick) == self.victim {
             MotionControl::StopAfterDelta
         } else {
             MotionControl::Full
@@ -249,6 +309,252 @@ impl Adversary for SlowRobot {
 
     fn name(&self) -> &'static str {
         "slow-robot"
+    }
+}
+
+/// The crash-stop fault the paper's liveness condition 1 excludes: `k`
+/// seed-chosen victims permanently stop activating once a seed-derived
+/// number of scheduling decisions has passed. Before the fault fires the
+/// schedule is plain full-speed round-robin over all active robots;
+/// afterwards the victims are never scheduled again, and
+/// [`Adversary::permanently_stopped`] reports them dead so the engine can
+/// settle the run on the survivors (live-robot gathering) instead of
+/// spinning on a Terminate that will never come.
+///
+/// `k` is clamped to `n - 1`: at least one robot always survives, and a
+/// 1-robot system suffers no fault at all.
+#[derive(Debug, Clone)]
+pub struct CrashStop {
+    victims: Vec<usize>,
+    fault_at: u64,
+    /// `next` calls taken so far (the fault clock).
+    clock: u64,
+    /// `true` once a `next` call has actually observed the fault.
+    fired: bool,
+    cursor: usize,
+}
+
+impl CrashStop {
+    /// Creates the adversary for a system of `n` robots, crashing `k`
+    /// seed-chosen victims after a seed-derived warm-up.
+    pub fn new(seed: u64, n: usize, k: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_85F0_9B1C_37AD);
+        let k = k.min(n.saturating_sub(1));
+        let victims = if k == 0 {
+            Vec::new()
+        } else {
+            pick_victims(&mut rng, n, k)
+        };
+        CrashStop {
+            victims,
+            fault_at: rng.gen_range(24u64..=96),
+            clock: 0,
+            fired: false,
+            cursor: 0,
+        }
+    }
+}
+
+impl Adversary for CrashStop {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        if !self.victims.is_empty() && self.clock >= self.fault_at {
+            self.fired = true;
+        }
+        self.clock += 1;
+        let dead = |i: &usize| self.fired && self.victims.binary_search(i).is_ok();
+        let count = system.active_iter().filter(|i| !dead(i)).count();
+        if count == 0 {
+            // Every survivor has terminated (or every robot crashed): the
+            // run is as finished as it will ever be.
+            return None;
+        }
+        let pick = system
+            .active_iter()
+            .filter(|i| !dead(i))
+            .nth(self.cursor % count)?;
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(Directive {
+            robot: RobotId(pick),
+            motion: MotionControl::Full,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "crash-stop"
+    }
+
+    fn permanently_stopped(&self, robot: usize) -> bool {
+        self.fired && self.victims.binary_search(&robot).is_ok()
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            crashed_robots: if self.fired {
+                self.victims.len() as u64
+            } else {
+                0
+            },
+            ..FaultStats::default()
+        }
+    }
+}
+
+/// The starvation fault: `k` seed-chosen victims are denied activation for
+/// a long seeded window of scheduling decisions, then resume — an extreme
+/// (but finite) violation of activation fairness. Outside the window the
+/// schedule is plain full-speed round-robin. If every awake robot
+/// terminates while the victims sleep, the victims are woken early, so
+/// liveness condition 1 still holds over the whole (finite) schedule and
+/// runs stay finite.
+///
+/// `k` is clamped to `n - 1` so someone is always awake inside the window.
+#[derive(Debug, Clone)]
+pub struct PersistentSleep {
+    victims: Vec<usize>,
+    sleep_from: u64,
+    sleep_until: u64,
+    clock: u64,
+    cursor: usize,
+    starved: u64,
+}
+
+impl PersistentSleep {
+    /// Creates the adversary for a system of `n` robots, starving `k`
+    /// seed-chosen victims over a seed-derived window.
+    pub fn new(seed: u64, n: usize, k: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE_7B0A_2D4C_9E11);
+        let k = k.min(n.saturating_sub(1));
+        let victims = if k == 0 {
+            Vec::new()
+        } else {
+            pick_victims(&mut rng, n, k)
+        };
+        let sleep_from = rng.gen_range(16u64..=64);
+        let duration = rng.gen_range(1_500u64..=4_000);
+        PersistentSleep {
+            victims,
+            sleep_from,
+            sleep_until: sleep_from + duration,
+            clock: 0,
+            cursor: 0,
+            starved: 0,
+        }
+    }
+}
+
+impl Adversary for PersistentSleep {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let now = self.clock;
+        self.clock += 1;
+        let in_window =
+            !self.victims.is_empty() && now >= self.sleep_from && now < self.sleep_until;
+        if in_window {
+            let awake = |i: &usize| self.victims.binary_search(i).is_err();
+            let count = system.active_iter().filter(|i| awake(i)).count();
+            if count > 0 {
+                let pick = system
+                    .active_iter()
+                    .filter(|i| awake(i))
+                    .nth(self.cursor % count)?;
+                self.cursor = self.cursor.wrapping_add(1);
+                self.starved += 1;
+                return Some(Directive {
+                    robot: RobotId(pick),
+                    motion: MotionControl::Full,
+                });
+            }
+            // Every awake robot has terminated: end the window now so the
+            // sleeping victims are scheduled again and the run stays
+            // finite.
+            self.sleep_until = now;
+        }
+        let count = system.active_count();
+        if count == 0 {
+            return None;
+        }
+        let pick = system.nth_active(self.cursor % count)?;
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(Directive {
+            robot: RobotId(pick),
+            motion: MotionControl::Full,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "persistent-sleep"
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            starved_directives: self.starved,
+            ..FaultStats::default()
+        }
+    }
+}
+
+/// The coalition slowdown fault: a `k`-robot seed-chosen coalition is
+/// *always* truncated to the liveness minimum δ while everyone else runs at
+/// full speed — [`SlowRobot`] generalised from one victim to a coalition.
+/// Legal under both liveness conditions (every robot keeps activating and
+/// every move covers δ), so the paper's guarantee nominally still applies;
+/// the fuzzer hunts the configurations where it practically does not.
+///
+/// `k` is clamped to `n`.
+#[derive(Debug, Clone)]
+pub struct SlowCoalition {
+    victims: Vec<usize>,
+    cursor: usize,
+    truncated: u64,
+}
+
+impl SlowCoalition {
+    /// Creates the adversary for a system of `n` robots with a `k`-robot
+    /// seed-chosen coalition.
+    pub fn new(seed: u64, n: usize, k: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5C0A_11A7_66B2_D3F5);
+        let k = k.min(n);
+        let victims = if k == 0 {
+            Vec::new()
+        } else {
+            pick_victims(&mut rng, n, k)
+        };
+        SlowCoalition {
+            victims,
+            cursor: 0,
+            truncated: 0,
+        }
+    }
+}
+
+impl Adversary for SlowCoalition {
+    fn next(&mut self, system: &SystemSnapshot<'_>) -> Option<Directive> {
+        let count = system.active_count();
+        if count == 0 {
+            return None;
+        }
+        let pick = system.nth_active(self.cursor % count)?;
+        self.cursor = self.cursor.wrapping_add(1);
+        let motion = if self.victims.binary_search(&pick).is_ok() {
+            self.truncated += 1;
+            MotionControl::StopAfterDelta
+        } else {
+            MotionControl::Full
+        };
+        Some(Directive {
+            robot: RobotId(pick),
+            motion,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "slow-coalition"
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            truncated_directives: self.truncated,
+            ..FaultStats::default()
+        }
     }
 }
 
@@ -437,6 +743,127 @@ mod tests {
             pick == 0 || pick == 1,
             "one of the closest movers is chosen"
         );
+    }
+
+    #[test]
+    fn slow_robot_for_system_has_no_victim_for_one_robot() {
+        // The degenerate 1-robot system: no "rest of the system" to outpace
+        // the victim, so the schedule is a plain full-speed round-robin.
+        let phases = vec![Phase::Wait];
+        let centers = vec![Point::new(0.0, 0.0)];
+        let targets = vec![None];
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = SlowRobot::for_system(5, 1);
+        assert_eq!(adv.victim, None);
+        for _ in 0..4 {
+            let d = adv.next(&snap).unwrap();
+            assert_eq!(d.robot.0, 0);
+            assert_eq!(d.motion, MotionControl::Full);
+        }
+        // Multi-robot systems keep the seed-derived victim.
+        assert_eq!(SlowRobot::for_system(7, 3).victim, Some(1));
+    }
+
+    #[test]
+    fn crash_stop_kills_victims_and_settles_on_survivors() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = CrashStop::new(9, 3, 1);
+        assert_eq!(adv.victims.len(), 1);
+        let victim = adv.victims[0];
+        // Before the fault fires every robot is scheduled round-robin.
+        let warmup: Vec<usize> = (0..adv.fault_at)
+            .map(|_| adv.next(&snap).unwrap().robot.0)
+            .collect();
+        assert!(warmup.contains(&victim));
+        assert!(!adv.permanently_stopped(victim));
+        // From the fault on, the victim is never scheduled again.
+        for _ in 0..30 {
+            assert_ne!(adv.next(&snap).unwrap().robot.0, victim);
+        }
+        assert!(adv.permanently_stopped(victim));
+        assert_eq!(adv.fault_stats().crashed_robots, 1);
+        // Once the survivors terminate, the schedule ends even though the
+        // victim never reached Terminate — no busy-wait on the dead.
+        let mut done = vec![Phase::Terminate; 3];
+        done[victim] = Phase::Wait;
+        let done_snap = snapshot(&done, &centers, &targets);
+        assert!(adv.next(&done_snap).is_none());
+    }
+
+    #[test]
+    fn crash_stop_clamps_k_below_n() {
+        // k = n would leave no survivor; the clamp keeps one alive, and a
+        // 1-robot system suffers no fault at all.
+        assert_eq!(CrashStop::new(1, 3, 99).victims.len(), 2);
+        assert!(CrashStop::new(1, 1, 1).victims.is_empty());
+    }
+
+    #[test]
+    fn persistent_sleep_starves_then_resumes() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = PersistentSleep::new(3, 3, 1);
+        let victim = adv.victims[0];
+        let (from, until) = (adv.sleep_from, adv.sleep_until);
+        // Inside the window the victim is starved.
+        for _ in 0..until {
+            let d = adv.next(&snap).unwrap();
+            if adv.clock > from && adv.clock <= until {
+                assert_ne!(d.robot.0, victim, "starved robot scheduled in-window");
+            }
+        }
+        assert!(adv.fault_stats().starved_directives > 0);
+        // After the window the victim is scheduled again (fault is finite).
+        let resumed: Vec<usize> = (0..6).map(|_| adv.next(&snap).unwrap().robot.0).collect();
+        assert!(resumed.contains(&victim));
+        assert!(!adv.permanently_stopped(victim));
+    }
+
+    #[test]
+    fn persistent_sleep_wakes_victims_when_everyone_else_terminates() {
+        let centers = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let targets = vec![None, None];
+        let mut adv = PersistentSleep::new(3, 2, 1);
+        let victim = adv.victims[0];
+        // Jump into the middle of the sleep window, with every awake robot
+        // already terminated: the victim must be woken early, not deadlock.
+        adv.clock = adv.sleep_from + 1;
+        let mut phases = vec![Phase::Terminate; 2];
+        phases[victim] = Phase::Wait;
+        let snap = snapshot(&phases, &centers, &targets);
+        let d = adv.next(&snap).expect("the sleeping victim must be woken");
+        assert_eq!(d.robot.0, victim);
+        assert!(adv.sleep_until <= adv.clock, "the window is over for good");
+    }
+
+    #[test]
+    fn slow_coalition_truncates_exactly_its_victims() {
+        let (phases, centers, targets) = three_waiting();
+        let snap = snapshot(&phases, &centers, &targets);
+        let mut adv = SlowCoalition::new(11, 3, 2);
+        assert_eq!(adv.victims.len(), 2);
+        for _ in 0..9 {
+            let d = adv.next(&snap).unwrap();
+            let expected = if adv.victims.binary_search(&d.robot.0).is_ok() {
+                MotionControl::StopAfterDelta
+            } else {
+                MotionControl::Full
+            };
+            assert_eq!(d.motion, expected);
+        }
+        assert_eq!(adv.fault_stats().truncated_directives, 6);
+    }
+
+    #[test]
+    fn fault_adversaries_yield_none_when_all_terminated() {
+        let phases = vec![Phase::Terminate; 2];
+        let centers = vec![Point::new(0.0, 0.0), Point::new(5.0, 0.0)];
+        let targets = vec![None, None];
+        let snap = snapshot(&phases, &centers, &targets);
+        assert!(CrashStop::new(1, 2, 1).next(&snap).is_none());
+        assert!(PersistentSleep::new(1, 2, 1).next(&snap).is_none());
+        assert!(SlowCoalition::new(1, 2, 1).next(&snap).is_none());
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   [`adversary::SlowRobot`], [`adversary::CollisionSeeker`]) covering the
 //!   spectrum from friendly to hostile scheduling, including the schedules
 //!   that drive the paper's type-1/type-2 *bad configurations*;
+//! * fault injectors ([`adversary::CrashStop`], [`adversary::PersistentSleep`],
+//!   [`adversary::SlowCoalition`]) that violate the activation-fairness
+//!   assumption the paper's proof relies on, reporting their damage through
+//!   [`adversary::FaultStats`] and (for permanent crashes)
+//!   [`Adversary::permanently_stopped`];
 //! * [`liveness::Liveness`] — the δ parameter and the clamping rule the
 //!   engine uses to enforce liveness condition 2.
 //!
@@ -36,8 +41,8 @@ pub mod event;
 pub mod liveness;
 
 pub use adversary::{
-    Adversary, CollisionSeeker, Directive, MotionControl, RandomAsync, RoundRobin, SlowRobot,
-    StopHappy, SystemSnapshot,
+    Adversary, CollisionSeeker, CrashStop, Directive, FaultStats, MotionControl, PersistentSleep,
+    RandomAsync, RoundRobin, SlowCoalition, SlowRobot, StopHappy, SystemSnapshot,
 };
 pub use event::Event;
 pub use liveness::Liveness;

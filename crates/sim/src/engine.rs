@@ -88,10 +88,14 @@ impl Default for SimConfig {
 /// Result of a completed (or aborted) run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
-    /// `true` when every robot terminated.
+    /// `true` when every robot terminated — or, under fault injection, when
+    /// every robot either terminated or was permanently crashed by the
+    /// adversary ([`Simulator::effectively_terminated`]).
     pub terminated: bool,
-    /// `true` when every robot terminated *and* the final configuration is
-    /// connected and fully visible — the postcondition of Theorem 26.
+    /// `true` when the run terminated *and* the final configuration is
+    /// connected and fully visible — the postcondition of Theorem 26. Under
+    /// fault injection the criterion is restricted to the live robots
+    /// ([`Simulator::is_gathered_live`]).
     pub gathered: bool,
     /// Number of events applied.
     pub events: usize,
@@ -276,10 +280,52 @@ impl Simulator {
         self.phases.iter().all(|p| p.is_terminal())
     }
 
+    /// `true` when every robot has either terminated or been permanently
+    /// crashed by a fault adversary ([`Adversary::permanently_stopped`]).
+    /// This is the graceful-degradation termination criterion: a crashed
+    /// victim never activates again, so waiting for its Terminate would
+    /// spin forever. Without fault injection this is exactly
+    /// [`Self::all_terminated`].
+    pub fn effectively_terminated(&self) -> bool {
+        self.phases
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.is_terminal() || self.adversary.permanently_stopped(i))
+    }
+
     /// `true` when the current geometric configuration is connected and
     /// fully visible.
     pub fn is_gathered(&mut self) -> bool {
         self.world.is_gathered(self.config.collinearity_tol)
+    }
+
+    /// The gathering predicate restricted to the *live* robots: victims a
+    /// fault adversary crashed permanently are excluded — they froze where
+    /// the fault caught them and cannot be gathered, so under graceful
+    /// degradation the survivors' configuration is what counts. Identical
+    /// to [`Self::is_gathered`] when no robot crashed.
+    pub fn is_gathered_live(&mut self) -> bool {
+        let crashed: Vec<usize> = (0..self.len())
+            .filter(|&i| self.adversary.permanently_stopped(i))
+            .collect();
+        if crashed.is_empty() {
+            return self.is_gathered();
+        }
+        let live: Vec<Point> = self
+            .world
+            .centers()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| crashed.binary_search(i).is_err())
+            .map(|(_, &c)| c)
+            .collect();
+        fatrobots_model::GeometricConfig::is_gathered_on(&live, self.config.collinearity_tol)
+    }
+
+    /// The fault-injection counters of the run's adversary (all zero for
+    /// fault-free adversaries).
+    pub fn fault_stats(&self) -> fatrobots_scheduler::FaultStats {
+        self.adversary.fault_stats()
     }
 
     /// Applies one adversary-chosen event. Returns `None` when every robot
@@ -346,10 +392,14 @@ impl Simulator {
             let predicates = self.world.sample_predicates(self.config.collinearity_tol);
             self.metrics.record_sample_predicates(predicates);
         }
-        let terminated = self.all_terminated();
+        // Graceful degradation under fault injection: robots a fault
+        // adversary crashed permanently count as (unsuccessfully)
+        // terminated, and the gathering criterion is restricted to the
+        // live robots. Without faults both reduce to the plain criteria.
+        let terminated = self.effectively_terminated();
         RunOutcome {
             terminated,
-            gathered: terminated && self.is_gathered(),
+            gathered: terminated && self.is_gathered_live(),
             events: self.metrics.events,
             metrics: self.metrics.clone(),
         }

@@ -11,7 +11,8 @@ use std::fmt;
 use fatrobots_baselines::{CentroidBaseline, GreedyNearest, SmallN};
 use fatrobots_core::{AlgorithmParams, LocalAlgorithm, Strategy};
 use fatrobots_scheduler::{
-    Adversary, CollisionSeeker, Liveness, RandomAsync, RoundRobin, SlowRobot, StopHappy,
+    Adversary, CollisionSeeker, CrashStop, Liveness, PersistentSleep, RandomAsync, RoundRobin,
+    SlowCoalition, SlowRobot, StopHappy,
 };
 
 use crate::engine::{SimConfig, Simulator};
@@ -76,19 +77,43 @@ pub enum AdversaryKind {
     SlowRobot,
     /// Prefers scheduling the closest pair of movers (provokes collisions).
     CollisionSeeker,
+    /// Fault injection: `k` seed-chosen victims permanently stop activating
+    /// after a seed-derived warm-up (the crash-stop fault the paper's
+    /// liveness condition 1 excludes). The run is settled on the survivors.
+    CrashStop {
+        /// Number of victims (clamped to `n - 1`).
+        k: usize,
+    },
+    /// Fault injection: `k` seed-chosen victims are starved for a long
+    /// seeded window of scheduling decisions, then resume.
+    PersistentSleep {
+        /// Number of victims (clamped to `n - 1`).
+        k: usize,
+    },
+    /// Fault injection: a `k`-robot seed-chosen coalition is always
+    /// truncated to δ while everyone else runs full speed.
+    SlowCoalition {
+        /// Coalition size (clamped to `n`).
+        k: usize,
+    },
 }
 
 impl AdversaryKind {
-    /// All adversaries, for sweeps.
-    pub const ALL: [AdversaryKind; 5] = [
+    /// All adversaries, for sweeps. The fault injectors participate with
+    /// `k = 1` so the determinism matrix and the adversary table pin them
+    /// alongside the fault-free schedules; the fuzzer explores larger `k`.
+    pub const ALL: [AdversaryKind; 8] = [
         AdversaryKind::RoundRobin,
         AdversaryKind::RandomAsync,
         AdversaryKind::StopHappy,
         AdversaryKind::SlowRobot,
         AdversaryKind::CollisionSeeker,
+        AdversaryKind::CrashStop { k: 1 },
+        AdversaryKind::PersistentSleep { k: 1 },
+        AdversaryKind::SlowCoalition { k: 1 },
     ];
 
-    /// Short name used in reports.
+    /// Short name used in reports (independent of fault parameters).
     pub fn name(&self) -> &'static str {
         match self {
             AdversaryKind::RoundRobin => "round-robin",
@@ -96,20 +121,55 @@ impl AdversaryKind {
             AdversaryKind::StopHappy => "stop-happy",
             AdversaryKind::SlowRobot => "slow-robot",
             AdversaryKind::CollisionSeeker => "collision-seeker",
+            AdversaryKind::CrashStop { .. } => "crash-stop",
+            AdversaryKind::PersistentSleep { .. } => "persistent-sleep",
+            AdversaryKind::SlowCoalition { .. } => "slow-coalition",
         }
+    }
+
+    /// The fault parameter `k` (0 for the fault-free schedules).
+    pub fn fault_k(&self) -> usize {
+        match self {
+            AdversaryKind::CrashStop { k }
+            | AdversaryKind::PersistentSleep { k }
+            | AdversaryKind::SlowCoalition { k } => *k,
+            _ => 0,
+        }
+    }
+
+    /// The kind with the given [`Self::name`] and fault parameter `k`
+    /// (ignored for fault-free kinds), or `None` for an unknown name. The
+    /// inverse of [`Self::name`]/[`Self::fault_k`], used by the fuzzer's
+    /// fixture loader.
+    pub fn from_name(name: &str, k: usize) -> Option<AdversaryKind> {
+        Some(match name {
+            "round-robin" => AdversaryKind::RoundRobin,
+            "random-async" => AdversaryKind::RandomAsync,
+            "stop-happy" => AdversaryKind::StopHappy,
+            "slow-robot" => AdversaryKind::SlowRobot,
+            "collision-seeker" => AdversaryKind::CollisionSeeker,
+            "crash-stop" => AdversaryKind::CrashStop { k },
+            "persistent-sleep" => AdversaryKind::PersistentSleep { k },
+            "slow-coalition" => AdversaryKind::SlowCoalition { k },
+            _ => return None,
+        })
     }
 
     /// Builds the adversary for a system of `n` robots (seeded where
     /// applicable). The slow-robot schedule derives its victim from the
     /// seed, so a seed sweep drags out a different robot each run instead
-    /// of always picking robot 0.
+    /// of always picking robot 0; the fault injectors derive victims and
+    /// fault timing from the seed the same way.
     pub fn build(&self, seed: u64, n: usize) -> Box<dyn Adversary> {
         match self {
             AdversaryKind::RoundRobin => Box::new(RoundRobin::new()),
             AdversaryKind::RandomAsync => Box::new(RandomAsync::new(seed)),
             AdversaryKind::StopHappy => Box::new(StopHappy::new()),
-            AdversaryKind::SlowRobot => Box::new(SlowRobot::new((seed % n.max(1) as u64) as usize)),
+            AdversaryKind::SlowRobot => Box::new(SlowRobot::for_system(seed, n)),
             AdversaryKind::CollisionSeeker => Box::new(CollisionSeeker::new()),
+            AdversaryKind::CrashStop { k } => Box::new(CrashStop::new(seed, n, *k)),
+            AdversaryKind::PersistentSleep { k } => Box::new(PersistentSleep::new(seed, n, *k)),
+            AdversaryKind::SlowCoalition { k } => Box::new(SlowCoalition::new(seed, n, *k)),
         }
     }
 }
@@ -232,6 +292,15 @@ pub struct RunSummary {
     pub speculation_hits: u64,
     /// Speculative decisions discarded on a stale version stamp.
     pub speculation_aborts: u64,
+    /// Robots permanently crashed by a fired crash-stop fault (0 for
+    /// fault-free adversaries).
+    pub fault_crashed_robots: u64,
+    /// Scheduling decisions taken while a persistent-sleep victim was
+    /// starved (0 for fault-free adversaries).
+    pub fault_starved_directives: u64,
+    /// Directives truncated to δ by a slow coalition (0 for fault-free
+    /// adversaries).
+    pub fault_truncated_directives: u64,
     /// Shadow-oracle tallies, present when the spec requested the oracle
     /// and the strategy was the paper's algorithm.
     pub shadow: Option<ShadowStats>,
@@ -267,6 +336,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let (world_pair_entries, world_pair_registrations) = sim.pair_store_stats();
     let (par_batches, par_batched_events, speculation_hits, speculation_aborts) =
         sim.parallel_stats();
+    let fault = sim.fault_stats();
     RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
@@ -290,6 +360,9 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         par_batched_events,
         speculation_hits,
         speculation_aborts,
+        fault_crashed_robots: fault.crashed_robots,
+        fault_starved_directives: fault.starved_directives,
+        fault_truncated_directives: fault.truncated_directives,
         shadow,
     }
 }
@@ -842,6 +915,96 @@ mod tests {
         let direct = run(&RunSpec::new(3, 1));
         assert_eq!(table.groups[0].summaries[0], direct);
         assert_eq!(table.rows()[0].label, "n=3");
+    }
+
+    #[test]
+    fn adversary_names_round_trip_with_their_fault_parameter() {
+        for kind in AdversaryKind::ALL {
+            let k = kind.fault_k().max(2);
+            let parsed =
+                AdversaryKind::from_name(kind.name(), if kind.fault_k() > 0 { k } else { 0 });
+            match (kind, parsed.expect("every listed adversary parses")) {
+                (AdversaryKind::CrashStop { .. }, AdversaryKind::CrashStop { k: pk }) => {
+                    assert_eq!(pk, k)
+                }
+                (
+                    AdversaryKind::PersistentSleep { .. },
+                    AdversaryKind::PersistentSleep { k: pk },
+                ) => {
+                    assert_eq!(pk, k)
+                }
+                (AdversaryKind::SlowCoalition { .. }, AdversaryKind::SlowCoalition { k: pk }) => {
+                    assert_eq!(pk, k)
+                }
+                (original, parsed) => assert_eq!(parsed, original),
+            }
+        }
+        assert_eq!(AdversaryKind::from_name("no-such-schedule", 1), None);
+    }
+
+    #[test]
+    fn crash_stop_run_terminates_and_reports_live_gathering() {
+        // Five robots on a circle with one crash victim: the run must not
+        // busy-wait on the dead robot — the effective-termination detector
+        // ends it — and the fault counter must land in the summary.
+        // (Whether the survivors manage to gather is configuration-specific;
+        // seed 3 is pinned by the fixture-style assertions below.)
+        let spec = RunSpec {
+            shape: Shape::Circle,
+            adversary: AdversaryKind::CrashStop { k: 1 },
+            max_events: 200_000,
+            ..RunSpec::new(5, 3)
+        };
+        let summary = run(&spec);
+        assert_eq!(
+            summary.fault_crashed_robots, 1,
+            "the crash must actually fire and be reported"
+        );
+        assert_eq!(summary.fault_starved_directives, 0);
+        assert_eq!(summary.fault_truncated_directives, 0);
+        if summary.gathered {
+            assert!(summary.terminated, "gathered implies terminated");
+        }
+        // Determinism: the faulty run replays bit-identically.
+        assert_eq!(run(&spec), summary);
+    }
+
+    #[test]
+    fn persistent_sleep_and_slow_coalition_counters_reach_the_summary() {
+        let sleep = run(&RunSpec {
+            shape: Shape::Circle,
+            adversary: AdversaryKind::PersistentSleep { k: 2 },
+            max_events: 60_000,
+            ..RunSpec::new(6, 1)
+        });
+        assert!(
+            sleep.fault_starved_directives > 0,
+            "a 6-robot run must enter the sleep window and starve the victims"
+        );
+        assert_eq!(sleep.fault_crashed_robots, 0);
+        let slow = run(&RunSpec {
+            shape: Shape::Circle,
+            adversary: AdversaryKind::SlowCoalition { k: 2 },
+            max_events: 60_000,
+            ..RunSpec::new(6, 1)
+        });
+        assert!(
+            slow.fault_truncated_directives > 0,
+            "the coalition's directives must be δ-truncated"
+        );
+        // Fault-free adversaries keep all three counters at zero.
+        let clean = run(&RunSpec {
+            max_events: 60_000,
+            ..RunSpec::new(5, 1)
+        });
+        assert_eq!(
+            (
+                clean.fault_crashed_robots,
+                clean.fault_starved_directives,
+                clean.fault_truncated_directives
+            ),
+            (0, 0, 0)
+        );
     }
 
     #[test]

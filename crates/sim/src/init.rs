@@ -13,6 +13,19 @@ use rand::{Rng, SeedableRng};
 /// configurations, so initial configurations never start in contact.
 const CLEARANCE: f64 = 0.25;
 
+/// Cheap deterministic per-index hash onto [-1, 1) (splitmix-style), used
+/// by the generators that need seed-free reproducible jitter.
+fn unit(k: u64) -> f64 {
+    let mut x = k
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(0x5ca1_ab1e);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    // 53 uniform bits over [0, 2) shifted to [-1, 1).
+    (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
 /// `n` robots spread uniformly at random over a square of the given side,
 /// rejection-sampled so that no two discs overlap.
 ///
@@ -163,17 +176,6 @@ pub fn hex(n: usize, spacing: f64) -> Vec<Point> {
     );
     let side = (n as f64).sqrt().ceil() as usize;
     let row_height = spacing * 3.0_f64.sqrt() / 2.0;
-    // Cheap deterministic per-index hash onto [-1, 1] (splitmix-style).
-    let unit = |k: u64| {
-        let mut x = k
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(0x5ca1_ab1e);
-        x ^= x >> 33;
-        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        x ^= x >> 33;
-        // 53 uniform bits over [0, 2) shifted to [-1, 1).
-        (x >> 11) as f64 / (1u64 << 52) as f64 - 1.0
-    };
     (0..n)
         .map(|i| {
             let (r, c) = (i / side, i % side);
@@ -183,6 +185,88 @@ pub fn hex(n: usize, spacing: f64) -> Vec<Point> {
                 r as f64 * row_height + jitter * unit(2 * i as u64 + 1),
             )
         })
+        .collect()
+}
+
+/// Two dense grid clusters joined by a single-file chain of robots — the
+/// only visibility between the clusters runs through the chain's corridor,
+/// so the configuration stresses exactly the connectivity-preservation
+/// lemmas. Roughly `n/3` robots per cluster and `n/3` on the chain; small
+/// `n` degenerates gracefully (n ≤ 2 is just the chain). All centers sit
+/// on one lattice of pitch `2 + gap`, so validity holds by construction.
+pub fn bridge(n: usize, gap: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(gap > 0.0, "the bridge gap must be positive");
+    let pitch = 2.0 + gap;
+    let per_cluster = n / 3;
+    let chain = n - 2 * per_cluster;
+    let cols = ((per_cluster as f64).sqrt().ceil() as usize).max(1);
+    let rows = per_cluster.div_ceil(cols).max(1);
+    // Rows straddle y = 0 so the chain leaves from the clusters' midline.
+    let y_of = |r: usize| (r as f64 - (rows as f64 - 1.0) / 2.0) * pitch;
+    let mut centers: Vec<Point> = Vec::with_capacity(n);
+    for i in 0..per_cluster {
+        let (r, c) = (i / cols, i % cols);
+        centers.push(Point::new(c as f64 * pitch, y_of(r)));
+    }
+    for i in 0..chain {
+        centers.push(Point::new((cols + i) as f64 * pitch, 0.0));
+    }
+    for i in 0..per_cluster {
+        let (r, c) = (i / cols, i % cols);
+        centers.push(Point::new((cols + chain + c) as f64 * pitch, y_of(r)));
+    }
+    debug_assert!(GeometricConfig::new(centers.clone()).is_valid());
+    centers
+}
+
+/// `n` robots equally spaced along a circular arc with a hole: the arc
+/// covers `1 - hole_fraction` of the circle, leaving one angular gap. The
+/// near-cyclic symmetry stresses the hull-vertex selection; the hole
+/// breaks it in exactly one place. The radius is sized so the closest pair
+/// (adjacent robots, or the two robots facing each other across the hole)
+/// keeps the generator clearance.
+pub fn ring_hole(n: usize, hole_fraction: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(
+        (0.01..1.0).contains(&hole_fraction),
+        "the hole must cover a positive fraction of the circle"
+    );
+    if n == 1 {
+        return vec![Point::new(0.0, 0.0)];
+    }
+    let span = 2.0 * std::f64::consts::PI * (1.0 - hole_fraction);
+    let step = span / (n - 1) as f64;
+    // The minimum chord over all pairs: chord(kθ) = 2R·sin(kθ/2) is not
+    // monotone past π, so scan every multiple of the step.
+    let min_sin = (1..n)
+        .map(|k| (k as f64 * step / 2.0).sin())
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_sin > 1e-9, "degenerate arc: robots would coincide");
+    let radius = (2.0 + CLEARANCE) / (2.0 * min_sin) * 1.05;
+    let centers: Vec<Point> = (0..n)
+        .map(|i| {
+            let a = i as f64 * step;
+            Point::new(radius * a.cos(), radius * a.sin())
+        })
+        .collect();
+    debug_assert!(GeometricConfig::new(centers.clone()).is_valid());
+    centers
+}
+
+/// `n` robots on a near-collinear chain: a line with deterministic
+/// transverse jitter at scale `eps` — small enough that the collinearity
+/// predicates operate right at their tolerance, which is exactly the
+/// regime the exact-arithmetic shadow oracle exists for.
+pub fn near_collinear(n: usize, gap: f64, eps: f64) -> Vec<Point> {
+    assert!(n > 0, "at least one robot is required");
+    assert!(gap > 0.0, "the chain gap must be positive");
+    assert!(
+        eps.is_finite() && (0.0..1.0).contains(&eps),
+        "the perturbation must stay well below the disc radius"
+    );
+    (0..n)
+        .map(|i| Point::new(i as f64 * (2.0 + gap), eps * unit(i as u64)))
         .collect()
 }
 
@@ -201,17 +285,27 @@ pub enum Shape {
     Clusters,
     /// [`hex`] with the scale workloads' 2.1 spacing.
     Hex,
+    /// [`bridge`]: two dense clusters joined by a single visibility
+    /// corridor.
+    Bridge,
+    /// [`ring_hole`]: a near-symmetric ring with one angular gap.
+    RingHole,
+    /// [`near_collinear`]: a chain perturbed at ε scale.
+    NearCollinear,
 }
 
 impl Shape {
     /// All shapes, for sweeps.
-    pub const ALL: [Shape; 6] = [
+    pub const ALL: [Shape; 9] = [
         Shape::Random,
         Shape::Line,
         Shape::Grid,
         Shape::Circle,
         Shape::Clusters,
         Shape::Hex,
+        Shape::Bridge,
+        Shape::RingHole,
+        Shape::NearCollinear,
     ];
 
     /// A short name used in reports.
@@ -223,7 +317,17 @@ impl Shape {
             Shape::Circle => "circle",
             Shape::Clusters => "clusters",
             Shape::Hex => "hex",
+            Shape::Bridge => "bridge",
+            Shape::RingHole => "ring-hole",
+            Shape::NearCollinear => "near-collinear",
         }
+    }
+
+    /// The shape with the given [`Self::name`], or `None` for an unknown
+    /// name — the inverse of [`Self::name`], used by the fuzzer's fixture
+    /// loader.
+    pub fn from_name(name: &str) -> Option<Shape> {
+        Shape::ALL.into_iter().find(|s| s.name() == name)
     }
 
     /// Generates a configuration of `n` robots for this shape.
@@ -235,6 +339,9 @@ impl Shape {
             Shape::Circle => circle(n, (n as f64).max(4.0)),
             Shape::Clusters => clusters(n, n.div_ceil(4).max(1), seed),
             Shape::Hex => hex(n, 2.1),
+            Shape::Bridge => bridge(n, 1.0),
+            Shape::RingHole => ring_hole(n, 1.0 / 6.0),
+            Shape::NearCollinear => near_collinear(n, 3.0, 1e-7),
         }
     }
 }
@@ -288,6 +395,75 @@ mod tests {
                 assert_valid(&centers, n);
             }
         }
+    }
+
+    #[test]
+    fn bridge_has_a_single_file_corridor() {
+        let n = 15;
+        let centers = bridge(n, 1.0);
+        assert_valid(&centers, n);
+        // The chain third sits alone on the midline between the clusters
+        // (a 5-robot cluster spans rows straddling y = 0, so robots on
+        // y = 0 include one cluster column too; the corridor columns hold
+        // exactly one robot each).
+        let per_cluster = n / 3;
+        let chain = n - 2 * per_cluster;
+        assert!(chain >= 1);
+        let xs: Vec<f64> = centers[per_cluster..per_cluster + chain]
+            .iter()
+            .map(|c| {
+                assert_eq!(c.y, 0.0, "chain robots sit on the corridor line");
+                c.x
+            })
+            .collect();
+        for x in &xs {
+            assert_eq!(
+                centers.iter().filter(|c| c.x == *x).count(),
+                1,
+                "a corridor column holds exactly one robot"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_hole_is_valid_and_actually_has_a_hole() {
+        for n in [2, 5, 9, 16] {
+            let centers = ring_hole(n, 1.0 / 6.0);
+            assert_valid(&centers, n);
+        }
+        let centers = ring_hole(12, 1.0 / 6.0);
+        let mut angles: Vec<f64> = centers.iter().map(|c| c.y.atan2(c.x)).collect();
+        angles.sort_by(f64::total_cmp);
+        let mut max_gap: f64 = 0.0;
+        for i in 0..angles.len() {
+            let next = angles[(i + 1) % angles.len()];
+            let gap = (next - angles[i]).rem_euclid(2.0 * std::f64::consts::PI);
+            max_gap = max_gap.max(gap);
+        }
+        // The hole covers 1/6 of the circle; every regular step covers
+        // (5/6)/11 of it. The largest gap must be the hole.
+        assert!(max_gap > 2.0 * std::f64::consts::PI / 7.0);
+    }
+
+    #[test]
+    fn near_collinear_perturbs_at_epsilon_scale() {
+        let eps = 1e-7;
+        let centers = near_collinear(9, 3.0, eps);
+        assert_valid(&centers, 9);
+        assert!(centers.iter().all(|c| c.y.abs() <= eps));
+        assert!(
+            centers.iter().any(|c| c.y != 0.0),
+            "the chain must not be exactly collinear"
+        );
+        assert_eq!(centers, near_collinear(9, 3.0, eps), "deterministic");
+    }
+
+    #[test]
+    fn shape_names_round_trip() {
+        for shape in Shape::ALL {
+            assert_eq!(Shape::from_name(shape.name()), Some(shape));
+        }
+        assert_eq!(Shape::from_name("no-such-shape"), None);
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   and attributes ε-vs-exact decision divergences to predicate sites;
 //! * [`experiment`] — the parameter-sweep harness behind EXPERIMENTS.md and
 //!   the Criterion benches;
+//! * [`fuzz`] — the shrinking scenario fuzzer: sweeps shape × adversary ×
+//!   fault × n × seed under an event budget hunting non-gathering runs,
+//!   shrinks finds via deterministic replay, and emits the livelock
+//!   regression fixtures under `tests/fixtures/livelock/`;
 //! * [`sweep`] — the parallel sweep engine: fans `RunSpec`s out over a
 //!   scoped worker pool and returns summaries in deterministic input order;
 //! * [`world`] — the incremental world state: ground-truth centers plus a
@@ -58,6 +62,7 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod fuzz;
 pub mod init;
 pub mod metrics;
 pub mod parallel;

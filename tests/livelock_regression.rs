@@ -17,8 +17,11 @@
 //!
 //! When it passes, remove the `#[ignore]` and close the ROADMAP item.
 
+use std::path::Path;
+
 use fatrobots::prelude::*;
 use fatrobots::sim::experiment::{run, AdversaryKind, RunSpec, StrategyKind};
+use fatrobots::sim::fuzz::{self, Fixture};
 use fatrobots::sim::init::Shape;
 
 /// Shadow-oracle verdict on the livelock, pinned (see ROADMAP.md): over a
@@ -200,6 +203,59 @@ fn livelock_window_replays_identically_under_the_parallel_executor() {
         spec_hits > 0,
         "the livelock window must consume speculative decisions"
     );
+}
+
+/// Every fixture the scenario fuzzer has filed under
+/// `tests/fixtures/livelock/` replays to its recorded census — gathered /
+/// terminated flags, event count and the *bit pattern* of the travelled
+/// distance. The fuzzer (`report fuzz`) auto-files new stalls here; this
+/// test picks them up without code changes, so a stall found once stays
+/// found. A failure means either a genuine behavioural change in the
+/// engine (diagnose before touching the fixture!) or an intentional
+/// algorithm fix — in which case regenerate via
+/// `report fuzz --out tests/fixtures/livelock`.
+#[test]
+fn fuzz_fixtures_replay_to_their_recorded_census() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/livelock");
+    let fixtures = fuzz::load_fixtures(&dir).expect("fixtures parse");
+    assert!(
+        !fixtures.is_empty(),
+        "the committed fixture set must not be empty (did {} move?)",
+        dir.display()
+    );
+    for (path, fixture) in fixtures {
+        let census = fuzz::replay(&fixture.spec);
+        assert_eq!(
+            census,
+            fixture.expected,
+            "{} no longer replays to its recorded census (spec: {:?})",
+            path.display(),
+            fixture.spec
+        );
+        assert!(
+            !census.gathered,
+            "{}: a livelock fixture gathered — the underlying stall is \
+             fixed; fold it into the census tables and retire the fixture",
+            path.display()
+        );
+        // The on-disk bytes are exactly the canonical serialization, so
+        // the CI fuzz-smoke job can compare regenerated fixtures with a
+        // plain byte diff.
+        let on_disk = std::fs::read_to_string(&path).expect("fixture readable");
+        let canonical = Fixture {
+            spec: fixture.spec,
+            expected: fixture.expected,
+            origin: fixture.origin.clone(),
+            shrink_steps: fixture.shrink_steps,
+        }
+        .to_json();
+        assert_eq!(
+            on_disk,
+            canonical,
+            "{} is not in canonical serialization",
+            path.display()
+        );
+    }
 }
 
 /// The sibling seeds gather quickly — pinning that down keeps this witness
