@@ -19,16 +19,17 @@
 use std::process::ExitCode;
 
 use fatrobots_bench::{
-    diff_against_baseline, json, print_table, report_json, BASELINE_EVENTS_THRESHOLD, QUICK_SEEDS,
-    STANDARD_SEEDS,
+    diff_against_baseline, json, print_table, report_json, SupervisionReport,
+    BASELINE_EVENTS_THRESHOLD, QUICK_SEEDS, STANDARD_SEEDS,
 };
+use fatrobots_sim::checkpoint::{write_atomic, CheckpointedSweep};
 use fatrobots_sim::experiment::{
     adversary_table_spec, baseline_table_spec, delta_table_spec, expansion_table_spec,
     scale_table_spec, scaling_table_spec_with_cap, shape_table_spec, ExperimentTable, TableSpec,
-    LARGE_N_EVENT_CAP,
+    LARGE_N_EVENT_CAP, PROGRESS_EVERY_DEFAULT,
 };
 use fatrobots_sim::fuzz::{self, FuzzConfig, FuzzReport};
-use fatrobots_sim::sweep::{self, SweepPool};
+use fatrobots_sim::sweep::{self, SupervisionPolicy, SweepPool};
 
 const USAGE: &str = "\
 Usage: report [OPTIONS]
@@ -67,7 +68,26 @@ Options:
                  be a positive integer). The cap only bounds rows at or
                  above the large-n threshold — small-n rows keep their
                  scale-with-n budget unless the cap is tighter
+  --fail-fast    abort the whole report on the first failing run (the
+                 pre-supervision behaviour). Without it a panicking or
+                 hung run is retried once, then quarantined as a
+                 structured failure row (schema v8 'supervision') while
+                 every other run completes; the process still exits 1
+  --checkpoint-dir <DIR>
+                 journal sweep progress into DIR/journal.frck (crash-safe:
+                 length-framed, checksummed, written atomically). A report
+                 killed mid-sweep and re-run with the same flags resumes:
+                 completed rows load from the journal, the in-flight run
+                 replays, and the output is byte-identical to an
+                 uninterrupted run modulo the schema-v8 checkpoint
+                 counters. Incompatible with --fail-fast
+  --watchdog-secs <N>
+                 wall-clock budget per run attempt: a run exceeding it is
+                 cancelled cooperatively and supervised like a panic
+                 (retried, then quarantined). Incompatible with
+                 --fail-fast
   --json <PATH>  also write every run and aggregate row to PATH as JSON
+                 (parent directories are created; the write is atomic)
   --baseline <PATH>
                  diff the fresh rows against a previous bench_report.json:
                  prints per-row deltas and exits 1 when a row's gathered
@@ -110,6 +130,13 @@ struct Cli {
     /// Event budget for E1's large-n rows (`--event-cap`).
     event_cap: usize,
     figures: bool,
+    /// Abort on the first failing run instead of supervising
+    /// (`--fail-fast`).
+    fail_fast: bool,
+    /// Directory of the crash-safe sweep journal (`--checkpoint-dir`).
+    checkpoint_dir: Option<String>,
+    /// Per-attempt wall-clock budget in seconds (`--watchdog-secs`).
+    watchdog_secs: Option<u64>,
     /// Table ids (`e1` … `e7`) explicitly requested, in canonical order.
     selected: Vec<&'static str>,
     /// Fuzz mode (`report fuzz`): run the shrinking scenario fuzzer
@@ -135,6 +162,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         baseline_threshold: BASELINE_EVENTS_THRESHOLD,
         event_cap: LARGE_N_EVENT_CAP,
         figures: false,
+        fail_fast: false,
+        checkpoint_dir: None,
+        watchdog_secs: None,
         selected: Vec::new(),
         fuzz: false,
         budget: FuzzConfig::default().budget,
@@ -208,6 +238,22 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                             format!("--event-cap wants a positive integer, got '{value}'")
                         })?;
             }
+            "--fail-fast" => cli.fail_fast = true,
+            "--checkpoint-dir" => {
+                cli.checkpoint_dir = Some(path_value(&mut iter, "--checkpoint-dir")?.clone())
+            }
+            "--watchdog-secs" => {
+                let value = iter.next().ok_or("--watchdog-secs requires a value")?;
+                cli.watchdog_secs = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("--watchdog-secs wants a positive integer, got '{value}'")
+                        })?,
+                );
+            }
             "--json" => cli.json = Some(path_value(&mut iter, "--json")?.clone()),
             "--baseline" => cli.baseline = Some(path_value(&mut iter, "--baseline")?.clone()),
             "--out" => cli.out = Some(path_value(&mut iter, "--out")?.clone()),
@@ -247,6 +293,14 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     if threshold_given && cli.baseline.is_none() {
         return Err("--baseline-threshold requires --baseline".into());
     }
+    // Fail-fast restores the unsupervised abort path, which neither
+    // journals checkpoints nor polls the watchdog.
+    if cli.fail_fast && cli.checkpoint_dir.is_some() {
+        return Err("--fail-fast cannot be combined with --checkpoint-dir".into());
+    }
+    if cli.fail_fast && cli.watchdog_secs.is_some() {
+        return Err("--fail-fast cannot be combined with --watchdog-secs".into());
+    }
     if cli.fuzz {
         // Fuzz mode is a different program: table and sweep flags are
         // rejected outright rather than silently ignored.
@@ -259,6 +313,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             (jobs_given, "--jobs"),
             (threads_given, "--threads"),
             (event_cap_given, "--event-cap"),
+            (cli.fail_fast, "--fail-fast"),
+            (cli.checkpoint_dir.is_some(), "--checkpoint-dir"),
+            (cli.watchdog_secs.is_some(), "--watchdog-secs"),
         ];
         if let Some((_, flag)) = conflicts.iter().find(|(given, _)| *given) {
             return Err(format!("{flag} cannot be combined with fuzz mode"));
@@ -352,7 +409,10 @@ fn run_fuzz(cli: &Cli) -> ExitCode {
         }
     }
     if let Some(path) = &cli.json {
-        if let Err(err) = std::fs::write(path, fuzz_json(&config, &report)) {
+        if let Err(err) = write_atomic(
+            std::path::Path::new(path),
+            fuzz_json(&config, &report).as_bytes(),
+        ) {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;
         }
@@ -455,14 +515,25 @@ fn main() -> ExitCode {
     };
 
     // Fail on an unwritable --json path up front, not after minutes of
-    // sweeping: probe by creating the output file before any runs start.
+    // sweeping: create any missing parent directories and probe by
+    // creating the output file before any runs start.
     if let Some(path) = &cli.json {
-        if let Err(err) = std::fs::OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-        {
+        let parent = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty());
+        let probe = match parent {
+            Some(parent) => std::fs::create_dir_all(parent),
+            None => Ok(()),
+        }
+        .and_then(|()| {
+            std::fs::OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)
+                .map(|_| ())
+        });
+        if let Err(err) = probe {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;
         }
@@ -522,6 +593,40 @@ fn main() -> ExitCode {
         cli.selected.clone()
     };
 
+    // The crash-safe sweep journal (`--checkpoint-dir`): one session spans
+    // every table, so run ordinals are globally unique per invocation.
+    let mut checkpoint = match &cli.checkpoint_dir {
+        None => None,
+        Some(dir) => {
+            let path = std::path::Path::new(dir).join("journal.frck");
+            match CheckpointedSweep::open(&path) {
+                Ok(session) => Some(session),
+                Err(err) => {
+                    eprintln!(
+                        "report: cannot open checkpoint journal '{}': {err}",
+                        path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let policy = SupervisionPolicy {
+        watchdog: cli.watchdog_secs.map(std::time::Duration::from_secs),
+        // Progress checkpoints only matter when there is a journal to
+        // land in; without one the runs stay observer-free.
+        progress_every: if checkpoint.is_some() {
+            PROGRESS_EVERY_DEFAULT
+        } else {
+            0
+        },
+        ..SupervisionPolicy::default()
+    };
+    let mut supervision = SupervisionReport {
+        fail_fast: cli.fail_fast,
+        ..SupervisionReport::default()
+    };
+
     // One worker pool for the whole invocation: every table's groups share
     // it instead of spawning and joining a fresh pool per table.
     let mut pool = SweepPool::new(cli.jobs);
@@ -544,14 +649,31 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let table = spec.execute_on(&mut pool);
+        let table = if cli.fail_fast {
+            spec.execute_on(&mut pool)
+        } else {
+            let run = spec.execute_supervised_on(&mut pool, &policy, checkpoint.as_mut());
+            supervision.retries += run.retries;
+            supervision
+                .failures
+                .extend(run.failures.into_iter().map(|f| (id.to_string(), f)));
+            run.table
+        };
         print_table(&table);
         tables.push(table);
     }
+    supervision.checkpoint = checkpoint.as_ref().map(CheckpointedSweep::telemetry);
 
     if let Some(path) = &cli.json {
-        let text = report_json(&tables, cli.quick, cli.jobs, cli.shadow, cli.threads);
-        if let Err(err) = std::fs::write(path, &text) {
+        let text = report_json(
+            &tables,
+            cli.quick,
+            cli.jobs,
+            cli.shadow,
+            cli.threads,
+            &supervision,
+        );
+        if let Err(err) = write_atomic(std::path::Path::new(path), text.as_bytes()) {
             eprintln!("report: cannot write '{path}': {err}");
             return ExitCode::FAILURE;
         }
@@ -582,6 +704,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Failure rows surface last: the partial tables, JSON document and
+    // baseline diff above all still happened, but a report with failed
+    // runs must not exit 0.
+    if !supervision.failures.is_empty() {
+        eprintln!(
+            "report: {} run(s) failed after supervision ({} retr{}):",
+            supervision.failures.len(),
+            supervision.retries,
+            if supervision.retries == 1 { "y" } else { "ies" }
+        );
+        for (table, failure) in &supervision.failures {
+            eprintln!(
+                "  {table}: n={} seed={} shape={} adversary={}: {} (attempts {}{})",
+                failure.spec.n,
+                failure.spec.seed,
+                failure.spec.shape.name(),
+                failure.spec.adversary.name(),
+                failure.message,
+                failure.attempts,
+                if failure.quarantined {
+                    ", quarantined"
+                } else {
+                    ""
+                }
+            );
+        }
+        return ExitCode::FAILURE;
     }
 
     ExitCode::SUCCESS

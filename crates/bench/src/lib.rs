@@ -13,7 +13,9 @@
 pub mod json;
 
 use fatrobots_geometry::kernel::shadow::PredicateSite;
+use fatrobots_sim::checkpoint::CheckpointTelemetry;
 use fatrobots_sim::experiment::{AggregateRow, ExperimentTable, RunSummary};
+use fatrobots_sim::sweep::SweepFailure;
 use json::JsonValue;
 
 /// The seeds used by the standard experiment tables. Keeping them in one
@@ -79,7 +81,21 @@ pub const QUICK_SEEDS: [u64; 3] = [1, 2, 3];
 ///   campaign counters and the shrunk findings — baseline diffing only
 ///   ever reads table documents. A pure field addition; v1–v6 baselines
 ///   keep diffing cleanly against v7 tables.
-pub const REPORT_SCHEMA_VERSION: i64 = 7;
+/// * **v8** — supervised-execution telemetry. The document root carries a
+///   `supervision` object: the `fail_fast` switch, the total `retries`
+///   spent re-running panicked workers, a `failures` array (one structured
+///   row per run that kept failing after its bounded retries — the spec
+///   fields plus the panic `message`, `attempts` count and `quarantined`
+///   flag), and `checkpoint` — `null` without `--checkpoint-dir`,
+///   otherwise the crash-safe journal's counters (`resumed_rows`,
+///   `replayed_events`, `journal_records`, `recovered_records`,
+///   `dropped_bytes`, `write_errors`). Sweeps are deterministic, so the
+///   checkpoint counters are the *only* keys that may differ between an
+///   uninterrupted sweep and a killed-and-resumed one; the CI
+///   `kill-resume` gate diffs the two documents modulo exactly those
+///   lines. A pure field addition; v1–v7 baselines keep diffing cleanly
+///   against v8 tables.
+pub const REPORT_SCHEMA_VERSION: i64 = 8;
 
 /// The oldest `schema_version` current tooling still reads.
 pub const REPORT_SCHEMA_MIN_SUPPORTED: i64 = 1;
@@ -377,6 +393,97 @@ fn summary_json(s: &RunSummary) -> JsonValue {
     ])
 }
 
+/// The supervised-execution telemetry of one report invocation (schema
+/// v8): what the `supervision` object of `bench_report.json` serializes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SupervisionReport {
+    /// `--fail-fast` was in effect (a failing run aborts the sweep instead
+    /// of becoming a failure row).
+    pub fail_fast: bool,
+    /// Total retry attempts spent across every table.
+    pub retries: u64,
+    /// Structured failure rows, as (table id, failure) pairs in execution
+    /// order.
+    pub failures: Vec<(String, SweepFailure)>,
+    /// The crash-safe journal's counters when `--checkpoint-dir` was
+    /// active, `None` otherwise.
+    pub checkpoint: Option<CheckpointTelemetry>,
+}
+
+/// One structured failure row as a JSON record (schema v8).
+fn failure_json(table: &str, failure: &SweepFailure) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("table".into(), JsonValue::Str(table.into())),
+        ("n".into(), JsonValue::Int(failure.spec.n as i64)),
+        ("seed".into(), JsonValue::Int(failure.spec.seed as i64)),
+        (
+            "shape".into(),
+            JsonValue::Str(failure.spec.shape.name().into()),
+        ),
+        (
+            "strategy".into(),
+            JsonValue::Str(failure.spec.strategy.name().into()),
+        ),
+        (
+            "adversary".into(),
+            JsonValue::Str(failure.spec.adversary.name().into()),
+        ),
+        ("message".into(), JsonValue::Str(failure.message.clone())),
+        ("attempts".into(), JsonValue::Int(failure.attempts as i64)),
+        ("quarantined".into(), JsonValue::Bool(failure.quarantined)),
+    ])
+}
+
+/// The `supervision` object of the report document (schema v8).
+fn supervision_json(supervision: &SupervisionReport) -> JsonValue {
+    let checkpoint = supervision
+        .checkpoint
+        .as_ref()
+        .map_or(JsonValue::Null, |ck| {
+            JsonValue::Obj(vec![
+                (
+                    "resumed_rows".into(),
+                    JsonValue::Int(ck.resumed_rows as i64),
+                ),
+                (
+                    "replayed_events".into(),
+                    JsonValue::Int(ck.replayed_events as i64),
+                ),
+                (
+                    "journal_records".into(),
+                    JsonValue::Int(ck.journal_records as i64),
+                ),
+                (
+                    "recovered_records".into(),
+                    JsonValue::Int(ck.recovered_records as i64),
+                ),
+                (
+                    "dropped_bytes".into(),
+                    JsonValue::Int(ck.dropped_bytes as i64),
+                ),
+                (
+                    "write_errors".into(),
+                    JsonValue::Int(ck.write_errors as i64),
+                ),
+            ])
+        });
+    JsonValue::Obj(vec![
+        ("fail_fast".into(), JsonValue::Bool(supervision.fail_fast)),
+        ("retries".into(), JsonValue::Int(supervision.retries as i64)),
+        (
+            "failures".into(),
+            JsonValue::Arr(
+                supervision
+                    .failures
+                    .iter()
+                    .map(|(table, failure)| failure_json(table, failure))
+                    .collect(),
+            ),
+        ),
+        ("checkpoint".into(), checkpoint),
+    ])
+}
+
 /// One aggregate row as a JSON record.
 fn aggregate_json(row: &AggregateRow) -> JsonValue {
     JsonValue::Obj(vec![
@@ -418,12 +525,14 @@ fn aggregate_json(row: &AggregateRow) -> JsonValue {
 ///
 /// ```json
 /// {
-///   "schema_version": 6,
+///   "schema_version": 8,
 ///   "generator": "fatrobots-bench report",
 ///   "quick": true,
 ///   "shadow": false,
 ///   "jobs": 2,
 ///   "threads": 1,
+///   "supervision": { "fail_fast": false, "retries": 0,
+///                    "failures": [], "checkpoint": null },
 ///   "tables": [
 ///     { "id": "e1", "title": "…",
 ///       "groups": [ { "label": "n=3", "aggregate": {…}, "runs": [ {…} ] } ] }
@@ -436,6 +545,7 @@ pub fn report_json(
     jobs: usize,
     shadow: bool,
     threads: usize,
+    supervision: &SupervisionReport,
 ) -> String {
     let tables_json = tables
         .iter()
@@ -474,6 +584,7 @@ pub fn report_json(
         ("shadow".into(), JsonValue::Bool(shadow)),
         ("jobs".into(), JsonValue::Int(jobs as i64)),
         ("threads".into(), JsonValue::Int(threads as i64)),
+        ("supervision".into(), supervision_json(supervision)),
         ("tables".into(), JsonValue::Arr(tables_json)),
     ])
     .to_pretty()
@@ -501,7 +612,14 @@ mod tests {
     #[test]
     fn report_json_round_trips_and_counts_runs() {
         let table = scaling_table(&[3], &[1, 2], 2);
-        let text = report_json(std::slice::from_ref(&table), true, 2, false, 1);
+        let text = report_json(
+            std::slice::from_ref(&table),
+            true,
+            2,
+            false,
+            1,
+            &SupervisionReport::default(),
+        );
         let doc = json::parse(&text).expect("report JSON parses");
         assert_eq!(
             doc.get("schema_version"),
@@ -571,6 +689,74 @@ mod tests {
         assert_eq!(runs[0].get("shadow"), Some(&JsonValue::Null));
         assert_eq!(aggregate.get("shadow_divergent"), Some(&JsonValue::Null));
         assert_eq!(aggregate.get("shadow_flips"), Some(&JsonValue::Null));
+        // v8: the supervision object — clean default execution means no
+        // failures, no retries, and no checkpoint journal.
+        let supervision = doc.get("supervision").expect("supervision present");
+        assert_eq!(supervision.get("fail_fast"), Some(&JsonValue::Bool(false)));
+        assert_eq!(supervision.get("retries"), Some(&JsonValue::Int(0)));
+        assert_eq!(
+            supervision
+                .get("failures")
+                .and_then(JsonValue::as_arr)
+                .map(|failures| failures.len()),
+            Some(0)
+        );
+        assert_eq!(supervision.get("checkpoint"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn supervision_failures_and_checkpoint_counters_serialize() {
+        let table = scaling_table(&[3], &[1], 1);
+        let supervision = SupervisionReport {
+            fail_fast: false,
+            retries: 2,
+            failures: vec![(
+                "e1".into(),
+                fatrobots_sim::sweep::SweepFailure {
+                    spec: RunSpec::new(0, 1),
+                    message: "initial configuration needs at least one robot".into(),
+                    attempts: 2,
+                    quarantined: true,
+                },
+            )],
+            checkpoint: Some(CheckpointTelemetry {
+                resumed_rows: 3,
+                replayed_events: 8_192,
+                journal_records: 4,
+                recovered_records: 4,
+                dropped_bytes: 0,
+                write_errors: 0,
+            }),
+        };
+        let text = report_json(
+            std::slice::from_ref(&table),
+            true,
+            1,
+            false,
+            1,
+            &supervision,
+        );
+        let doc = json::parse(&text).expect("report JSON parses");
+        let sup = doc.get("supervision").expect("supervision present");
+        assert_eq!(sup.get("retries"), Some(&JsonValue::Int(2)));
+        let failures = sup.get("failures").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].get("table").and_then(JsonValue::as_str),
+            Some("e1")
+        );
+        assert_eq!(failures[0].get("n"), Some(&JsonValue::Int(0)));
+        assert_eq!(failures[0].get("attempts"), Some(&JsonValue::Int(2)));
+        assert_eq!(failures[0].get("quarantined"), Some(&JsonValue::Bool(true)));
+        assert!(failures[0]
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("at least one robot"));
+        let ck = sup.get("checkpoint").expect("checkpoint present");
+        assert_eq!(ck.get("resumed_rows"), Some(&JsonValue::Int(3)));
+        assert_eq!(ck.get("replayed_events"), Some(&JsonValue::Int(8192)));
+        assert_eq!(ck.get("write_errors"), Some(&JsonValue::Int(0)));
     }
 
     #[test]
@@ -582,7 +768,14 @@ mod tests {
             ..RunSpec::new(3, seed)
         })];
         let table = sweep_table("e1", "shadow smoke", groups, 1);
-        let text = report_json(std::slice::from_ref(&table), true, 1, true, 1);
+        let text = report_json(
+            std::slice::from_ref(&table),
+            true,
+            1,
+            true,
+            1,
+            &SupervisionReport::default(),
+        );
         let doc = json::parse(&text).expect("shadow report parses");
         assert_eq!(doc.get("shadow"), Some(&JsonValue::Bool(true)));
         let group = &doc.get("tables").and_then(JsonValue::as_arr).unwrap()[0]
@@ -712,6 +905,7 @@ mod tests {
             2,
             false,
             1,
+            &SupervisionReport::default(),
         ))
         .unwrap();
         let diff = diff_against_baseline(

@@ -47,6 +47,9 @@ fn help_exits_zero_and_documents_the_flags() {
         "--budget",
         "--fuzz-seed",
         "--out",
+        "--fail-fast",
+        "--checkpoint-dir",
+        "--watchdog-secs",
     ] {
         assert!(stdout.contains(flag), "--help must mention {flag}");
     }
@@ -125,6 +128,9 @@ fn fuzz_mode_rejects_table_and_sweep_flags() {
         &["fuzz", "--threads", "2"],
         &["fuzz", "--event-cap", "100"],
         &["fuzz", "--baseline", "whatever.json"],
+        &["fuzz", "--fail-fast"],
+        &["fuzz", "--checkpoint-dir", "/tmp/ck"],
+        &["fuzz", "--watchdog-secs", "5"],
     ] {
         let out = report(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
@@ -179,6 +185,7 @@ fn path_flags_do_not_swallow_the_next_flag() {
         &["--baseline", "--quick"][..],
         &["--json", "--quick"],
         &["fuzz", "--out", "--quick"],
+        &["--checkpoint-dir", "--quick"],
     ] {
         let out = report(args);
         assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
@@ -297,6 +304,20 @@ fn json_report_is_parseable_with_one_record_per_run() {
     let tables = doc.get("tables").and_then(JsonValue::as_arr).unwrap();
     assert_eq!(tables.len(), 1);
     assert_eq!(tables[0].get("id").and_then(JsonValue::as_str), Some("e7"));
+
+    // Schema v8: the supervision object — a clean run has no failures, no
+    // retries, and (without --checkpoint-dir) no journal counters.
+    let supervision = doc.get("supervision").expect("supervision present");
+    assert_eq!(supervision.get("fail_fast"), Some(&JsonValue::Bool(false)));
+    assert_eq!(supervision.get("retries"), Some(&JsonValue::Int(0)));
+    assert_eq!(
+        supervision
+            .get("failures")
+            .and_then(JsonValue::as_arr)
+            .map(|f| f.len()),
+        Some(0)
+    );
+    assert_eq!(supervision.get("checkpoint"), Some(&JsonValue::Null));
 
     // --quick --e7 sweeps the 9 shapes over 3 seeds: 9 groups, 3 runs
     // each, plus one aggregate row per group.
@@ -507,16 +528,170 @@ fn baseline_errors_are_reported_before_any_sweep() {
 
 #[test]
 fn json_write_failure_is_reported() {
+    // A path whose parent cannot exist (a component of it is a file):
+    // creating the parent directories must fail before any sweep runs.
     let out = report(&[
         "--quick",
         "--e7",
         "--jobs",
         "2",
         "--json",
-        "/nonexistent-dir/bench_report.json",
+        "/dev/null/nested/bench_report.json",
     ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8(out.stderr)
         .unwrap()
         .contains("cannot write"));
+    assert!(out.stdout.is_empty(), "the probe must fail before sweeping");
+}
+
+#[test]
+fn json_creates_missing_parent_directories_and_writes_atomically() {
+    let dir = std::env::temp_dir().join(format!("bench_json_nested_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("deeply/nested/bench_report.json");
+    let out = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("missing parent dirs were created");
+    assert!(json::parse(&text).is_ok());
+    assert!(
+        !path.with_extension("json.tmp").exists(),
+        "the atomic write must not leave its temp file behind"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervision_flags_reject_conflicts_and_malformed_values() {
+    for args in [
+        // Fail-fast restores the unsupervised path: combining it with the
+        // supervision-only machinery is a usage error, not a silent no-op.
+        &["--fail-fast", "--checkpoint-dir", "/tmp/ck"][..],
+        &["--fail-fast", "--watchdog-secs", "5"],
+        &["--watchdog-secs"],
+        &["--watchdog-secs", "soon"],
+        &["--watchdog-secs", "0"],
+        &["--checkpoint-dir"],
+    ] {
+        let out = report(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be a usage error");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains(args[0]), "{args:?}: {stderr}");
+        assert!(stderr.contains("Usage: report"));
+        assert!(out.stdout.is_empty(), "usage errors must not print tables");
+    }
+}
+
+#[test]
+fn fail_fast_output_is_byte_identical_to_supervised_on_healthy_tables() {
+    // On tables with no failing runs the supervised (default) and
+    // fail-fast paths must produce exactly the same tables.
+    let supervised = report(&["--quick", "--e7", "--jobs", "2"]);
+    let fail_fast = report(&["--quick", "--e7", "--jobs", "2", "--fail-fast"]);
+    assert!(supervised.status.success());
+    assert!(fail_fast.status.success());
+    assert!(!supervised.stdout.is_empty());
+    assert_eq!(
+        supervised.stdout, fail_fast.stdout,
+        "healthy sweeps must not depend on the supervision mode"
+    );
+}
+
+#[test]
+fn checkpointed_report_resumes_identically_from_its_journal() {
+    let dir = std::env::temp_dir().join(format!("bench_ck_cli_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ck = dir.join("ck");
+    let first_json = dir.join("first.json");
+    let second_json = dir.join("second.json");
+
+    let first = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+        "--json",
+        first_json.to_str().unwrap(),
+    ]);
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(ck.join("journal.frck").exists(), "the journal was written");
+
+    // Re-running with the same flags resumes every row from the journal:
+    // identical stdout, and an identical JSON document modulo the
+    // schema-v8 checkpoint counters.
+    let second = report(&[
+        "--quick",
+        "--e7",
+        "--jobs",
+        "2",
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+        "--json",
+        second_json.to_str().unwrap(),
+    ]);
+    assert!(second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "a resumed report must print the same tables"
+    );
+
+    let first_doc = json::parse(&std::fs::read_to_string(&first_json).unwrap()).unwrap();
+    let second_doc = json::parse(&std::fs::read_to_string(&second_json).unwrap()).unwrap();
+    let checkpoint = |doc: &JsonValue| {
+        doc.get("supervision")
+            .and_then(|s| s.get("checkpoint"))
+            .cloned()
+            .expect("checkpoint counters present")
+    };
+    assert_eq!(
+        checkpoint(&first_doc).get("resumed_rows"),
+        Some(&JsonValue::Int(0)),
+        "the first run resumes nothing"
+    );
+    // --quick --e7 sweeps 9 shapes x 3 seeds = 27 runs, all resumed.
+    assert_eq!(
+        checkpoint(&second_doc).get("resumed_rows"),
+        Some(&JsonValue::Int(27)),
+        "the second run resumes every row"
+    );
+    // Outside the checkpoint counters the documents are identical: scrub
+    // the counters and compare.
+    let counter_keys = [
+        "resumed_rows",
+        "replayed_events",
+        "journal_records",
+        "recovered_records",
+        "dropped_bytes",
+        "write_errors",
+    ];
+    let scrub = |text: &str| {
+        text.lines()
+            .filter(|line| !counter_keys.iter().any(|key| line.contains(key)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        scrub(&std::fs::read_to_string(&first_json).unwrap()),
+        scrub(&std::fs::read_to_string(&second_json).unwrap()),
+        "resume must be byte-identical modulo the checkpoint counters"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

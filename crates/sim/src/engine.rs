@@ -11,6 +11,7 @@
 //! * the liveness conditions (minimum δ-progress per move),
 //! * physical validity (motion stops at first contact; discs never overlap).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fatrobots_core::{ComputeScratch, Decision, Strategy};
@@ -26,6 +27,42 @@ use crate::world::{World, WorldMode};
 
 /// Tolerance for "the robot reached its target" and for contact detection.
 const ARRIVAL_TOL: f64 = 1e-9;
+
+/// A cooperative cancellation flag for [`Simulator::run`] /
+/// [`Simulator::run_observed`].
+///
+/// The default (disarmed) flag can never fire and costs one branch per
+/// event. An armed flag ([`CancelFlag::armed`]) is a shared atomic a
+/// supervisor — the sweep pool's watchdog, say — can raise from another
+/// thread; the event loop polls it between events and stops gracefully at
+/// the next event boundary, returning a [`RunOutcome`] with
+/// [`cancelled`](RunOutcome::cancelled) set. Cancellation never tears an
+/// event in half: the world state stays valid, exactly as if the event
+/// budget had run out.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Option<Arc<AtomicBool>>);
+
+impl CancelFlag {
+    /// A flag that can actually be raised (the default is inert).
+    pub fn armed() -> Self {
+        CancelFlag(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// Raises the flag. No-op on a disarmed flag.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the flag has been raised. Always `false` when disarmed.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            Some(flag) => flag.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+}
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -67,6 +104,11 @@ pub struct SimConfig {
     /// identical to serial, so only throughput changes. Single-stepping via
     /// [`Simulator::step`] is always serial.
     pub threads: usize,
+    /// Cooperative cancellation flag polled between events by
+    /// [`Simulator::run`] / [`Simulator::run_observed`]. The default
+    /// disarmed flag never fires; the supervised sweep pool arms one per
+    /// run so its watchdog can stop a hung run at a clean event boundary.
+    pub cancel: CancelFlag,
 }
 
 impl Default for SimConfig {
@@ -81,6 +123,7 @@ impl Default for SimConfig {
             world_mode: WorldMode::Incremental,
             decision_cache: true,
             threads: 1,
+            cancel: CancelFlag::default(),
         }
     }
 }
@@ -99,6 +142,10 @@ pub struct RunOutcome {
     pub gathered: bool,
     /// Number of events applied.
     pub events: usize,
+    /// `true` when the run was stopped early by its [`CancelFlag`] (the
+    /// sweep watchdog, for instance) rather than by termination or the
+    /// event budget. A cancelled run is never `terminated` or `gathered`.
+    pub cancelled: bool,
     /// The collected metrics.
     pub metrics: Metrics,
 }
@@ -377,10 +424,15 @@ impl Simulator {
     /// This is the hook the shadow oracle uses to re-decide every Compute
     /// event under other kernels while the engine stays on the default path.
     pub fn run_observed(&mut self, mut observer: impl FnMut(&Simulator, &Event)) -> RunOutcome {
+        let mut cancelled = false;
         if self.config.threads > 1 {
-            self.run_parallel(&mut observer);
+            cancelled = self.run_parallel(&mut observer);
         } else {
             while self.metrics.events < self.config.max_events {
+                if self.config.cancel.is_cancelled() {
+                    cancelled = true;
+                    break;
+                }
                 match self.step() {
                     Some(event) => observer(self, &event),
                     None => break,
@@ -396,13 +448,31 @@ impl Simulator {
         // adversary crashed permanently count as (unsuccessfully)
         // terminated, and the gathering criterion is restricted to the
         // live robots. Without faults both reduce to the plain criteria.
-        let terminated = self.effectively_terminated();
+        let terminated = !cancelled && self.effectively_terminated();
         RunOutcome {
             terminated,
             gathered: terminated && self.is_gathered_live(),
             events: self.metrics.events,
+            cancelled,
             metrics: self.metrics.clone(),
         }
+    }
+
+    /// Order-sensitive FNV-1a fingerprint of the engine's observable state:
+    /// the applied-event count followed by every center's exact bit
+    /// pattern. Determinism makes this a complete progress witness — two
+    /// runs of the same [`RunSpec`](crate::experiment::RunSpec) agree on
+    /// the fingerprint at every event index — which is what the
+    /// [checkpoint](crate::checkpoint) records store to cross-check a
+    /// resumed replay.
+    pub fn fingerprint(&self) -> u64 {
+        let fnv = |h: u64, v: u64| (h ^ v).wrapping_mul(0x100_0000_01b3);
+        let mut h = fnv(0xcbf2_9ce4_8422_2325_u64, self.metrics.events as u64);
+        for c in self.world.centers() {
+            h = fnv(h, c.x.to_bits());
+            h = fnv(h, c.y.to_bits());
+        }
+        h
     }
 
     fn apply(&mut self, directive: Directive) -> Event {
@@ -583,7 +653,10 @@ impl Simulator {
     /// then serially apply the directive that ended the batch. Event
     /// stream, metrics, and world state are bit-identical to the serial
     /// loop — see the [`crate::parallel`] module docs for the argument.
-    fn run_parallel(&mut self, observer: &mut impl FnMut(&Simulator, &Event)) {
+    /// Returns `true` when the loop stopped because the [`CancelFlag`] was
+    /// raised (polled at batch boundaries, the parallel analogue of the
+    /// serial loop's per-event poll).
+    fn run_parallel(&mut self, observer: &mut impl FnMut(&Simulator, &Event)) -> bool {
         let n = self.len();
         let threads = self.config.threads.max(1);
         let memoize = self.memoize;
@@ -591,6 +664,9 @@ impl Simulator {
         loop {
             if self.metrics.events >= self.config.max_events {
                 break;
+            }
+            if self.config.cancel.is_cancelled() {
+                return true;
             }
             let (carry, done) = self.plan_batch();
             if self.par.batch.is_empty() && carry.is_none() {
@@ -607,6 +683,7 @@ impl Simulator {
                 break;
             }
         }
+        false
     }
 
     /// Pulls directives against the predicted phase/target snapshot and

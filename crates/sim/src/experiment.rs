@@ -15,9 +15,10 @@ use fatrobots_scheduler::{
     SlowCoalition, SlowRobot, StopHappy,
 };
 
-use crate::engine::{SimConfig, Simulator};
+use crate::engine::{CancelFlag, SimConfig, Simulator};
 use crate::init::Shape;
 use crate::shadow::{ShadowExecutor, ShadowStats};
+use crate::sweep::{SweepFailure, SweepObserver, SweepPool};
 use crate::world::WorldMode;
 
 /// Which local decision rule a run uses.
@@ -306,8 +307,80 @@ pub struct RunSummary {
     pub shadow: Option<ShadowStats>,
 }
 
+/// Default interval, in events, between [`RunHooks::progress`] callbacks —
+/// frequent enough that a checkpointed run loses little work to a crash,
+/// rare enough that the fingerprint fold never shows up in a profile.
+pub const PROGRESS_EVERY_DEFAULT: usize = 8_192;
+
+/// Supervision hooks threaded into [`run_with_hooks`].
+///
+/// The default hooks are inert — a disarmed cancel flag and no progress
+/// callback — and make [`run_with_hooks`] behave exactly like [`run`].
+pub struct RunHooks<'a> {
+    /// Cooperative cancellation flag, polled by the engine between events
+    /// ([`SimConfig::cancel`]). Arm it and raise it from a watchdog to stop
+    /// a hung run at a clean event boundary.
+    pub cancel: CancelFlag,
+    /// Called every [`RunHooks::progress_every`] events with the applied
+    /// event count and the engine's [state
+    /// fingerprint](crate::engine::Simulator::fingerprint) — the payload of
+    /// a checkpoint progress record.
+    pub progress: Option<&'a mut dyn FnMut(usize, u64)>,
+    /// Interval between progress callbacks (events; `0` is treated as the
+    /// default).
+    pub progress_every: usize,
+}
+
+impl Default for RunHooks<'_> {
+    fn default() -> Self {
+        RunHooks {
+            cancel: CancelFlag::default(),
+            progress: None,
+            progress_every: PROGRESS_EVERY_DEFAULT,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.is_some())
+            .field("progress_every", &self.progress_every)
+            .finish()
+    }
+}
+
+/// How a supervised run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStatus {
+    /// The run finished (terminated, or ran out of event budget) and
+    /// produced its summary (boxed: the summary dwarfs the other variant).
+    Completed(Box<RunSummary>),
+    /// The run was stopped early by its [`CancelFlag`]; `events` is how far
+    /// it got. There is no summary — a cancelled run's counters describe an
+    /// arbitrary prefix, not an outcome.
+    Cancelled {
+        /// Events applied before the cancellation was observed.
+        events: usize,
+    },
+}
+
 /// Executes one run.
 pub fn run(spec: &RunSpec) -> RunSummary {
+    match run_with_hooks(spec, RunHooks::default()) {
+        RunStatus::Completed(summary) => *summary,
+        RunStatus::Cancelled { .. } => {
+            unreachable!("a disarmed cancel flag can never cancel a run")
+        }
+    }
+}
+
+/// [`run`] with supervision hooks: a cooperative cancellation flag and a
+/// periodic progress callback (event count plus engine fingerprint). The
+/// event stream is identical to [`run`] — the hooks only watch — so a
+/// completed supervised run returns exactly [`run`]'s summary.
+pub fn run_with_hooks(spec: &RunSpec, mut hooks: RunHooks<'_>) -> RunStatus {
     let centers = spec.shape.generate(spec.n, spec.seed);
     let config = SimConfig {
         max_events: spec.max_events,
@@ -315,6 +388,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         world_mode: spec.world_mode,
         threads: spec.threads.max(1),
         sample_every: spec.sample_every,
+        cancel: hooks.cancel.clone(),
         ..SimConfig::default()
     };
     let mut sim = Simulator::new(
@@ -323,13 +397,39 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         spec.adversary.build(spec.seed, spec.n),
         config,
     );
-    let (outcome, shadow) = if spec.shadow && spec.strategy == StrategyKind::Paper {
-        let mut oracle = ShadowExecutor::new(spec.n);
-        let outcome = sim.run_observed(|sim, event| oracle.observe(sim, event));
-        (outcome, Some(oracle.into_stats()))
+    let shadowing = spec.shadow && spec.strategy == StrategyKind::Paper;
+    let mut oracle = shadowing.then(|| ShadowExecutor::new(spec.n));
+    let progress_every = if hooks.progress_every == 0 {
+        PROGRESS_EVERY_DEFAULT
     } else {
-        (sim.run(), None)
+        hooks.progress_every
     };
+    let outcome = {
+        let mut progress = hooks.progress.as_mut();
+        let mut oracle_ref = oracle.as_mut();
+        let mut observed = 0usize;
+        if oracle_ref.is_none() && progress.is_none() {
+            sim.run()
+        } else {
+            sim.run_observed(|sim, event| {
+                if let Some(oracle) = oracle_ref.as_deref_mut() {
+                    oracle.observe(sim, event);
+                }
+                if let Some(progress) = progress.as_deref_mut() {
+                    observed += 1;
+                    if observed % progress_every == 0 {
+                        progress(observed, sim.fingerprint());
+                    }
+                }
+            })
+        }
+    };
+    if outcome.cancelled {
+        return RunStatus::Cancelled {
+            events: outcome.events,
+        };
+    }
+    let shadow = oracle.map(ShadowExecutor::into_stats);
     let (visibility_cache_hits, visibility_cache_misses) = sim.visibility_cache_stats();
     let (decision_cache_hits, decision_cache_misses) = sim.decision_cache_stats();
     let (hull_repairs, hull_rebuilds) = sim.hull_repair_stats();
@@ -337,7 +437,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
     let (par_batches, par_batched_events, speculation_hits, speculation_aborts) =
         sim.parallel_stats();
     let fault = sim.fault_stats();
-    RunSummary {
+    RunStatus::Completed(Box::new(RunSummary {
         spec: *spec,
         gathered: outcome.gathered,
         terminated: outcome.terminated,
@@ -364,7 +464,7 @@ pub fn run(spec: &RunSpec) -> RunSummary {
         fault_starved_directives: fault.starved_directives,
         fault_truncated_directives: fault.truncated_directives,
         shadow,
-    }
+    }))
 }
 
 /// An aggregated row over several seeds of the same specification family.
@@ -574,10 +674,116 @@ impl TableSpec {
     /// Executes the table on a shared worker pool. The output is
     /// byte-identical to [`TableSpec::execute`] with the pool's worker
     /// count.
-    pub fn execute_on(self, pool: &mut crate::sweep::SweepPool) -> ExperimentTable {
+    pub fn execute_on(self, pool: &mut SweepPool) -> ExperimentTable {
         let summaries = pool.run(&self.flat_specs());
         self.assemble(summaries)
     }
+
+    /// [`TableSpec::execute_on`] under supervision: a panicking or
+    /// watchdog-cancelled run becomes a structured [`SweepFailure`] instead
+    /// of aborting the sweep, and with a checkpoint session the table is
+    /// crash-safe — rows already in the journal are loaded instead of
+    /// re-run, and every completion/progress milestone is journalled as it
+    /// happens. A failure-free, checkpoint-free call returns exactly
+    /// [`TableSpec::execute_on`]'s table.
+    pub fn execute_supervised_on(
+        self,
+        pool: &mut SweepPool,
+        policy: &crate::sweep::SupervisionPolicy,
+        mut checkpoint: Option<&mut crate::checkpoint::CheckpointedSweep>,
+    ) -> TableRun {
+        let specs = self.flat_specs();
+        let mut summaries: Vec<Option<RunSummary>> = vec![None; specs.len()];
+        // Partition against the journal: slot i of this table is ordinal
+        // base + i of the whole invocation, in canonical execution order.
+        let base = checkpoint.as_deref().map_or(0, |ck| ck.next_ordinal());
+        let mut to_run: Vec<(usize, RunSpec)> = Vec::new();
+        if let Some(ck) = checkpoint.as_deref_mut() {
+            for (slot, &spec) in specs.iter().enumerate() {
+                match ck.take_completed(base + slot as u64, &spec) {
+                    Some(summary) => summaries[slot] = Some(summary),
+                    None => to_run.push((slot, spec)),
+                }
+            }
+            ck.advance(specs.len() as u64);
+        } else {
+            to_run.extend(specs.iter().copied().enumerate());
+        }
+
+        // Journal milestones as they arrive, translating pool slots (the
+        // index into `to_run`) back to table slots and global ordinals.
+        struct JournalObserver<'a> {
+            ck: Option<&'a mut crate::checkpoint::CheckpointedSweep>,
+            to_run: &'a [(usize, RunSpec)],
+            base: u64,
+        }
+        impl SweepObserver for JournalObserver<'_> {
+            fn on_progress(&mut self, pool_slot: usize, events: usize, fingerprint: u64) {
+                if let Some(ck) = self.ck.as_deref_mut() {
+                    let (slot, spec) = self.to_run[pool_slot];
+                    ck.journal_progress(self.base + slot as u64, &spec, events, fingerprint);
+                }
+            }
+            fn on_completed(&mut self, pool_slot: usize, summary: &RunSummary) {
+                if let Some(ck) = self.ck.as_deref_mut() {
+                    let (slot, _) = self.to_run[pool_slot];
+                    ck.journal_completed(self.base + slot as u64, summary);
+                }
+            }
+        }
+
+        let run_specs: Vec<RunSpec> = to_run.iter().map(|&(_, spec)| spec).collect();
+        let mut observer = JournalObserver {
+            ck: checkpoint,
+            to_run: &to_run,
+            base,
+        };
+        let outcome = pool.run_supervised(&run_specs, policy, &mut observer);
+        for (pool_slot, summary) in outcome.summaries.into_iter().enumerate() {
+            if let Some(summary) = summary {
+                summaries[to_run[pool_slot].0] = Some(summary);
+            }
+        }
+        let failures = outcome.failures;
+        TableRun {
+            table: self.assemble_partial(summaries),
+            failures,
+            retries: outcome.retries,
+        }
+    }
+
+    /// [`TableSpec::assemble`] tolerating holes: failed runs simply do not
+    /// contribute a summary, so their row aggregates over the seeds that
+    /// did complete.
+    fn assemble_partial(self, summaries: Vec<Option<RunSummary>>) -> ExperimentTable {
+        let mut summaries = summaries.into_iter();
+        let groups = self
+            .groups
+            .into_iter()
+            .map(|g| GroupResult {
+                label: g.label,
+                summaries: summaries.by_ref().take(g.specs.len()).flatten().collect(),
+            })
+            .collect();
+        ExperimentTable {
+            id: self.id,
+            title: self.title,
+            groups,
+        }
+    }
+}
+
+/// The outcome of a supervised table execution: the assembled table (failed
+/// runs leave holes in their rows) plus the structured failures and the
+/// retry count, for the report's telemetry section and exit code.
+#[derive(Debug, Clone)]
+pub struct TableRun {
+    /// The assembled table; rows aggregate over their completed runs only.
+    pub table: ExperimentTable,
+    /// One entry per run that exhausted its retries (or was quarantined).
+    pub failures: Vec<SweepFailure>,
+    /// Re-executions performed after a failed attempt, across all runs.
+    pub retries: u64,
 }
 
 /// Executes a table's groups as one flat sweep over `jobs` workers and
@@ -1021,5 +1227,115 @@ mod tests {
             !summary.gathered,
             "the small-n baseline cannot gather 6 robots"
         );
+    }
+
+    /// A small two-row table spec with one poisoned run (n = 0 panics in
+    /// the initializer) sitting among healthy ones.
+    fn poisoned_table_spec() -> TableSpec {
+        let healthy = |seed| RunSpec {
+            shape: Shape::Circle,
+            adversary: AdversaryKind::RoundRobin,
+            max_events: 120_000,
+            ..RunSpec::new(3, seed)
+        };
+        TableSpec {
+            id: "e1",
+            title: "supervision smoke".into(),
+            groups: vec![
+                SpecGroup {
+                    label: "healthy".into(),
+                    specs: vec![healthy(1), healthy(2)],
+                },
+                SpecGroup {
+                    label: "poisoned".into(),
+                    specs: vec![
+                        healthy(3),
+                        RunSpec {
+                            max_events: 10,
+                            ..RunSpec::new(0, 1)
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn supervised_table_converts_a_panicking_run_into_a_failure_row() {
+        let mut pool = crate::sweep::SweepPool::new(2);
+        let policy = crate::sweep::SupervisionPolicy {
+            backoff: std::time::Duration::ZERO,
+            ..crate::sweep::SupervisionPolicy::default()
+        };
+        let run = poisoned_table_spec().execute_supervised_on(&mut pool, &policy, None);
+        // The poisoned run becomes one structured failure row with its
+        // retry budget spent; every healthy run still completes.
+        assert_eq!(run.failures.len(), 1);
+        let failure = &run.failures[0];
+        assert_eq!(failure.spec.n, 0);
+        assert_eq!(failure.attempts, policy.max_retries + 1);
+        assert!(failure.quarantined);
+        assert!(!failure.message.is_empty());
+        assert_eq!(run.retries, policy.max_retries as u64);
+        let rows = run.table.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].runs, 2, "the healthy row keeps both seeds");
+        assert_eq!(
+            rows[1].runs, 1,
+            "the poisoned row aggregates over its surviving run"
+        );
+        // The surviving rows match an unsupervised execution of the same
+        // healthy specs.
+        let healthy_only = TableSpec {
+            groups: poisoned_table_spec()
+                .groups
+                .into_iter()
+                .map(|mut g| {
+                    g.specs.retain(|s| s.n > 0);
+                    g
+                })
+                .collect(),
+            ..poisoned_table_spec()
+        };
+        let reference = healthy_only.execute_on(&mut pool);
+        assert_eq!(run.table.rows(), reference.rows());
+    }
+
+    #[test]
+    fn supervised_table_resumes_from_its_checkpoint_journal() {
+        let dir = std::env::temp_dir().join(format!("fatrobots-ck-resume-{}", std::process::id()));
+        let journal = dir.join("journal.frck");
+        let spec = || TableSpec {
+            groups: poisoned_table_spec()
+                .groups
+                .into_iter()
+                .map(|mut g| {
+                    g.specs.retain(|s| s.n > 0);
+                    g
+                })
+                .collect(),
+            ..poisoned_table_spec()
+        };
+        let mut pool = crate::sweep::SweepPool::new(2);
+        let policy = crate::sweep::SupervisionPolicy::default();
+
+        let mut first =
+            crate::checkpoint::CheckpointedSweep::open(&journal).expect("journal opens");
+        let cold = spec().execute_supervised_on(&mut pool, &policy, Some(&mut first));
+        assert_eq!(
+            first.telemetry().resumed_rows,
+            0,
+            "a fresh journal resumes nothing"
+        );
+
+        // A second session over the same journal replays every row from
+        // the journal — bit-identical, without re-running anything.
+        let mut second =
+            crate::checkpoint::CheckpointedSweep::open(&journal).expect("journal reopens");
+        let warm = spec().execute_supervised_on(&mut pool, &policy, Some(&mut second));
+        assert_eq!(second.telemetry().resumed_rows, 3, "all three runs resume");
+        assert_eq!(warm.table, cold.table, "resumed tables are identical");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

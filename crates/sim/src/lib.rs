@@ -8,9 +8,15 @@
 //!
 //! The crate provides:
 //!
+//! * [`checkpoint`] — the crash-safe sweep journal: length-framed,
+//!   CRC-checksummed records of (spec, event index, engine fingerprint)
+//!   plus inlined completed summaries, written atomically and decoded with
+//!   recovery to the last valid record, so a killed sweep resumes
+//!   byte-identically;
 //! * [`engine`] — the [`Simulator`](engine::Simulator): one event per call,
 //!   motion integration with contact detection, validity assertions,
-//!   termination detection and an event budget;
+//!   termination detection, an event budget, and a cooperative
+//!   cancellation flag for supervised runs;
 //! * [`init`] — seeded initial-configuration generators (random spread,
 //!   line, grid, circle, clusters);
 //! * [`metrics`] — per-run metrics: event counts, travelled distance, times
@@ -31,7 +37,10 @@
 //!   shrinks finds via deterministic replay, and emits the livelock
 //!   regression fixtures under `tests/fixtures/livelock/`;
 //! * [`sweep`] — the parallel sweep engine: fans `RunSpec`s out over a
-//!   scoped worker pool and returns summaries in deterministic input order;
+//!   scoped worker pool and returns summaries in deterministic input
+//!   order, with a supervised mode that converts panicking runs into
+//!   structured failure rows (bounded retries, quarantine) and reaps hung
+//!   runs via a wall-clock watchdog;
 //! * [`world`] — the incremental world state: ground-truth centers plus a
 //!   cached pairwise visibility matrix (lazy dirty-pair invalidation over a
 //!   spatial grid), cached hull/connectivity/validity, and a from-scratch
@@ -60,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod experiment;
 pub mod fuzz;
@@ -72,7 +82,7 @@ pub mod sweep;
 pub mod trace;
 pub mod world;
 
-pub use engine::{RunOutcome, SimConfig, Simulator};
+pub use engine::{CancelFlag, RunOutcome, SimConfig, Simulator};
 pub use metrics::Metrics;
 pub use shadow::{DivergenceRecord, ShadowExecutor, ShadowStats};
 pub use world::{World, WorldMode};
